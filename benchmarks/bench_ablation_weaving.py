@@ -1,0 +1,77 @@
+"""Ablation: weaving styles and interception overhead (DESIGN.md Section 5).
+
+Quantifies (i) the per-call overhead an aspect wrapper adds compared with a
+direct method call, (ii) annotation-style versus pointcut-style weaving cost,
+and (iii) captured-lock versus shared-lock critical sections — the design
+alternatives the paper discusses in Sections III.B-III.C.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CriticalAspect, MethodAspect, Weaver, call
+from repro.core import annotations as aomp
+from repro.core.annotation_weaver import weave_annotations
+from repro.runtime.team import parallel_region
+
+
+class Probe:
+    def poke(self) -> int:
+        return 1
+
+    @aomp.critical(id="annotated")
+    def guarded(self) -> int:
+        return 2
+
+
+def test_bench_direct_call(benchmark):
+    probe = Probe()
+    assert benchmark(probe.poke) == 1
+
+
+def test_bench_woven_call(benchmark):
+    weaver = Weaver()
+    weaver.weave(MethodAspect(call("Probe.poke")), Probe)
+    try:
+        probe = Probe()
+        assert benchmark(probe.poke) == 1
+    finally:
+        weaver.unweave_all()
+
+
+def test_bench_pointcut_weaving_cycle(benchmark):
+    def cycle():
+        weaver = Weaver()
+        weaver.weave(MethodAspect(call("Probe.poke")), Probe)
+        weaver.unweave_all()
+
+    benchmark(cycle)
+
+
+def test_bench_annotation_weaving_cycle(benchmark):
+    def cycle():
+        weaver = weave_annotations(Probe)
+        weaver.unweave_all()
+
+    benchmark(cycle)
+
+
+@pytest.mark.parametrize("style", ["shared-lock", "captured-lock", "named-lock"])
+def test_bench_critical_lock_styles(benchmark, style):
+    """Compare the three critical-section lock-selection strategies under contention."""
+    if style == "named-lock":
+        aspect = CriticalAspect(call("Probe.poke"), lock_id=f"bench-{style}")
+    else:
+        aspect = CriticalAspect(call("Probe.poke"), use_captured_lock=(style == "captured-lock"))
+    weaver = Weaver()
+    weaver.weave(aspect, Probe)
+    try:
+        probe = Probe()
+
+        def contended_region():
+            parallel_region(lambda: [probe.poke() for _ in range(50)], num_threads=4)
+
+        benchmark(contended_region)
+    finally:
+        weaver.unweave_all()

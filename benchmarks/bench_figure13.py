@@ -1,0 +1,67 @@
+"""Figure 13 benchmark harness.
+
+Regenerates the paper's Figure 13 (speedup of the JGF-MT and AOmp versions of
+eight JGF benchmarks on the two modelled machines) and, under
+pytest-benchmark, times the AOmp execution of every kernel so regressions in
+the weaving/runtime path show up as wall-clock changes.
+
+Run with ``pytest benchmarks/bench_figure13.py --benchmark-only``; print the
+full figure with ``python -m repro.experiments.figure13``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure13
+from repro.jgf import BENCHMARKS
+
+#: Size used for the timed kernels: small enough for a benchmark session,
+#: large enough that per-chunk work dominates the weaving overhead.
+BENCH_SIZE = "tiny"
+BENCH_THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def figure13_report():
+    """The Figure 13 report computed once per benchmark session (tiny size)."""
+    return figure13.run(size="tiny", benchmarks=["Series", "SOR", "MolDyn"])
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_bench_aomp_kernel(benchmark, name):
+    """Time the AOmp (aspect-woven) execution of each JGF kernel."""
+    module = BENCHMARKS[name]
+    result = benchmark(module.run_aomp, BENCH_SIZE, BENCH_THREADS)
+    assert result.value is not None
+
+
+@pytest.mark.parametrize("name", ["Series", "Crypt", "SOR"])
+def test_bench_sequential_kernel(benchmark, name):
+    """Time the sequential base programs (the denominator of every speedup)."""
+    module = BENCHMARKS[name]
+    result = benchmark(module.run_sequential, BENCH_SIZE)
+    assert result.value is not None
+
+
+def test_bench_figure13_rows(benchmark, figure13_report):
+    """Reproduce the Figure 13 rows and check the paper's two claims on them."""
+
+    def summarise():
+        rows = {}
+        for bench in figure13_report.benchmarks():
+            rows[bench] = {
+                configuration: figure13_report.speedup(configuration, bench)
+                for configuration in figure13_report.configurations()
+            }
+        return rows
+
+    rows = benchmark(summarise)
+    for bench, row in rows.items():
+        for machine_key in ("i7-8threads", "xeon-24threads"):
+            jgf = row[f"JGF {machine_key}"]
+            aomp = row[f"AOmp {machine_key}"]
+            # Claim 1: the AOmp version tracks the hand-written JGF version.
+            assert aomp <= jgf and (jgf - aomp) / jgf < 0.10
+    # Claim 2: the embarrassingly parallel kernel out-scales the memory-bound one.
+    assert rows["Series"]["JGF xeon-24threads"] > rows["SOR"]["JGF xeon-24threads"]

@@ -1,0 +1,52 @@
+"""Figure 15 benchmark harness.
+
+Regenerates the paper's Figure 15 (MolDyn parallelisation strategies across
+particle counts and thread counts) and times the executed MolDyn strategy
+variants at a small particle count, so the cost of the three aspect bundles
+(thread-local + reduce, critical, per-particle locks) can be compared
+directly.
+
+Run with ``pytest benchmarks/bench_figure15.py --benchmark-only``; print the
+full figure with ``python -m repro.experiments.figure15``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure15
+from repro.jgf.moldyn import fcc_particle_count, run_variant
+
+PARTICLES = fcc_particle_count(3)  # 108 particles: enough to exercise every code path
+THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def figure15_report():
+    calibration = figure15.calibrate(neighbour_sample_particles=256)
+    return figure15.run(calibration=calibration)
+
+
+@pytest.mark.parametrize("strategy", figure15.STRATEGIES)
+def test_bench_moldyn_strategy_execution(benchmark, strategy):
+    """Time the real execution of each Figure 15 strategy at a small size."""
+    lock_mode = "exact" if strategy == "locks" else "modelled"
+    _, value = benchmark(run_variant, strategy, PARTICLES, num_threads=THREADS, moves=1, lock_mode=lock_mode)
+    assert value is not None
+
+
+def test_bench_figure15_model(benchmark, figure15_report):
+    """Time the analytic sweep and check the paper's two qualitative claims."""
+
+    def collect():
+        return {
+            (entry["strategy"], entry["threads"], entry["particles"]): entry["speedup"]
+            for entry in figure15_report.entries
+        }
+
+    speedups = benchmark(collect)
+    # Claim 1: per-particle locks beat the JGF thread-local variant at 12 threads (largest sizes).
+    assert speedups[("locks", 12, 500_000)] > speedups[("jgf", 12, 500_000)]
+    # Claim 2: the critical-region variant is the best strategy at 500k particles with 4 threads.
+    assert speedups[("critical", 4, 500_000)] >= speedups[("jgf", 4, 500_000)]
+    assert speedups[("critical", 4, 500_000)] >= speedups[("locks", 4, 500_000)]

@@ -1,0 +1,51 @@
+"""Table 2 benchmark harness.
+
+Regenerates the paper's Table 2 (refactorings and abstractions used per
+benchmark) from the aspect bundles the AOmp drivers actually weave, and times
+the weaving/unweaving path itself (the cost of plugging the aspects in, which
+the paper argues is a development-time operation).
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only``; print the
+table with ``python -m repro.experiments.table2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Weaver
+from repro.experiments import table2
+from repro.jgf import BENCHMARKS
+from repro.jgf.series.kernel import FourierSeries
+from repro.jgf.series.parallel import build_aspects as series_aspects
+
+
+def test_bench_table2_rows(benchmark):
+    """Time the full Table 2 derivation and validate it against the paper."""
+    rows = benchmark(table2.run, 4)
+    by_name = {row.benchmark: row for row in rows}
+    assert set(by_name) == set(BENCHMARKS)
+    assert "FOR(cyclic)" in by_name["MolDyn"].abstractions
+    assert "2xTLF" in by_name["MolDyn"].abstractions
+    assert "CS" in by_name["Sparse"].abstractions
+    assert "4xBR" in by_name["LUFact"].abstractions
+
+
+def test_bench_weave_unweave_cycle(benchmark):
+    """Time one weave/unweave cycle of a full benchmark parallelisation."""
+
+    def cycle():
+        weaver = Weaver()
+        weaver.weave_all(series_aspects(4), FourierSeries)
+        weaver.unweave_all()
+        return len(weaver.records)
+
+    leftovers = benchmark(cycle)
+    assert leftovers == 0
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_bench_aspect_bundle_construction(benchmark, name):
+    """Time constructing each benchmark's aspect bundle (Table 2 input)."""
+    aspects = benchmark(table2.benchmark_aspects, name, 4)
+    assert aspects

@@ -1,0 +1,89 @@
+"""The paper's Section III.E case study: parallelising the Java Linpack benchmark.
+
+Shows the exact parallelisation of Figures 7 and 8 applied to the Python port
+of the Linpack kernel (``repro.jgf.lufact``):
+
+* ``dgefa`` becomes a parallel region;
+* ``reduce_all_cols`` (the refactored row-elimination loop) gets the for
+  work-sharing construct with a barrier after;
+* ``interchange`` and ``dscal_pivot`` execute on the master only, fenced by
+  barriers.
+
+Both styles are demonstrated: the annotations already present on the kernel
+(annotation style, Figure 8) and an explicit concrete aspect bundle built with
+pointcuts (pointcut style, Figure 7).
+
+Run with ``python examples/linpack_case_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BarrierAfterAspect,
+    BarrierBeforeAspect,
+    ForStatic,
+    MasterAspect,
+    ParallelRegion,
+    Weaver,
+    call,
+)
+from repro.core.annotation_weaver import weave_annotations
+from repro.jgf.lufact.kernel import Linpack
+from repro.runtime.trace import EventKind, TraceRecorder
+
+MATRIX_ORDER = 160
+THREADS = 4
+
+
+def sequential() -> float:
+    kernel = Linpack(MATRIX_ORDER)
+    residual = kernel.run()
+    print(f"sequential        residual = {residual:.4f}")
+    return residual
+
+
+def annotation_style() -> float:
+    """Figure 8: the annotations live on the base program; weaving activates them."""
+    recorder = TraceRecorder()
+    weaver = weave_annotations(Linpack, threads=THREADS, recorder=recorder)
+    try:
+        kernel = Linpack(MATRIX_ORDER)
+        residual = kernel.run()
+    finally:
+        weaver.unweave_all()
+    barriers = len(recorder.events(EventKind.BARRIER))
+    masters = len(recorder.events(EventKind.MASTER))
+    print(f"annotation style  residual = {residual:.4f}   ({barriers} barrier passages, {masters} master sections)")
+    return residual
+
+
+def pointcut_style() -> float:
+    """Figure 7: an explicit aspect module (no annotations needed on the kernel)."""
+    weaver = Weaver()
+    weaver.weave_all(
+        [
+            ForStatic(call("Linpack.reduce_all_cols")),
+            BarrierAfterAspect(call("Linpack.reduce_all_cols")),
+            MasterAspect(call("Linpack.interchange")),
+            BarrierBeforeAspect(call("Linpack.interchange")),
+            BarrierAfterAspect(call("Linpack.interchange")),
+            MasterAspect(call("Linpack.dscal_pivot")),
+            BarrierAfterAspect(call("Linpack.dscal_pivot")),
+            ParallelRegion(call("Linpack.dgefa"), threads=THREADS),
+        ],
+        Linpack,
+    )
+    try:
+        kernel = Linpack(MATRIX_ORDER)
+        residual = kernel.run()
+    finally:
+        weaver.unweave_all()
+    print(f"pointcut style    residual = {residual:.4f}")
+    return residual
+
+
+if __name__ == "__main__":
+    reference = sequential()
+    for value in (annotation_style(), pointcut_style()):
+        assert abs(value - reference) < 1e-6, "parallel versions must reproduce the sequential residual"
+    print("all three versions agree - sequential semantics preserved")

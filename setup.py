@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that the
+package can be installed in editable mode in offline environments where the
+``wheel`` package (needed by PEP 660 editable installs) is unavailable:
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""Abstract aspect base classes.
+
+The paper's library is a collection of *abstract aspects* (``ParallelRegion``,
+for work-sharing, critical, ...) that users specialise by providing concrete
+pointcuts (pointcut style) or that the library itself specialises to act upon
+annotations (annotation style).  This module defines the Python equivalents:
+
+* :class:`MethodAspect` — an aspect contributing ``around`` advice to the
+  method executions selected by its pointcut;
+* :class:`ClassAspect` — an aspect transforming classes themselves (used by
+  the thread-local-field mechanism, which introduces per-thread state);
+* :class:`CompositeAspect` — an aspect made of several inner aspects, the
+  paper's mechanism for OpenMP *combined constructs* (e.g. parallel-for).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.weaver.joinpoint import JoinPoint
+from repro.core.weaver.pointcut import NothingPointcut, Pointcut
+from repro.runtime.exceptions import WeavingError
+
+
+class Aspect:
+    """Common base for all aspects."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self._name = name or type(self).__name__
+
+    @property
+    def name(self) -> str:
+        """Human-readable aspect name used in diagnostics and Table-2 accounting."""
+        return self._name
+
+    def describe(self) -> str:
+        """Short description (overridden by subclasses)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<aspect {self.describe()}>"
+
+
+class MethodAspect(Aspect):
+    """An aspect contributing ``around`` advice to matched method executions.
+
+    Concrete aspects either pass a pointcut to the constructor or override
+    :meth:`pointcut` — the Python rendering of extending an abstract aspect
+    and defining its abstract pointcut (paper Figure 4).
+    """
+
+    #: abstraction label used by the Table-2 accounting (e.g. "PR", "FOR").
+    abstraction: str | None = None
+
+    def __init__(self, pointcut: Pointcut | None = None, *, name: str | None = None) -> None:
+        super().__init__(name)
+        self._pointcut = pointcut
+
+    def pointcut(self) -> Pointcut:
+        """The pointcut selecting this aspect's join points.
+
+        Raises :class:`WeavingError` if the aspect was neither given a
+        pointcut nor overrides this method — the equivalent of trying to weave
+        an abstract aspect.
+        """
+        if self._pointcut is None:
+            raise WeavingError(
+                f"aspect {self.name!r} is abstract: give it a pointcut or override pointcut()"
+            )
+        return self._pointcut
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        """The advice; default behaviour proceeds unchanged."""
+        return joinpoint.proceed()
+
+    def describe(self) -> str:
+        try:
+            return f"{self.name}[{self.pointcut().describe()}]"
+        except WeavingError:
+            return f"{self.name}[abstract]"
+
+
+class ClassAspect(Aspect):
+    """An aspect applied to classes (inter-type declarations / field introductions)."""
+
+    abstraction: str | None = None
+
+    def matches_class(self, cls: type) -> bool:
+        """Whether the transform should be applied to ``cls``."""
+        raise NotImplementedError
+
+    def apply(self, cls: type) -> Callable[[], None]:
+        """Apply the transform to ``cls`` and return an undo callable."""
+        raise NotImplementedError
+
+
+class CompositeAspect(Aspect):
+    """An aspect bundling several inner aspects (OpenMP combined constructs).
+
+    The weaver weaves the inner aspects in the order returned by
+    :meth:`inner_aspects`; later aspects wrap earlier ones, so the last inner
+    aspect is the outermost advice.
+    """
+
+    def __init__(self, aspects: Iterable[Aspect], *, name: str | None = None) -> None:
+        super().__init__(name)
+        self._aspects = list(aspects)
+        if not self._aspects:
+            raise WeavingError(f"composite aspect {self.name!r} has no inner aspects")
+
+    def inner_aspects(self) -> list[Aspect]:
+        """The inner aspects, innermost first."""
+        return list(self._aspects)
+
+    def describe(self) -> str:
+        inner = ", ".join(a.describe() for a in self._aspects)
+        return f"{self.name}[{inner}]"
+
+
+def callable_or_value(value: Any) -> Callable[[], Any]:
+    """Normalise a configuration parameter that may be a value or a provider.
+
+    The paper configures aspects either through annotation parameters
+    (values) or by overriding methods in the concrete aspect (providers); this
+    helper lets the Python aspects accept both, e.g. ``threads=4`` or
+    ``threads=lambda: os.cpu_count()``.
+    """
+    if callable(value):
+        return value
+    return lambda: value

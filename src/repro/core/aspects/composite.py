@@ -1,0 +1,68 @@
+"""Combined constructs (paper Section III.D).
+
+OpenMP supports combined directives such as ``parallel for``; AOmpLib builds
+them by enclosing several aspects as inner aspects of a new abstract aspect.
+Here a :class:`~repro.core.aspects.base.CompositeAspect` plays that role: the
+weaver weaves the inner aspects in order, so the last one listed becomes the
+outermost advice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.aspects.base import CompositeAspect
+from repro.core.aspects.parallel_region import ParallelRegion
+from repro.core.aspects.worksharing import ForWorkSharing
+from repro.core.weaver.pointcut import Pointcut
+from repro.runtime.scheduler import Schedule
+
+
+class ParallelFor(CompositeAspect):
+    """``parallel for`` — a parallel region whose body is one work-shared loop.
+
+    Applied to a *for method*: each call creates a team, every member executes
+    the method with its share of the iteration range, and the region ends with
+    the implicit join.
+
+    Parameters mirror :class:`ParallelRegion` and :class:`ForWorkSharing`.
+    """
+
+    def __init__(
+        self,
+        pointcut: Pointcut,
+        *,
+        threads: "int | Callable[[], int] | None" = None,
+        schedule: "str | Schedule" = Schedule.STATIC_BLOCK,
+        chunk: int = 1,
+        weight: Callable[[int], float] | None = None,
+        name: str | None = None,
+    ) -> None:
+        worksharing = ForWorkSharing(
+            pointcut,
+            schedule=schedule,
+            chunk=chunk,
+            nowait=True,  # the region's own join replaces the loop barrier
+            weight=weight,
+            name=(name or "ParallelFor") + ".for",
+        )
+        region = ParallelRegion(
+            pointcut,
+            threads=threads,
+            name=(name or "ParallelFor") + ".region",
+        )
+        super().__init__([worksharing, region], name=name or "ParallelFor")
+        self.worksharing = worksharing
+        self.region = region
+
+
+class NestedParallelRegions(CompositeAspect):
+    """Several parallel-region aspects bundled for nested parallelism.
+
+    The paper notes that nested parallel regions are supported by including
+    multiple aspects extending the base parallel-region aspect in the build;
+    this helper simply bundles them so they can be woven together.
+    """
+
+    def __init__(self, *regions: ParallelRegion, name: str | None = None) -> None:
+        super().__init__(list(regions), name=name or "NestedParallelRegions")

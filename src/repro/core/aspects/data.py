@@ -1,0 +1,188 @@
+"""Data-sharing aspects: thread-local fields and reductions.
+
+``@ThreadLocalField[(id=name)]`` makes an object field per-thread: reads and
+writes performed inside a parallel region go to the calling thread's private
+copy, initialised from the shared value on a first read (paper Section III.C).
+``@Reduce[(id=name)]`` designates the join point at which the per-thread
+copies are merged back into the shared value using a reducer.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Callable, Iterable
+
+from repro.core.aspects.base import ClassAspect, MethodAspect
+from repro.core.weaver.joinpoint import JoinPoint
+from repro.core.weaver.pointcut import Pointcut
+from repro.runtime import context as ctx
+from repro.runtime.threadlocal import Reducer, ThreadLocalStore, global_thread_locals
+from repro.runtime.trace import EventKind
+from repro.runtime.exceptions import WeavingError
+
+
+class ThreadLocalFieldDescriptor:
+    """Data descriptor backing a thread-local field on a class.
+
+    Outside a parallel region it behaves like a normal attribute (the shared
+    value).  Inside a region each team member sees its own copy, lazily
+    initialised from the shared value on first read.
+    """
+
+    def __init__(self, field: str, store: ThreadLocalStore, copy_value: Callable[[Any], Any] | None) -> None:
+        self.field = field
+        self.store = store
+        self.copy_value = copy_value
+        self.private_name = f"__aomp_shared_{field}"
+
+    def __set_name__(self, owner: type, name: str) -> None:  # pragma: no cover - defensive
+        self.field = name
+
+    def __get__(self, instance: Any, owner: type | None = None) -> Any:
+        if instance is None:
+            return self
+        if ctx.in_parallel():
+            self.store.set_shared(instance, self.field, getattr(instance, self.private_name, None))
+            return self.store.read(instance, self.field, copy=self.copy_value)
+        return getattr(instance, self.private_name, None)
+
+    def __set__(self, instance: Any, value: Any) -> None:
+        if ctx.in_parallel():
+            self.store.write(instance, self.field, value)
+        else:
+            object.__setattr__(instance, self.private_name, value)
+
+    def reduce_into_shared(self, instance: Any, reducer: Reducer, *, include_shared: bool = True) -> Any:
+        """Merge the per-thread copies of ``instance``'s field into the shared value."""
+        merged = self.store.reduce(instance, self.field, reducer, include_shared=include_shared)
+        object.__setattr__(instance, self.private_name, merged)
+        return merged
+
+
+class ThreadLocalFieldAspect(ClassAspect):
+    """``@ThreadLocalField`` — introduce per-thread storage for a field.
+
+    Parameters
+    ----------
+    field:
+        Name of the instance attribute to make thread-local.
+    classes:
+        Classes the introduction applies to.  When weaving a module, any class
+        in this collection found in the module is transformed; when weaving a
+        class directly it must be in the collection (or the collection empty,
+        meaning "the woven class").
+    copy_value:
+        How to copy the shared value into a thread's initial private copy
+        (default: ``copy.deepcopy`` for mutable safety; pass ``None`` to share
+        references, or a custom callable such as ``np.copy``).
+    store:
+        Backing :class:`~repro.runtime.threadlocal.ThreadLocalStore`.
+    """
+
+    abstraction = "TLF"
+
+    def __init__(
+        self,
+        field: str,
+        *,
+        classes: Iterable[type] | None = None,
+        copy_value: Callable[[Any], Any] | None = _copy.deepcopy,
+        store: ThreadLocalStore | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"ThreadLocalField({field})")
+        self.field = field
+        self.classes = tuple(classes) if classes is not None else None
+        self.copy_value = copy_value
+        self.store = store if store is not None else global_thread_locals
+        self._descriptors: dict[type, ThreadLocalFieldDescriptor] = {}
+
+    def matches_class(self, cls: type) -> bool:
+        if self.classes is None:
+            return True
+        return cls in self.classes
+
+    def apply(self, cls: type) -> Callable[[], None]:
+        if isinstance(vars(cls).get(self.field), ThreadLocalFieldDescriptor):
+            raise WeavingError(f"field {self.field!r} of {cls.__name__} is already thread-local")
+        descriptor = ThreadLocalFieldDescriptor(self.field, self.store, self.copy_value)
+        previous = vars(cls).get(self.field, None)
+        had_previous = self.field in vars(cls)
+        setattr(cls, self.field, descriptor)
+        self._descriptors[cls] = descriptor
+
+        # Migrate existing class-level default (if any) into the descriptor's
+        # shared slot name so instances keep seeing it.
+        if had_previous and not callable(previous):
+            setattr(cls, descriptor.private_name, previous)
+
+        def undo() -> None:
+            if vars(cls).get(self.field) is descriptor:
+                if had_previous:
+                    setattr(cls, self.field, previous)
+                else:
+                    delattr(cls, self.field)
+            self._descriptors.pop(cls, None)
+
+        return undo
+
+    def descriptor_for(self, cls: type) -> ThreadLocalFieldDescriptor:
+        """Return the descriptor installed on ``cls`` (for the reduce aspect)."""
+        for klass in cls.__mro__:
+            if klass in self._descriptors:
+                return self._descriptors[klass]
+        raise WeavingError(f"{cls.__name__} has no thread-local field {self.field!r} from this aspect")
+
+    def reduce(self, instance: Any, reducer: Reducer, *, include_shared: bool = True) -> Any:
+        """Explicitly reduce ``instance``'s thread-local copies (programmatic ``@Reduce``)."""
+        descriptor = self.descriptor_for(type(instance))
+        return descriptor.reduce_into_shared(instance, reducer, include_shared=include_shared)
+
+
+class ReduceAspect(MethodAspect):
+    """``@Reduce[(id=name)]`` — merge thread-local copies at the matched join point.
+
+    After the matched method executes, the per-thread copies of the configured
+    thread-local field on the method's target object are merged into the
+    shared value by the reducer.  Executed only by the master member (so the
+    reduction happens once), after an implicit team barrier that guarantees
+    every member has finished producing its local value.
+    """
+
+    abstraction = "RED"
+
+    def __init__(
+        self,
+        pointcut: Pointcut | None = None,
+        *,
+        field_aspect: ThreadLocalFieldAspect,
+        reducer: Reducer,
+        include_shared: bool = True,
+        target_provider: Callable[[JoinPoint], Any] | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(pointcut, name=name)
+        self.field_aspect = field_aspect
+        self.reducer = reducer
+        self.include_shared = include_shared
+        self.target_provider = target_provider
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        result = joinpoint.proceed()
+        team = ctx.current_team()
+        if team is not None:
+            team.barrier(label=f"reduce:{joinpoint.qualified_name}")
+        context = ctx.current_context()
+        if context is None or context.is_master:
+            target = self.target_provider(joinpoint) if self.target_provider else joinpoint.target
+            if target is None:
+                raise WeavingError(
+                    f"reduce aspect on {joinpoint.qualified_name} has no target object; "
+                    "provide target_provider for module-level functions"
+                )
+            self.field_aspect.reduce(target, self.reducer, include_shared=self.include_shared)
+            if team is not None:
+                team.record(EventKind.REDUCTION, field=self.field_aspect.field, count=team.size)
+        if team is not None:
+            team.barrier(label=f"reduce-done:{joinpoint.qualified_name}")
+        return result

@@ -1,0 +1,122 @@
+"""Execution-shaping aspects: single, master, tasks and future tasks."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.aspects.base import MethodAspect
+from repro.core.weaver.joinpoint import JoinPoint
+from repro.core.weaver.pointcut import Pointcut
+from repro.runtime.single import MasterRegion, SingleRegion
+from repro.runtime.tasks import FutureResult, spawn_future, spawn_task, task_wait
+
+
+class SingleAspect(MethodAspect):
+    """``@Single`` — only the first-arriving team member executes the method.
+
+    When the method returns a value it is propagated to all team members
+    (``wait_for_value=True``, the paper's behaviour); with
+    ``wait_for_value=False`` the other members continue immediately and
+    receive ``None``.
+    """
+
+    abstraction = "SINGLE"
+
+    def __init__(self, pointcut: Pointcut | None = None, *, wait_for_value: bool = True, name: str | None = None) -> None:
+        super().__init__(pointcut, name=name)
+        self.wait_for_value = wait_for_value
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        region = SingleRegion(key=("single", joinpoint.qualified_name))
+        return region.run(joinpoint.proceed, wait_for_value=self.wait_for_value)
+
+
+class MasterAspect(MethodAspect):
+    """``@Master`` — only the master thread executes the method.
+
+    With ``broadcast=True`` (default, as in the paper) the master's return
+    value is propagated to every team member; with ``broadcast=False`` the
+    other members skip the call without waiting.
+    """
+
+    abstraction = "MA"
+
+    def __init__(self, pointcut: Pointcut | None = None, *, broadcast: bool = True, name: str | None = None) -> None:
+        super().__init__(pointcut, name=name)
+        self.broadcast = broadcast
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        region = MasterRegion(key=("master", joinpoint.qualified_name))
+        return region.run(joinpoint.proceed, broadcast=self.broadcast)
+
+
+class TaskAspect(MethodAspect):
+    """``@Task`` — spawn a new activity to execute the matched method.
+
+    The call returns immediately with a :class:`~repro.runtime.tasks.TaskHandle`.
+    Tasks are joined either through the handle, through a method advised by
+    :class:`TaskWaitAspect`, or by an explicit
+    :func:`repro.runtime.tasks.task_wait`.
+    """
+
+    abstraction = "TASK"
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        return spawn_task(joinpoint.proceed, name=joinpoint.qualified_name)
+
+
+class TaskWaitAspect(MethodAspect):
+    """``@TaskWait`` — join all tasks spawned in the current scope, then proceed.
+
+    The paper describes the task-wait method as "the join point between the
+    spawning and the spawned activity": every task spawned since the last
+    wait completes before the advised method runs.
+    """
+
+    abstraction = "TASKWAIT"
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        task_wait()
+        return joinpoint.proceed()
+
+
+class FutureTaskAspect(MethodAspect):
+    """``@FutureTask`` — spawn the method asynchronously and return a future.
+
+    The advised method must return a value; callers receive a
+    :class:`~repro.runtime.tasks.FutureResult` whose ``get()`` blocks until
+    the value is available (the ``@FutureResult`` synchronisation point).
+    """
+
+    abstraction = "FUTURE"
+
+    def around(self, joinpoint: JoinPoint) -> FutureResult:
+        return spawn_future(joinpoint.proceed, name=joinpoint.qualified_name)
+
+
+class FutureResultAspect(MethodAspect):
+    """``@FutureResult`` — make matched getters transparent over futures.
+
+    When the advised getter is called on an object holding a
+    :class:`~repro.runtime.tasks.FutureResult` in the attribute named by
+    ``attribute``, the getter blocks until the future resolves and the
+    resolved value replaces the future before proceeding.  This reproduces the
+    paper's pattern in which the getters/setters of the returned object act as
+    synchronisation points.
+    """
+
+    abstraction = "FUTURE"
+
+    def __init__(self, pointcut: Pointcut | None = None, *, attribute: str | None = None, name: str | None = None) -> None:
+        super().__init__(pointcut, name=name)
+        self.attribute = attribute
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        target = joinpoint.target
+        if target is not None:
+            attributes = [self.attribute] if self.attribute else list(vars(target))
+            for attr in attributes:
+                value = getattr(target, attr, None)
+                if isinstance(value, FutureResult):
+                    setattr(target, attr, value.get())
+        return joinpoint.proceed()

@@ -1,0 +1,69 @@
+"""The parallel-region aspect (paper Figures 4, 5 and 9).
+
+Executions of the methods selected by the pointcut become parallel regions: a
+team of threads is created, every member executes the method body, and the
+master waits for the others at the end of the region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.aspects.base import MethodAspect, callable_or_value
+from repro.core.weaver.joinpoint import JoinPoint
+from repro.core.weaver.pointcut import Pointcut
+from repro.runtime.backend import Backend
+from repro.runtime.team import parallel_region as run_parallel_region
+from repro.runtime.trace import TraceRecorder
+
+
+class ParallelRegion(MethodAspect):
+    """Turn matched method executions into parallel regions.
+
+    Parameters
+    ----------
+    pointcut:
+        The join points that become parallel regions (``parallelMethod()`` in
+        the paper's abstract aspect).  Concrete aspects may instead subclass
+        and override :meth:`pointcut`.
+    threads:
+        Team size — a value or a zero-argument provider.  ``None`` (default)
+        uses the global configuration, mirroring ``@Parallel`` without a
+        ``threads=`` parameter.  Subclasses may override :meth:`num_threads`
+        instead, exactly like defining ``int numThreads()`` in a concrete
+        AspectJ aspect.
+    backend, recorder:
+        Optional execution backend and trace recorder overrides.
+    """
+
+    abstraction = "PR"
+
+    def __init__(
+        self,
+        pointcut: Pointcut | None = None,
+        *,
+        threads: "int | Callable[[], int] | None" = None,
+        backend: Backend | None = None,
+        recorder: TraceRecorder | None = None,
+        region_name: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(pointcut, name=name)
+        self._threads = callable_or_value(threads)
+        self._backend = backend
+        self._recorder = recorder
+        self._region_name = region_name
+
+    def num_threads(self) -> int | None:
+        """Team size for regions created by this aspect (``None`` = configured default)."""
+        return self._threads()
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        region_name = self._region_name or joinpoint.qualified_name
+        return run_parallel_region(
+            joinpoint.proceed,
+            num_threads=self.num_threads(),
+            backend=self._backend,
+            recorder=self._recorder,
+            name=region_name,
+        )

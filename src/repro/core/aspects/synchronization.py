@@ -1,0 +1,135 @@
+"""Synchronisation aspects: critical sections, barriers and readers/writer locks."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.aspects.base import MethodAspect
+from repro.core.weaver.joinpoint import JoinPoint
+from repro.core.weaver.pointcut import Pointcut
+from repro.runtime import context as ctx
+from repro.runtime.critical import critical_call, reader_call, writer_call
+from repro.runtime.locks import LockRegistry, ReadWriteLock, global_locks
+
+
+class CriticalAspect(MethodAspect):
+    """``@Critical[(id=name)]`` — execute matched methods in mutual exclusion.
+
+    Lock selection follows the paper (Section III.C):
+
+    * ``lock_id`` given — a named lock, shared among type-unrelated objects
+      (and among multiple aspects using the same id);
+    * ``lock_id=None`` and ``use_captured_lock=True`` — the lock of the target
+      object, i.e. plain ``synchronized`` semantics
+      (``criticalUsingCapturedLock``);
+    * ``lock_id=None`` and ``use_captured_lock=False`` — one lock per aspect
+      instance (``criticalUsingSharedLock``), serialising all join points the
+      aspect matches.
+    """
+
+    abstraction = "CRIT"
+
+    def __init__(
+        self,
+        pointcut: Pointcut | None = None,
+        *,
+        lock_id: Hashable | None = None,
+        use_captured_lock: bool = False,
+        registry: LockRegistry | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(pointcut, name=name)
+        self.lock_id = lock_id
+        self.use_captured_lock = use_captured_lock
+        self.registry = registry if registry is not None else global_locks
+
+    def _key_for(self, joinpoint: JoinPoint) -> tuple[Hashable | None, object | None]:
+        if self.lock_id is not None:
+            return self.lock_id, None
+        if self.use_captured_lock:
+            target = joinpoint.target if joinpoint.target is not None else joinpoint.descriptor.owner
+            return None, target
+        # Shared lock per aspect instance.
+        return ("__aspect__", id(self)), None
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        key, target = self._key_for(joinpoint)
+        return critical_call(joinpoint.proceed, key=key, target=target, registry=self.registry)
+
+
+class BarrierBeforeAspect(MethodAspect):
+    """``@BarrierBefore`` — team barrier before the matched method executes."""
+
+    abstraction = "BR"
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        team = ctx.current_team()
+        if team is not None:
+            team.barrier(label=f"before:{joinpoint.qualified_name}")
+        return joinpoint.proceed()
+
+
+class BarrierAfterAspect(MethodAspect):
+    """``@BarrierAfter`` — team barrier after the matched method executes."""
+
+    abstraction = "BR"
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        try:
+            return joinpoint.proceed()
+        finally:
+            team = ctx.current_team()
+            if team is not None:
+                team.barrier(label=f"after:{joinpoint.qualified_name}")
+
+
+class ReaderAspect(MethodAspect):
+    """``@Reader`` — matched methods acquire a readers/writer lock for reading."""
+
+    abstraction = "RW"
+
+    def __init__(self, pointcut: Pointcut | None = None, *, rwlock: ReadWriteLock | None = None, name: str | None = None) -> None:
+        super().__init__(pointcut, name=name)
+        self.rwlock = rwlock if rwlock is not None else ReadWriteLock()
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        return reader_call(joinpoint.proceed, self.rwlock)
+
+
+class WriterAspect(MethodAspect):
+    """``@Writer`` — matched methods acquire a readers/writer lock exclusively."""
+
+    abstraction = "RW"
+
+    def __init__(self, pointcut: Pointcut | None = None, *, rwlock: ReadWriteLock | None = None, name: str | None = None) -> None:
+        super().__init__(pointcut, name=name)
+        self.rwlock = rwlock if rwlock is not None else ReadWriteLock()
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        return writer_call(joinpoint.proceed, self.rwlock)
+
+
+class ReadersWriterAspect:
+    """Convenience pairing of a :class:`ReaderAspect` and :class:`WriterAspect`
+    sharing one readers/writer lock — the paper's two-hook-point mechanism.
+
+    Not itself an aspect: call :meth:`reader_aspect` / :meth:`writer_aspect`
+    (or :meth:`aspects`) and weave the two returned aspects.
+    """
+
+    def __init__(self, reader_pointcut: Pointcut, writer_pointcut: Pointcut, *, rwlock: ReadWriteLock | None = None) -> None:
+        self.rwlock = rwlock if rwlock is not None else ReadWriteLock()
+        self._reader = ReaderAspect(reader_pointcut, rwlock=self.rwlock)
+        self._writer = WriterAspect(writer_pointcut, rwlock=self.rwlock)
+
+    def reader_aspect(self) -> ReaderAspect:
+        """The reader-side aspect."""
+        return self._reader
+
+    def writer_aspect(self) -> WriterAspect:
+        """The writer-side aspect."""
+        return self._writer
+
+    def aspects(self) -> list[MethodAspect]:
+        """Both aspects, ready to pass to ``Weaver.weave_all``."""
+        return [self._reader, self._writer]

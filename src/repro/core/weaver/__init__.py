@@ -1,0 +1,49 @@
+"""AOP machinery: join points, pointcuts and the weaver."""
+
+from repro.core.weaver.joinpoint import JoinPoint, MethodDescriptor
+from repro.core.weaver.pointcut import (
+    Pointcut,
+    all_of,
+    annotated,
+    any_of,
+    args,
+    call,
+    calls,
+    execution,
+    implements,
+    name,
+    subtype_of,
+    within,
+    EverythingPointcut,
+    NothingPointcut,
+)
+from repro.core.weaver.weaver import WeaveRecord, Weaver, is_woven, original_function
+from repro.core.weaver.registry import default_weaver, unweave, unweave_all, weave, woven_aspects
+
+__all__ = [
+    "JoinPoint",
+    "MethodDescriptor",
+    "Pointcut",
+    "EverythingPointcut",
+    "NothingPointcut",
+    "call",
+    "calls",
+    "execution",
+    "within",
+    "annotated",
+    "name",
+    "subtype_of",
+    "implements",
+    "args",
+    "any_of",
+    "all_of",
+    "Weaver",
+    "WeaveRecord",
+    "is_woven",
+    "original_function",
+    "default_weaver",
+    "weave",
+    "unweave",
+    "unweave_all",
+    "woven_aspects",
+]

@@ -1,0 +1,107 @@
+"""Join points: the points in a base program's execution that advice can act on.
+
+In AOmpLib "each mechanism acts upon a set of method calls in the base
+program (i.e., a joinpoint in AOP terminology)" — the join point model is
+*method execution*.  A :class:`JoinPoint` carries everything an ``around``
+advice needs: the intercepted callable, its target object (for bound
+methods), the actual arguments, and a ``proceed`` operation that invokes the
+next advice in the chain (or, at the innermost level, the original method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+
+_UNSET = object()
+
+
+@dataclass
+class MethodDescriptor:
+    """Static description of a weavable method: where it lives and what it is.
+
+    Attributes
+    ----------
+    owner:
+        The class or module object the method/function is defined on.
+    name:
+        Attribute name under which the callable is reachable on ``owner``.
+    func:
+        The *original* (unwrapped) function object.
+    """
+
+    owner: Any
+    name: str
+    func: Callable[..., Any]
+
+    @property
+    def owner_name(self) -> str:
+        """Name of the owning class/module (used by pointcut patterns)."""
+        return getattr(self.owner, "__name__", str(self.owner))
+
+    @property
+    def qualified_name(self) -> str:
+        """``Owner.method`` string used in pattern matching and diagnostics."""
+        return f"{self.owner_name}.{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MethodDescriptor({self.qualified_name})"
+
+
+@dataclass
+class JoinPoint:
+    """A single intercepted method execution.
+
+    ``args``/``kwargs`` exclude the implicit ``self`` of bound methods;
+    ``target`` carries it instead (``None`` for module-level functions and
+    static methods).
+    """
+
+    descriptor: MethodDescriptor
+    target: Any
+    args: tuple
+    kwargs: Mapping[str, Any]
+    _proceed: Callable[..., Any]
+    #: scratch area advice can use to pass information along the chain
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Name of the intercepted method."""
+        return self.descriptor.name
+
+    @property
+    def qualified_name(self) -> str:
+        """``Owner.method`` of the intercepted method."""
+        return self.descriptor.qualified_name
+
+    def proceed(self, *args: Any, _kwargs: Mapping[str, Any] | None = None, **kw_overrides: Any) -> Any:
+        """Invoke the rest of the advice chain / the original method.
+
+        Called with no arguments it forwards the original arguments (the
+        common case, as in AspectJ's ``proceed()``).  Positional arguments
+        replace the original positional arguments wholesale; keyword
+        arguments update the original keywords.
+        """
+        call_args = args if args else self.args
+        if _kwargs is not None:
+            call_kwargs = dict(_kwargs)
+        else:
+            call_kwargs = dict(self.kwargs)
+        if kw_overrides:
+            call_kwargs.update(kw_overrides)
+        if self.target is not None:
+            return self._proceed(self.target, *call_args, **call_kwargs)
+        return self._proceed(*call_args, **call_kwargs)
+
+    def with_args(self, *args: Any, **kwargs: Any) -> "JoinPoint":
+        """Return a copy of this join point with different arguments."""
+        return JoinPoint(
+            descriptor=self.descriptor,
+            target=self.target,
+            args=args if args else self.args,
+            kwargs=kwargs if kwargs else dict(self.kwargs),
+            _proceed=self._proceed,
+            extras=dict(self.extras),
+        )

@@ -1,0 +1,41 @@
+"""Process-wide default weaver.
+
+The paper's load-time weaving applies aspects globally (the aspect weaver is
+installed as a Java agent); this module provides the equivalent convenience:
+a default :class:`~repro.core.weaver.weaver.Weaver` instance plus module-level
+``weave``/``unweave``/``unweave_all`` functions.  Libraries that need isolated
+weaving sessions (tests, the experiment harness) should instantiate their own
+weaver instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.weaver.weaver import WeaveRecord, Weaver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.aspects.base import Aspect
+
+#: process-wide default weaver
+default_weaver = Weaver()
+
+
+def weave(aspect: Aspect, *targets: Any) -> list[WeaveRecord]:
+    """Weave ``aspect`` into ``targets`` using the default weaver."""
+    return default_weaver.weave(aspect, *targets)
+
+
+def unweave(aspect: Aspect) -> int:
+    """Unweave ``aspect`` from the default weaver."""
+    return default_weaver.unweave(aspect)
+
+
+def unweave_all() -> int:
+    """Undo every weave performed through the default weaver."""
+    return default_weaver.unweave_all()
+
+
+def woven_aspects() -> list[Aspect]:
+    """Aspects currently woven through the default weaver."""
+    return default_weaver.woven_aspects()

@@ -1,0 +1,161 @@
+"""Figure 13 reproduction — JGF-MT vs AOmp speedups on the two paper machines.
+
+The paper reports, for eight JGF benchmarks on an i7 (8 threads) and a dual
+Xeon X5650 (24 threads), that the speedup of the AOmp (aspect) version is
+within 1% of the hand-written Java-thread (JGF-MT) version, and that LUFact
+and SOR scale poorly because of their memory-access locality.
+
+Reproduction recipe (see DESIGN.md for the substitution argument): each
+benchmark's AOmp version is executed once with a team of one (calibration) and
+once per machine configuration with the full team (parallel trace); the traces
+are replayed against the calibrated cost model and the modelled machines.  The
+AOmp bar additionally pays the measured per-join-point interception overhead;
+the JGF-MT bar does not.
+
+Run with ``python -m repro.experiments.figure13 [--size small]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Mapping
+
+from repro.experiments.harness import calibrate_cost_model_from_trace, estimate_jgf_and_aomp
+from repro.jgf import BENCHMARKS
+from repro.perf.cost import triangular_weight
+from repro.perf.machines import PAPER_MACHINES, MachineModel
+from repro.perf.report import SpeedupReport, format_bar_chart
+from repro.runtime.config import config_override
+from repro.runtime.trace import TraceRecorder
+
+#: Fraction of each benchmark's loop time that is memory-bandwidth-bound.
+#: These express the paper's qualitative remark that LUFact and SOR "scale
+#: poorly due to the lack of locality of memory accesses"; the other kernels
+#: are compute-bound.  Values are coarse (0 = fully compute bound).
+MEMORY_BOUND_FRACTIONS: Mapping[str, float] = {
+    "LUFact": 0.55,
+    "SOR": 0.65,
+    "Sparse": 0.45,
+    "Crypt": 0.05,
+    "Series": 0.0,
+    "MolDyn": 0.10,
+    "MonteCarlo": 0.0,
+    "RayTracer": 0.05,
+}
+
+#: Paper-reported speedups (read from Figure 13) used for shape comparison in
+#: EXPERIMENTS.md.  Keys: (benchmark, machine key).
+PAPER_REPORTED = {
+    ("Crypt", "i7-8threads"): 4.0,
+    ("Crypt", "xeon-24threads"): 8.0,
+    ("LUFact", "i7-8threads"): 2.0,
+    ("LUFact", "xeon-24threads"): 3.0,
+    ("Series", "i7-8threads"): 4.5,
+    ("Series", "xeon-24threads"): 16.0,
+    ("SOR", "i7-8threads"): 2.5,
+    ("SOR", "xeon-24threads"): 4.0,
+    ("Sparse", "i7-8threads"): 3.0,
+    ("Sparse", "xeon-24threads"): 5.0,
+    ("MolDyn", "i7-8threads"): 4.5,
+    ("MolDyn", "xeon-24threads"): 11.0,
+    ("MonteCarlo", "i7-8threads"): 4.0,
+    ("MonteCarlo", "xeon-24threads"): 10.0,
+    ("RayTracer", "i7-8threads"): 4.5,
+    ("RayTracer", "xeon-24threads"): 12.0,
+}
+
+
+def _weight_fns_for(benchmark: str, size: "str | int") -> dict:
+    """Per-iteration weight functions for loops with non-uniform cost."""
+    if benchmark == "MolDyn":
+        module = BENCHMARKS["MolDyn"]
+        n = module.SIZES[size] if isinstance(size, str) else int(size)
+        return {"compute_forces": triangular_weight(n)}
+    return {}
+
+
+def run_benchmark(
+    benchmark: str,
+    *,
+    size: "str | int" = "small",
+    machines: Mapping[str, tuple[MachineModel, int]] | None = None,
+    advice_cost: "float | None | str" = "modelled",
+) -> list:
+    """Estimate JGF/AOmp speedups for one benchmark on every machine configuration.
+
+    ``advice_cost="modelled"`` (default) prices each advice activation at the
+    modelled AspectJ/JIT cost; ``advice_cost=None`` uses the measured cost of
+    this library's Python wrappers; a float uses that value directly.
+    """
+    module = BENCHMARKS[benchmark]
+    machines = dict(machines or PAPER_MACHINES)
+    weight_fns = _weight_fns_for(benchmark, size)
+    memory_fraction = MEMORY_BOUND_FRACTIONS.get(benchmark, 0.0)
+
+    # 1. calibration run: team of one, accurate per-loop timings.
+    calibration = TraceRecorder()
+    with config_override(num_threads=1):
+        module.run_aomp(size, num_threads=1, recorder=calibration)
+    memory_bound = {loop: memory_fraction for loop in calibration.loops()}
+    cost_model = calibrate_cost_model_from_trace(
+        calibration, weight_fns=weight_fns, memory_bound_fractions=memory_bound
+    )
+
+    from repro.experiments.harness import MODELLED_ASPECTJ_ADVICE_COST
+
+    resolved_cost = MODELLED_ASPECTJ_ADVICE_COST if advice_cost == "modelled" else advice_cost
+
+    estimates = []
+    for key, (machine, threads) in machines.items():
+        parallel_trace = TraceRecorder()
+        module.run_aomp(size, num_threads=threads, recorder=parallel_trace)
+        estimate = estimate_jgf_and_aomp(
+            benchmark, parallel_trace, cost_model, machine, threads, advice_cost=resolved_cost
+        )
+        estimates.append((key, estimate))
+    return estimates
+
+
+def run(
+    size: "str | int" = "small",
+    benchmarks: list[str] | None = None,
+    machines=None,
+    advice_cost: "float | None | str" = "modelled",
+) -> SpeedupReport:
+    """Reproduce Figure 13 and return the speedup report."""
+    report = SpeedupReport("Figure 13 - speedup of JGF-MT vs AOmp parallelisations (modelled machines)")
+    names = benchmarks or list(BENCHMARKS)
+    for benchmark in names:
+        for key, estimate in run_benchmark(benchmark, size=size, machines=machines, advice_cost=advice_cost):
+            report.add(f"JGF {key}", benchmark, estimate.jgf, difference=estimate.relative_difference)
+            report.add(f"AOmp {key}", benchmark, estimate.aomp, difference=estimate.relative_difference)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="small", help="problem size name (tiny/small/a)")
+    parser.add_argument("--benchmark", action="append", help="restrict to specific benchmarks")
+    parser.add_argument(
+        "--python-advice-cost",
+        action="store_true",
+        help="charge the measured Python wrapper cost per advice activation instead of the modelled AspectJ cost",
+    )
+    args = parser.parse_args(argv)
+    report = run(size=args.size, benchmarks=args.benchmark, advice_cost=None if args.python_advice_cost else "modelled")
+    print(report.to_table())
+    print()
+    for configuration in report.configurations():
+        if configuration.startswith("AOmp"):
+            series = {b: report.speedup(configuration, b) for b in report.benchmarks()}
+            print(configuration)
+            print(format_bar_chart(series))
+            print()
+    # The paper's headline claim: JGF and AOmp differ by less than 1%.
+    worst = max(entry.get("difference", 0.0) for entry in report.entries)
+    print(f"largest JGF-vs-AOmp relative difference: {worst * 100:.3f}% (paper reports < 1%)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

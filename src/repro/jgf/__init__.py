@@ -1,0 +1,43 @@
+"""Python port of the Java Grande Forum (JGF) benchmarks used in the paper's evaluation.
+
+Eight benchmarks (Sections 2 and 3 of the JGF suite, matching the paper's
+Figure 13): Crypt, LUFact, Series, SOR, SparseMatMult, MolDyn, MonteCarlo and
+RayTracer.  Each benchmark package exposes
+
+* ``run_sequential(size)`` — the refactored sequential base program;
+* ``run_threaded(size, num_threads)`` — the invasive JGF-MT parallelisation;
+* ``run_aomp(size, num_threads, recorder)`` — the AOmp (aspect) parallelisation;
+* ``build_aspects(num_threads)`` — the aspect bundle (Table 2 accounting);
+* ``INFO`` — refactorings and abstractions as reported in the paper's Table 2;
+* ``SIZES`` — named problem sizes ("tiny" for tests, "small" default, "a").
+"""
+
+from repro.jgf import crypt, lufact, moldyn, montecarlo, raytracer, series, sor, sparse
+from repro.jgf.common import BenchmarkInfo, BenchmarkResult, values_match
+
+#: Benchmark registry in the order the paper's Figure 13 lists them.
+BENCHMARKS = {
+    "Crypt": crypt,
+    "LUFact": lufact,
+    "Series": series,
+    "SOR": sor,
+    "Sparse": sparse,
+    "MolDyn": moldyn,
+    "MonteCarlo": montecarlo,
+    "RayTracer": raytracer,
+}
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkInfo",
+    "BenchmarkResult",
+    "values_match",
+    "crypt",
+    "lufact",
+    "moldyn",
+    "montecarlo",
+    "raytracer",
+    "series",
+    "sor",
+    "sparse",
+]

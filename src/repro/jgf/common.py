@@ -1,0 +1,148 @@
+"""Common infrastructure for the JGF benchmark ports.
+
+Every benchmark package exposes the same surface:
+
+* a *sequential* kernel class whose loops have already been refactored into
+  *for methods* (the paper's M2FOR/M2M refactorings, Table 2);
+* a ``run_threaded`` driver reproducing the invasive JGF-MT parallelisation
+  (explicit threads, manual loop partitioning, hand-placed barriers);
+* an ``run_aomp`` driver that composes the *unchanged* sequential kernel with
+  PyAOmpLib aspects;
+* a :class:`BenchmarkInfo` record used by the Table 2 reproduction.
+
+``BenchmarkResult`` objects carry both the numerical result (for validation)
+and the execution trace (for the performance model).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.runtime.trace import TraceRecorder
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark execution."""
+
+    name: str
+    mode: str                      # "sequential" | "threaded" | "aomp" | variant name
+    size: str | int
+    value: Any                     # validation value (checksum, residual, ...)
+    elapsed: float                 # wall-clock seconds (GIL-bound; informational)
+    num_threads: int = 1
+    recorder: TraceRecorder | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def validates_against(self, other: "BenchmarkResult", tolerance: float = 1e-8) -> bool:
+        """Whether this result numerically agrees with ``other``."""
+        return values_match(self.value, other.value, tolerance)
+
+
+def values_match(left: Any, right: Any, tolerance: float = 1e-8) -> bool:
+    """Structural numeric comparison used for cross-version validation."""
+    import numpy as np
+
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return False
+        return all(values_match(l, r, tolerance) for l, r in zip(left, right))
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return bool(np.allclose(left, right, rtol=tolerance, atol=tolerance))
+    if isinstance(left, float) or isinstance(right, float):
+        scale = max(abs(float(left)), abs(float(right)), 1.0)
+        return abs(float(left) - float(right)) <= tolerance * scale
+    return left == right
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Static description of a benchmark used by the Table 2 reproduction.
+
+    ``refactorings`` uses the paper's codes: ``M2M`` (move statements to a
+    method) and ``M2FOR`` (move a loop into a for method).  ``abstractions``
+    lists the paper's abbreviations (PR, FOR(block|cyclic|...), BR, MA, TLF,
+    CS) — the Table 2 experiment cross-checks these against the aspects the
+    AOmp driver actually weaves.
+    """
+
+    name: str
+    refactorings: tuple[str, ...]
+    abstractions: tuple[str, ...]
+    description: str = ""
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+#: Problem sizes per benchmark.  JGF defines sizes A/B/C; this reproduction
+#: adds a "tiny" size for tests and scales A down to laptop-friendly values
+#: (the actual values used per experiment are recorded in EXPERIMENTS.md).
+SIZE_NAMES = ("tiny", "small", "a")
+
+
+def resolve_size(sizes: Mapping[str, Any], size: "str | int | None", default: str = "small") -> Any:
+    """Resolve a size name (or pass through an explicit numeric size)."""
+    if size is None:
+        return sizes[default]
+    if isinstance(size, str):
+        try:
+            return sizes[size]
+        except KeyError as exc:
+            raise KeyError(f"unknown size {size!r}; expected one of {sorted(sizes)}") from exc
+    return size
+
+
+def spawn_jgf_threads(worker: Callable[[int, int, threading.Barrier], None], num_threads: int) -> None:
+    """Run ``worker(thread_id, num_threads, barrier)`` on explicit threads.
+
+    This is the *traditional* JGF-MT parallelisation style the paper argues
+    against: thread creation, work distribution and synchronisation are
+    hand-written and entangled with the benchmark driver.  The master (thread
+    id 0) runs on the calling thread, as in the JGF sources.  Worker
+    exceptions are re-raised on the caller after all threads have been joined.
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    barrier = threading.Barrier(num_threads)
+    failures: list[BaseException] = []
+    failure_lock = threading.Lock()
+
+    def run(thread_id: int) -> None:
+        try:
+            worker(thread_id, num_threads, barrier)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with failure_lock:
+                failures.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=run, args=(tid,), daemon=True) for tid in range(1, num_threads)]
+    for thread in threads:
+        thread.start()
+    run(0)
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+def block_range(total_start: int, total_end: int, step: int, thread_id: int, num_threads: int) -> tuple[int, int]:
+    """JGF-style block partition of ``range(total_start, total_end, step)``.
+
+    Returns the (start, end) sub-range for ``thread_id``; the step is shared.
+    Used by the hand-written threaded baselines.
+    """
+    total = len(range(total_start, total_end, step))
+    base, extra = divmod(total, num_threads)
+    begin_index = thread_id * base + min(thread_id, extra)
+    count = base + (1 if thread_id < extra else 0)
+    start = total_start + begin_index * step
+    end = start + count * step
+    return start, end

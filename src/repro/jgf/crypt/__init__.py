@@ -1,0 +1,6 @@
+"""JGF Crypt benchmark (IDEA encryption)."""
+
+from repro.jgf.crypt.kernel import CryptBenchmark, IDEACipher
+from repro.jgf.crypt.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = ["CryptBenchmark", "IDEACipher", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]

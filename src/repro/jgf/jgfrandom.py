@@ -1,0 +1,49 @@
+"""Deterministic linear-congruential random generator.
+
+The Java Grande Forum benchmarks use a simple LCG ("Random" from the original
+Linpack/Scimark sources) so that every language port produces the same input
+data and validation values.  This is a faithful Python port of that generator
+(48-bit arithmetic like ``java.util.Random`` is *not* used; JGF's own
+generator is the 2^31-1 Park-Miller style generator below).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class JGFRandom:
+    """JGF/Scimark-style linear congruential generator producing doubles in [left, right)."""
+
+    _M = 2147483647  # 2^31 - 1
+    _A = 16807       # Park-Miller multiplier
+
+    def __init__(self, seed: int = 123456789, left: float = 0.0, right: float = 1.0) -> None:
+        if seed <= 0:
+            raise ValueError("seed must be positive")
+        self._seed = seed % self._M or 1
+        self.left = left
+        self.width = right - left
+
+    def next_int(self) -> int:
+        """Next raw integer state in [1, 2^31 - 2]."""
+        self._seed = (self._A * self._seed) % self._M
+        return self._seed
+
+    def next_double(self) -> float:
+        """Next double in [left, right)."""
+        return self.left + self.width * (self.next_int() / self._M)
+
+    def doubles(self, count: int) -> np.ndarray:
+        """Vector of ``count`` doubles in [left, right)."""
+        out = np.empty(count, dtype=np.float64)
+        for i in range(count):
+            out[i] = self.next_double()
+        return out
+
+    def ints(self, count: int, modulo: int) -> np.ndarray:
+        """Vector of ``count`` non-negative integers below ``modulo``."""
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = self.next_int() % modulo
+        return out

@@ -1,0 +1,118 @@
+"""MolDyn benchmark drivers: sequential, JGF-MT threaded, and AOmp versions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
+from repro.jgf.moldyn.kernel import MolDyn, fcc_particle_count
+from repro.jgf.moldyn.variants import STRATEGIES, build_aspects, run_variant
+from repro.runtime.trace import TraceRecorder
+
+#: Problem sizes (particle counts, fcc lattices).  JGF size A is 2048 particles;
+#: Figure 15 additionally uses 864, 8788, 19652, 256k and 500k.
+SIZES = {"tiny": fcc_particle_count(3), "small": fcc_particle_count(4), "a": fcc_particle_count(6)}
+MOVES = {"tiny": 2, "small": 2, "a": 2}
+
+INFO = BenchmarkInfo(
+    name="MolDyn",
+    refactorings=("M2FOR", "3xM2M"),
+    abstractions=("PR", "FOR(cyclic)", "2xTLF"),
+    description="Lennard-Jones molecular dynamics; Newton's-third-law force race.",
+)
+
+
+def _moves_for(size: "str | int") -> int:
+    return MOVES.get(size, 2) if isinstance(size, str) else 2
+
+
+def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+    """Run the plain sequential base program."""
+    n = resolve_size(SIZES, size)
+    kernel = MolDyn(n, moves=_moves_for(size))
+    value, elapsed = timed(kernel.runiters)
+    return BenchmarkResult("MolDyn", "sequential", size, value, elapsed)
+
+
+def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
+    """JGF-MT style: explicit threads, cyclic force distribution, per-thread force
+    arrays reduced by hand — the invasive structure of the paper's Figure 3."""
+    n = resolve_size(SIZES, size)
+    moves = _moves_for(size)
+    kernel = MolDyn(n, moves=moves)
+    local_forces = [np.zeros((n, 3)) for _ in range(num_threads)]
+    local_energy = [np.zeros(2) for _ in range(num_threads)]
+
+    def worker(thread_id: int, total_threads: int, barrier) -> None:
+        for _ in range(moves):
+            # Block-partitioned position update.
+            per = (n + total_threads - 1) // total_threads
+            start = min(thread_id * per, n)
+            end = min(start + per, n)
+            kernel.advance_positions(start, end, 1)
+            barrier.wait()
+            if thread_id == 0:
+                kernel.zero_forces()
+            my_forces = local_forces[thread_id]
+            my_energy = local_energy[thread_id]
+            my_forces[:] = 0.0
+            my_energy[:] = 0.0
+            barrier.wait()
+            # Cyclic force sweep accumulating into the thread's private arrays
+            # (the green code of the paper's Figure 3).
+            for i in range(thread_id, n, total_threads):
+                computed = kernel.pair_interactions(i)
+                if computed is None:
+                    continue
+                j_indices, pair_forces, potential, virial = computed
+                my_forces[i] += pair_forces.sum(axis=0)
+                np.subtract.at(my_forces, j_indices, pair_forces)
+                my_energy += (potential, virial)
+            barrier.wait()
+            if thread_id == 0:
+                kernel.forces[:] = sum(local_forces)
+                kernel.energy[:] = sum(local_energy)
+            barrier.wait()
+            kernel.update_velocities(start, end, 1)
+            barrier.wait()
+            kernel.measure_energy()
+            barrier.wait()
+
+    def drive() -> float:
+        spawn_jgf_threads(worker, num_threads)
+        return kernel.checksum()
+
+    value, elapsed = timed(drive)
+    return BenchmarkResult("MolDyn", "threaded", size, value, elapsed, num_threads=num_threads)
+
+
+def run_aomp(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    *,
+    strategy: str = "jgf",
+    lock_mode: str = "modelled",
+) -> BenchmarkResult:
+    """AOmp style: attach one of the Figure 15 strategy bundles to the unchanged kernel."""
+    n = resolve_size(SIZES, size)
+    (kernel, value), elapsed = timed(
+        lambda: run_variant(
+            strategy,
+            n,
+            num_threads=num_threads,
+            moves=_moves_for(size),
+            recorder=recorder,
+            lock_mode=lock_mode,
+        )
+    )
+    return BenchmarkResult(
+        "MolDyn",
+        f"aomp-{strategy}" if strategy != "jgf" else "aomp",
+        size,
+        value,
+        elapsed,
+        num_threads=num_threads,
+        recorder=recorder,
+        details={"strategy": strategy},
+    )

@@ -1,0 +1,6 @@
+"""JGF MonteCarlo benchmark (financial Monte Carlo simulation)."""
+
+from repro.jgf.montecarlo.kernel import MonteCarloPaths
+from repro.jgf.montecarlo.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = ["MonteCarloPaths", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]

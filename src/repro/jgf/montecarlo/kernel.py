@@ -1,0 +1,72 @@
+"""JGF MonteCarlo benchmark — financial Monte Carlo simulation.
+
+Generates ``n_runs`` independent sample paths of an asset price under
+geometric Brownian motion (each path seeded deterministically from its run
+index, as the JGF kernel derives each task from the historical rate data plus
+the run number), computes the expected return of each path, and finally
+aggregates the per-run results.  The run loop is the for method; each run
+writes only its own slot of the result vector, so the loop is embarrassingly
+parallel and the paper's Table 2 lists just PR + FOR(cyclic) for it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.jgf.jgfrandom import JGFRandom
+
+
+class MonteCarloPaths:
+    """Refactored sequential Monte Carlo kernel."""
+
+    #: Initial asset price, drift and volatility of the simulated GBM process
+    #: (values follow the JGF rate-file derived parameters in spirit).
+    S0 = 100.0
+    MU = 0.03
+    SIGMA = 0.2
+    DT = 1.0 / 252.0
+
+    def __init__(self, n_runs: int, path_length: int = 250, seed: int = 9009) -> None:
+        if n_runs < 1:
+            raise ValueError("need at least one Monte Carlo run")
+        self.n_runs = n_runs
+        self.path_length = path_length
+        self.base_seed = seed
+        #: per-run expected returns; slot i is written only by run i
+        self.results = np.zeros(n_runs, dtype=np.float64)
+
+    # -- base program -----------------------------------------------------------
+
+    def run(self) -> float:
+        """Simulate every path and aggregate (the parallel-region method)."""
+        self.run_samples(0, self.n_runs, 1)
+        return self.aggregate()
+
+    def run_samples(self, start: int, end: int, step: int) -> None:
+        """For method: simulate sample paths ``start <= i < end``."""
+        for i in range(start, end, step):
+            self.results[i] = self._simulate_path(i)
+
+    def _simulate_path(self, run_index: int) -> float:
+        """Simulate one GBM path and return its annualised expected return."""
+        rng = JGFRandom(self.base_seed + 7919 * (run_index + 1))
+        drift = (self.MU - 0.5 * self.SIGMA**2) * self.DT
+        vol = self.SIGMA * math.sqrt(self.DT)
+        log_price = math.log(self.S0)
+        log_start = log_price
+        for _ in range(self.path_length):
+            # Box-Muller from two LCG uniforms gives a deterministic normal.
+            u1 = max(rng.next_double(), 1e-12)
+            u2 = rng.next_double()
+            gauss = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+            log_price += drift + vol * gauss
+        total_return = log_price - log_start
+        return total_return / (self.path_length * self.DT)
+
+    # -- validation ------------------------------------------------------------------
+
+    def aggregate(self) -> float:
+        """Validation value: the mean expected return over all runs."""
+        return float(self.results.mean())

@@ -1,0 +1,66 @@
+"""MonteCarlo benchmark drivers: sequential, JGF-MT threaded, and AOmp versions."""
+
+from __future__ import annotations
+
+from repro.core import ForCyclic, ParallelRegion, Weaver, call
+from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
+from repro.jgf.montecarlo.kernel import MonteCarloPaths
+from repro.runtime.trace import TraceRecorder
+
+#: Problem sizes (number of Monte Carlo runs).  JGF size A is 10 000 runs.
+SIZES = {"tiny": 24, "small": 200, "a": 2000}
+
+INFO = BenchmarkInfo(
+    name="MonteCarlo",
+    refactorings=("M2FOR", "M2M"),
+    abstractions=("PR", "FOR(cyclic)"),
+    description="Monte Carlo simulation of GBM price paths; independent runs.",
+)
+
+
+def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+    """Run the plain sequential base program."""
+    n = resolve_size(SIZES, size)
+    kernel = MonteCarloPaths(n)
+    value, elapsed = timed(kernel.run)
+    return BenchmarkResult("MonteCarlo", "sequential", size, value, elapsed)
+
+
+def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
+    """JGF-MT style: explicit threads with a hand-coded cyclic distribution."""
+    n = resolve_size(SIZES, size)
+    kernel = MonteCarloPaths(n)
+
+    def worker(thread_id: int, total_threads: int, barrier) -> None:
+        # Cyclic distribution exactly as the JGF MT version writes it.
+        for i in range(thread_id, n, total_threads):
+            kernel.results[i] = kernel._simulate_path(i)  # noqa: SLF001 - invasive by design
+        barrier.wait()
+
+    def drive() -> float:
+        spawn_jgf_threads(worker, num_threads)
+        return kernel.aggregate()
+
+    value, elapsed = timed(drive)
+    return BenchmarkResult("MonteCarlo", "threaded", size, value, elapsed, num_threads=num_threads)
+
+
+def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+    """The aspect modules composing the MonteCarlo parallelisation (Table 2 row)."""
+    return [
+        ForCyclic(call("MonteCarloPaths.run_samples")),
+        ParallelRegion(call("MonteCarloPaths.run"), threads=num_threads, recorder=recorder),
+    ]
+
+
+def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+    """AOmp style: weave the aspects onto the unchanged sequential kernel."""
+    n = resolve_size(SIZES, size)
+    kernel = MonteCarloPaths(n)
+    weaver = Weaver()
+    weaver.weave_all(build_aspects(num_threads, recorder), MonteCarloPaths)
+    try:
+        value, elapsed = timed(kernel.run)
+    finally:
+        weaver.unweave_all()
+    return BenchmarkResult("MonteCarlo", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)

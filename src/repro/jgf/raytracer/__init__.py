@@ -1,0 +1,6 @@
+"""JGF RayTracer benchmark (sphere-scene renderer)."""
+
+from repro.jgf.raytracer.kernel import RayTracer, Scene
+from repro.jgf.raytracer.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = ["RayTracer", "Scene", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]

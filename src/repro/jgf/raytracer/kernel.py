@@ -1,0 +1,136 @@
+"""JGF RayTracer benchmark — 3D sphere scene renderer.
+
+Renders an ``N x N`` image of a scene of spheres lit by a single point light,
+producing a pixel checksum as the validation value (the JGF kernel validates
+the same way).  The scanline loop is the benchmark's for method; scanlines
+near the sphere cluster are more expensive than background lines, which is why
+the JGF (and Table 2) parallelisation uses a cyclic distribution.
+
+The per-thread checksum accumulator is the benchmark's thread-local field
+(Table 2 lists TLF for RayTracer): the sequential base program accumulates
+into ``self.checksum``; the AOmp parallelisation makes that field thread-local
+and reduces it at the end of the render.
+
+Rendering model (simplified from the JGF original, which adds shadows and
+recursive reflections): ambient plus Lambertian diffuse and Blinn-Phong
+specular shading from the single light, nearest-sphere intersection per ray.
+The simplification keeps the per-scanline cost profile (dominated by the
+ray/sphere intersection tests) while staying tractable in pure Python; both
+the JGF-MT and AOmp versions render the identical scene, so the comparison
+between parallelisation styles is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jgf.jgfrandom import JGFRandom
+
+
+class Scene:
+    """A grid of reflective spheres above a dark background, one point light."""
+
+    def __init__(self, n_spheres_per_edge: int = 4, seed: int = 3111) -> None:
+        rng = JGFRandom(seed)
+        count = n_spheres_per_edge**2
+        centers = []
+        colours = []
+        radii = []
+        spacing = 3.0
+        offset = -spacing * (n_spheres_per_edge - 1) / 2.0
+        for i in range(n_spheres_per_edge):
+            for j in range(n_spheres_per_edge):
+                centers.append(
+                    (
+                        offset + i * spacing + rng.next_double() - 0.5,
+                        offset + j * spacing + rng.next_double() - 0.5,
+                        10.0 + 4.0 * rng.next_double(),
+                    )
+                )
+                colours.append((0.3 + 0.7 * rng.next_double(), 0.3 + 0.7 * rng.next_double(), 0.3 + 0.7 * rng.next_double()))
+                radii.append(1.0 + 0.5 * rng.next_double())
+        self.centers = np.array(centers, dtype=np.float64)
+        self.colours = np.array(colours, dtype=np.float64)
+        self.radii = np.array(radii, dtype=np.float64)
+        self.light = np.array([-10.0, 15.0, -5.0])
+        self.eye = np.array([0.0, 0.0, -12.0])
+        self.ambient = 0.12
+        self.n_spheres = count
+
+
+class RayTracer:
+    """Refactored sequential ray tracer kernel."""
+
+    def __init__(self, image_size: int, seed: int = 3111) -> None:
+        if image_size < 4:
+            raise ValueError("image must be at least 4x4")
+        self.size = image_size
+        self.scene = Scene(seed=seed)
+        self.image = np.zeros((image_size, image_size), dtype=np.float64)
+        #: accumulated pixel checksum — the thread-local field of Table 2
+        self.checksum = 0.0
+
+    # -- base program -----------------------------------------------------------
+
+    def render(self) -> float:
+        """Render every scanline (the parallel-region method)."""
+        self.render_rows(0, self.size, 1)
+        return self.checksum
+
+    def render_rows(self, start: int, end: int, step: int) -> None:
+        """For method: render scanlines ``start <= y < end``."""
+        for y in range(start, end, step):
+            row_value = self._render_row(y)
+            self.checksum = self.checksum + row_value
+
+    def _render_row(self, y: int) -> float:
+        """Render scanline ``y``; returns the row's contribution to the checksum."""
+        scene = self.scene
+        n = self.size
+        # Screen plane at z = 0 spanning [-8, 8] in both axes.
+        span = 8.0
+        ys = span * (2.0 * y / (n - 1) - 1.0)
+        xs = span * (2.0 * np.arange(n) / (n - 1) - 1.0)
+        pixels = np.stack([xs, np.full(n, ys), np.zeros(n)], axis=1)
+        directions = pixels - scene.eye
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+
+        nearest_t = np.full(n, np.inf)
+        nearest_sphere = np.full(n, -1, dtype=np.int64)
+        for s in range(scene.n_spheres):
+            oc = scene.eye - scene.centers[s]
+            b = 2.0 * directions @ oc
+            c = float(oc @ oc) - scene.radii[s] ** 2
+            disc = b * b - 4.0 * c
+            hit = disc > 0.0
+            sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+            t = (-b - sqrt_disc) / 2.0
+            valid = hit & (t > 1e-6) & (t < nearest_t)
+            nearest_t = np.where(valid, t, nearest_t)
+            nearest_sphere = np.where(valid, s, nearest_sphere)
+
+        shade = np.zeros(n)
+        hit_mask = nearest_sphere >= 0
+        if np.any(hit_mask):
+            hit_idx = np.nonzero(hit_mask)[0]
+            spheres = nearest_sphere[hit_idx]
+            points = scene.eye + directions[hit_idx] * nearest_t[hit_idx, None]
+            normals = points - scene.centers[spheres]
+            normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+            to_light = scene.light - points
+            to_light /= np.linalg.norm(to_light, axis=1, keepdims=True)
+            diffuse = np.clip(np.sum(normals * to_light, axis=1), 0.0, None)
+            half = to_light - directions[hit_idx]
+            half /= np.linalg.norm(half, axis=1, keepdims=True)
+            specular = np.clip(np.sum(normals * half, axis=1), 0.0, None) ** 16
+            intensity = scene.ambient + 0.75 * diffuse + 0.4 * specular
+            brightness = scene.colours[spheres].mean(axis=1)
+            shade[hit_idx] = intensity * brightness
+        self.image[y, :] = shade
+        return float(shade.sum())
+
+    # -- validation ------------------------------------------------------------------
+
+    def image_checksum(self) -> float:
+        """Checksum recomputed from the stored image (order-independent)."""
+        return float(self.image.sum())

@@ -1,0 +1,6 @@
+"""JGF Series benchmark (Fourier coefficients)."""
+
+from repro.jgf.series.kernel import FourierSeries
+from repro.jgf.series.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = ["FourierSeries", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]

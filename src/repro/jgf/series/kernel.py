@@ -1,0 +1,84 @@
+"""JGF Series benchmark — Fourier coefficient computation.
+
+Computes the first ``n`` pairs of Fourier coefficients of ``f(x) = (x+1)^x``
+over the interval [0, 2] by trapezoid integration, exactly as the JGF Section
+2 "Series" kernel does.  Each coefficient pair is independent, making the
+outer loop embarrassingly parallel with a mildly non-uniform first iteration.
+
+The class below is the *refactored sequential base program*: the coefficient
+loop has already been moved into the for method :meth:`compute_coefficients`
+(the paper's M2FOR refactoring) and the whole computation into :meth:`run`
+(M2M), so parallelisation aspects can be attached without further changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class FourierSeries:
+    """Sequential Fourier-coefficient kernel with for-method refactoring applied."""
+
+    #: number of integration intervals per coefficient (JGF uses 1000)
+    INTEGRATION_INTERVALS = 1000
+
+    def __init__(self, n_coefficients: int) -> None:
+        if n_coefficients < 2:
+            raise ValueError("need at least 2 coefficient pairs")
+        self.n = n_coefficients
+        #: row 0 = a_i coefficients, row 1 = b_i coefficients
+        self.coefficients = np.zeros((2, n_coefficients), dtype=np.float64)
+
+    # -- base program -----------------------------------------------------------
+
+    def run(self) -> np.ndarray:
+        """Compute all coefficient pairs (the method made a parallel region)."""
+        self.compute_coefficients(0, self.n, 1)
+        return self.coefficients
+
+    def compute_coefficients(self, start: int, end: int, step: int) -> None:
+        """For method: compute coefficient pairs ``start <= i < end`` (M2FOR)."""
+        for i in range(start, end, step):
+            if i == 0:
+                self.coefficients[0, 0] = self._integrate(lambda x: self._function(x, 0, 0)) / 2.0
+                self.coefficients[1, 0] = 0.0
+            else:
+                self.coefficients[0, i] = self._integrate(lambda x: self._function(x, i, 1))
+                self.coefficients[1, i] = self._integrate(lambda x: self._function(x, i, 2))
+
+    # -- numerical helpers --------------------------------------------------------
+
+    @staticmethod
+    def _function(x: float, i: int, select: int) -> float:
+        """The integrand: (x+1)^x, optionally multiplied by cos/sin(i * pi * x)."""
+        base = math.pow(x + 1.0, x)
+        if select == 0:
+            return base
+        omega = math.pi * i * x
+        if select == 1:
+            return base * math.cos(omega)
+        return base * math.sin(omega)
+
+    def _integrate(self, fn) -> float:
+        """Trapezoid integration of ``fn`` over [0, 2] (JGF's TrapezoidIntegrate)."""
+        intervals = self.INTEGRATION_INTERVALS
+        dx = 2.0 / intervals
+        x = 0.0
+        total = 0.5 * fn(0.0)
+        for _ in range(intervals - 1):
+            x += dx
+            total += fn(x)
+        total += 0.5 * fn(2.0)
+        return total * dx
+
+    # -- validation ------------------------------------------------------------------
+
+    def checksum(self) -> float:
+        """Scalar validation value: sum of all coefficients."""
+        return float(np.sum(self.coefficients))
+
+    def reference_first_pairs(self) -> list[tuple[float, float]]:
+        """First four (a_i, b_i) pairs, used by cross-version validation."""
+        return [(float(self.coefficients[0, i]), float(self.coefficients[1, i])) for i in range(min(4, self.n))]

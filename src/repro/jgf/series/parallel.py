@@ -1,0 +1,64 @@
+"""Series benchmark drivers: sequential, JGF-MT threaded, and AOmp versions."""
+
+from __future__ import annotations
+
+from repro.core import ForStatic, ParallelRegion, Weaver, call
+from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
+from repro.jgf.series.kernel import FourierSeries
+from repro.runtime.trace import TraceRecorder
+
+#: Problem sizes (number of coefficient pairs).  JGF size A is 10 000; the
+#: default "small" size keeps a pure-Python run near one second.
+SIZES = {"tiny": 16, "small": 128, "a": 2000}
+
+INFO = BenchmarkInfo(
+    name="Series",
+    refactorings=("M2FOR", "M2M"),
+    abstractions=("PR", "FOR(block)"),
+    description="Fourier coefficients of (x+1)^x over [0,2]; embarrassingly parallel outer loop.",
+)
+
+
+def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+    """Run the plain sequential base program."""
+    n = resolve_size(SIZES, size)
+    kernel = FourierSeries(n)
+    _, elapsed = timed(kernel.run)
+    return BenchmarkResult("Series", "sequential", size, kernel.checksum(), elapsed)
+
+
+def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
+    """JGF-MT style: explicit threads, manual block partition of the loop."""
+    n = resolve_size(SIZES, size)
+    kernel = FourierSeries(n)
+
+    def worker(thread_id: int, total_threads: int, barrier) -> None:
+        start, end = block_range(0, n, 1, thread_id, total_threads)
+        kernel.compute_coefficients(start, end, 1)
+        barrier.wait()
+
+    _, elapsed = timed(lambda: spawn_jgf_threads(worker, num_threads))
+    return BenchmarkResult("Series", "threaded", size, kernel.checksum(), elapsed, num_threads=num_threads)
+
+
+def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+    """The aspect modules composing the Series parallelisation (Table 2 row)."""
+    return [
+        ForStatic(call("FourierSeries.compute_coefficients")),
+        ParallelRegion(call("FourierSeries.run"), threads=num_threads, recorder=recorder),
+    ]
+
+
+def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+    """AOmp style: weave the aspects onto the unchanged sequential kernel."""
+    n = resolve_size(SIZES, size)
+    kernel = FourierSeries(n)
+    weaver = Weaver()
+    weaver.weave_all(build_aspects(num_threads, recorder), FourierSeries)
+    try:
+        _, elapsed = timed(kernel.run)
+    finally:
+        weaver.unweave_all()
+    return BenchmarkResult(
+        "Series", "aomp", size, kernel.checksum(), elapsed, num_threads=num_threads, recorder=recorder
+    )

@@ -1,0 +1,6 @@
+"""JGF SOR benchmark (red/black successive over-relaxation)."""
+
+from repro.jgf.sor.kernel import SORBenchmark
+from repro.jgf.sor.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = ["SORBenchmark", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]

@@ -1,0 +1,73 @@
+"""SOR benchmark drivers: sequential, JGF-MT threaded, and AOmp versions."""
+
+from __future__ import annotations
+
+from repro.core import ForStatic, ParallelRegion, Weaver, call
+from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
+from repro.jgf.sor.kernel import SORBenchmark
+from repro.runtime.trace import TraceRecorder
+
+#: Problem sizes (grid edge length).  JGF size A is 1000x1000, 100 iterations.
+SIZES = {"tiny": 16, "small": 64, "a": 256}
+ITERATIONS = {"tiny": 4, "small": 10, "a": 50}
+
+INFO = BenchmarkInfo(
+    name="SOR",
+    refactorings=("M2FOR", "M2M"),
+    abstractions=("PR", "FOR(block)", "BR"),
+    description="Red/black successive over-relaxation; barrier between half-sweeps.",
+)
+
+
+def _iterations_for(size: "str | int") -> int:
+    return ITERATIONS.get(size, 10) if isinstance(size, str) else 10
+
+
+def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+    """Run the plain sequential base program."""
+    n = resolve_size(SIZES, size)
+    kernel = SORBenchmark(n, iterations=_iterations_for(size))
+    value, elapsed = timed(kernel.run)
+    return BenchmarkResult("SOR", "sequential", size, value, elapsed)
+
+
+def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
+    """JGF-MT style: each thread relaxes a block of rows; barrier per half-sweep."""
+    n = resolve_size(SIZES, size)
+    iterations = _iterations_for(size)
+    kernel = SORBenchmark(n, iterations=iterations)
+
+    def worker(thread_id: int, total_threads: int, barrier) -> None:
+        for _ in range(iterations):
+            for colour_start in (1, 2):
+                start, end = block_range(colour_start, kernel.n - 1, 2, thread_id, total_threads)
+                kernel.relax_rows(start, end, 2)
+                barrier.wait()
+
+    _, elapsed = timed(lambda: spawn_jgf_threads(worker, num_threads))
+    return BenchmarkResult("SOR", "threaded", size, kernel.total(), elapsed, num_threads=num_threads)
+
+
+def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+    """The aspect modules composing the SOR parallelisation (Table 2 row).
+
+    The implicit end-of-loop barrier of the for aspect provides the
+    half-sweep synchronisation the JGF version codes by hand (Table 2's BR).
+    """
+    return [
+        ForStatic(call("SORBenchmark.relax_rows")),
+        ParallelRegion(call("SORBenchmark.run"), threads=num_threads, recorder=recorder),
+    ]
+
+
+def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+    """AOmp style: weave the aspects onto the unchanged sequential kernel."""
+    n = resolve_size(SIZES, size)
+    kernel = SORBenchmark(n, iterations=_iterations_for(size))
+    weaver = Weaver()
+    weaver.weave_all(build_aspects(num_threads, recorder), SORBenchmark)
+    try:
+        value, elapsed = timed(kernel.run)
+    finally:
+        weaver.unweave_all()
+    return BenchmarkResult("SOR", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)

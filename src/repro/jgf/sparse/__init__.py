@@ -1,0 +1,15 @@
+"""JGF SparseMatMult benchmark (sparse matrix-vector multiplication)."""
+
+from repro.jgf.sparse.kernel import SparseMatmult
+from repro.jgf.sparse.parallel import INFO, SIZES, RowBlockFor, build_aspects, run_aomp, run_sequential, run_threaded
+
+__all__ = [
+    "SparseMatmult",
+    "RowBlockFor",
+    "INFO",
+    "SIZES",
+    "build_aspects",
+    "run_aomp",
+    "run_sequential",
+    "run_threaded",
+]

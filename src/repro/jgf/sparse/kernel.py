@@ -1,0 +1,93 @@
+"""JGF SparseMatMult benchmark — sparse matrix-vector multiplication.
+
+Multiplies a random sparse ``N x N`` matrix (``nz`` non-zeros stored in
+unordered triplet/COO form, exactly like the JGF kernel) by a dense vector,
+repeated for a number of iterations.  The scatter update ``y[row[k]] +=
+val[k] * x[col[k]]`` creates a write-write conflict whenever two threads
+handle non-zeros of the same row, which is why the JGF parallelisation (and
+Table 2) needs a *case-specific* partitioning: the non-zeros are sorted by
+row and split at row boundaries so each thread owns disjoint output rows.
+
+:meth:`multiply_range` is the for method over non-zero indices; the
+case-specific partitioning is provided by ``row_block_bounds`` and used by the
+case-specific aspect in :mod:`repro.jgf.sparse.parallel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jgf.jgfrandom import JGFRandom
+
+
+class SparseMatmult:
+    """Refactored sequential sparse matrix-vector kernel."""
+
+    def __init__(self, n: int, nz: int, iterations: int = 25, seed: int = 1966) -> None:
+        if nz < n:
+            raise ValueError("need at least one non-zero per row on average")
+        self.n = n
+        self.nz = nz
+        self.iterations = iterations
+        rng = JGFRandom(seed)
+        row = rng.ints(nz, n)
+        col = rng.ints(nz, n)
+        self.values = rng.doubles(nz)
+        # Sort by row (the JGF kernel does the same) so that row-block
+        # partitioning is possible; ties keep the generated order.
+        order = np.argsort(row, kind="stable")
+        self.row = row[order]
+        self.col = col[order]
+        self.values = self.values[order]
+        self.x = JGFRandom(seed + 7).doubles(n)
+        self.y = np.zeros(n, dtype=np.float64)
+
+    # -- base program -----------------------------------------------------------
+
+    def run(self) -> float:
+        """Run all multiplication iterations (the parallel-region method)."""
+        for _ in range(self.iterations):
+            self.multiply_range(0, self.nz, 1)
+        return self.total()
+
+    def multiply_range(self, start: int, end: int, step: int) -> None:
+        """For method: apply non-zero entries ``start <= k < end`` to the output."""
+        row, col, values, x, y = self.row, self.col, self.values, self.x, self.y
+        if step == 1:
+            # np.add.at handles repeated output rows correctly (unbuffered).
+            np.add.at(y, row[start:end], values[start:end] * x[col[start:end]])
+        else:
+            indices = np.arange(start, end, step)
+            np.add.at(y, row[indices], values[indices] * x[col[indices]])
+
+    # -- case-specific partitioning ------------------------------------------------
+
+    def row_block_bounds(self, num_threads: int) -> list[tuple[int, int]]:
+        """Split the non-zero index range at row boundaries into ``num_threads`` blocks.
+
+        Each block covers roughly ``nz / num_threads`` entries but never splits
+        a row across blocks, so the scatter updates of different threads touch
+        disjoint rows — the case-specific distribution the paper's Sparse row
+        in Table 2 refers to.
+        """
+        bounds: list[tuple[int, int]] = []
+        target = self.nz / num_threads
+        begin = 0
+        for t in range(num_threads):
+            if t == num_threads - 1:
+                end = self.nz
+            else:
+                end = int(round((t + 1) * target))
+                # Move the split forward until the row changes.
+                while 0 < end < self.nz and self.row[end] == self.row[end - 1]:
+                    end += 1
+            end = max(end, begin)
+            bounds.append((begin, end))
+            begin = end
+        return bounds
+
+    # -- validation ------------------------------------------------------------------
+
+    def total(self) -> float:
+        """Validation value: the sum of the output vector (JGF's ytotal)."""
+        return float(self.y.sum())

@@ -1,0 +1,139 @@
+"""Cost models for replaying execution traces.
+
+A cost model answers, for each work-shared loop, "how long would this chunk of
+iterations take on one core of the modelled machine?", and gives prices for
+the synchronisation mechanisms (critical sections, fine-grained locks,
+reductions).  Unit costs are *calibrated* from sequential runs of the actual
+Python kernels (see :mod:`repro.perf.calibrate`), so relative magnitudes —
+which is what the figure shapes depend on — come from measurements, not from
+guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+
+WeightFn = Callable[[int], float]
+
+
+def uniform_weight(_: int) -> float:
+    """Weight function for loops whose iterations all cost the same."""
+    return 1.0
+
+
+def triangular_weight(total: int) -> WeightFn:
+    """Weight function for triangular loops (iteration ``i`` touches ``total - i - 1`` pairs).
+
+    This is the cost shape of the MolDyn force loop and of LUFact's
+    elimination loop, and the reason the paper uses cyclic scheduling there.
+    """
+
+    def weight(i: int) -> float:
+        return float(max(total - i - 1, 0))
+
+    return weight
+
+
+@dataclass
+class LoopCost:
+    """Cost description of one work-shared loop.
+
+    ``seconds_per_unit`` converts the loop's *weight units* (as recorded in
+    the trace, or recomputed from ``weight_fn``) into seconds.
+    """
+
+    seconds_per_unit: float
+    weight_fn: WeightFn = uniform_weight
+    #: fraction of the loop's time that is memory-bandwidth-bound (0..1);
+    #: consumed by MachineModel.effective_parallelism.
+    memory_bound_fraction: float = 0.0
+
+    def chunk_cost(self, start: int, end: int, step: int, recorded_weight: float | None = None) -> float:
+        """Cost (seconds) of executing iterations ``range(start, end, step)``."""
+        if recorded_weight is not None:
+            units = recorded_weight
+        else:
+            units = float(sum(self.weight_fn(i) for i in range(start, end, step)))
+        return units * self.seconds_per_unit
+
+
+@dataclass
+class CostModel:
+    """All the unit costs needed to replay a trace.
+
+    Attributes
+    ----------
+    loops:
+        Mapping from loop name (as recorded in ``CHUNK`` events — the for
+        method's qualified name) to its :class:`LoopCost`.
+    default_loop:
+        Fallback used for loops without an explicit entry.
+    critical_overhead:
+        Cost of acquiring/releasing a named critical lock once (seconds); adds
+        to the serialised time of every ``CRITICAL`` event.
+    lock_overhead:
+        Cost of one fine-grained lock acquisition (``LOCK_ACQUIRE`` events).
+    reduction_cost_per_element:
+        Cost per element per merged copy of a reduction (``REDUCTION`` events
+        provide the element count through the per-experiment configuration).
+    reduction_elements:
+        Default number of elements per reduction, used when a ``REDUCTION``
+        trace event does not carry its own ``elements`` field (e.g. the
+        MolDyn force-array reduction over 3N doubles).
+    replicated_seconds:
+        Per-region, per-thread replicated (non-work-shared) work, in seconds.
+        Most JGF kernels have negligible replicated work; LUFact's pivot
+        search is the notable exception and is modelled explicitly by its
+        experiment configuration.
+    """
+
+    loops: dict[str, LoopCost] = field(default_factory=dict)
+    default_loop: LoopCost = field(default_factory=lambda: LoopCost(seconds_per_unit=1e-6))
+    critical_overhead: float = 2.0e-7
+    lock_overhead: float = 1.2e-7
+    reduction_cost_per_element: float = 4.0e-9
+    reduction_elements: float = 0.0
+    replicated_seconds: float = 0.0
+
+    def loop_cost(self, loop_name: str) -> LoopCost:
+        """Return the cost description for ``loop_name`` (matching by suffix too)."""
+        if loop_name in self.loops:
+            return self.loops[loop_name]
+        # Qualified names ("MolDyn.compute_forces") should match entries
+        # registered under the bare method name and vice versa.
+        short = loop_name.rsplit(".", 1)[-1]
+        if short in self.loops:
+            return self.loops[short]
+        for key, value in self.loops.items():
+            if key.rsplit(".", 1)[-1] == short:
+                return value
+        return self.default_loop
+
+    def with_loop(self, name: str, cost: LoopCost) -> "CostModel":
+        """Return a copy of the model with one loop cost added/replaced."""
+        loops = dict(self.loops)
+        loops[name] = cost
+        return CostModel(
+            loops=loops,
+            default_loop=self.default_loop,
+            critical_overhead=self.critical_overhead,
+            lock_overhead=self.lock_overhead,
+            reduction_cost_per_element=self.reduction_cost_per_element,
+            reduction_elements=self.reduction_elements,
+            replicated_seconds=self.replicated_seconds,
+        )
+
+
+def sequential_loop_time(cost: LoopCost, start: int, end: int, step: int = 1) -> float:
+    """Time to execute the whole loop sequentially under ``cost``."""
+    return cost.chunk_cost(start, end, step)
+
+
+def make_cost_model(
+    loop_costs: Mapping[str, LoopCost] | None = None,
+    **kwargs,
+) -> CostModel:
+    """Convenience constructor for :class:`CostModel`."""
+    return CostModel(loops=dict(loop_costs or {}), **kwargs)

@@ -1,0 +1,280 @@
+"""Makespan and speedup estimation.
+
+Two entry points:
+
+* :class:`MakespanModel` — replays an execution trace produced by the runtime
+  (:class:`~repro.runtime.trace.TraceRecorder`) against a
+  :class:`~repro.perf.cost.CostModel` and a
+  :class:`~repro.perf.machines.MachineModel`, and estimates the parallel
+  makespan, sequential time and speedup the modelled machine would achieve.
+* :class:`AnalyticScenario` — the same phase algebra applied to analytically
+  constructed phases, used for problem sizes too large to execute (the 256k
+  and 500k particle points of Figure 15).
+
+The phase algebra: a parallel region is a sequence of *phases* delimited by
+team barriers.  The duration of one phase is bounded below by
+
+* the longest per-thread work in the phase (load imbalance),
+* the total work divided by the machine's effective parallelism (limited
+  cores / SMT yield / memory bandwidth), and
+* the total serialised (critical-section) time in the phase (Amdahl).
+
+The makespan is the sum of phase durations plus barrier overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.perf.cost import CostModel
+from repro.perf.machines import MachineModel
+from repro.runtime.trace import EventKind, TraceRecorder
+
+
+def phase_duration(
+    compute_per_thread: Mapping[int, float],
+    serialized_per_thread: Mapping[int, float],
+    machine: MachineModel,
+    num_threads: int,
+    memory_bound_fraction: float = 0.0,
+) -> float:
+    """Duration of one phase under the three lower bounds described above."""
+    compute_values = [compute_per_thread.get(t, 0.0) for t in range(num_threads)]
+    serialized_values = [serialized_per_thread.get(t, 0.0) for t in range(num_threads)]
+    per_thread_max = max(
+        (c + s for c, s in zip(compute_values, serialized_values)), default=0.0
+    )
+    total_work = sum(compute_values) + sum(serialized_values)
+    parallelism = machine.effective_parallelism(num_threads, memory_bound_fraction)
+    bandwidth_bound = total_work / parallelism if parallelism > 0 else total_work
+    serial_bound = sum(serialized_values)
+    return max(per_thread_max, bandwidth_bound, serial_bound)
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase accounting produced while replaying a trace (for reports/tests)."""
+
+    index: int
+    compute_per_thread: dict[int, float] = field(default_factory=dict)
+    serialized_per_thread: dict[int, float] = field(default_factory=dict)
+    weighted_memory_bound: float = 0.0
+    weight_total: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        if self.weight_total <= 0.0:
+            return 0.0
+        return self.weighted_memory_bound / self.weight_total
+
+
+@dataclass
+class SpeedupEstimate:
+    """Result of a makespan estimation."""
+
+    name: str
+    num_threads: int
+    sequential_time: float
+    makespan: float
+    phases: list[PhaseBreakdown] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Estimated speedup over the sequential execution."""
+        if self.makespan <= 0.0:
+            return 1.0
+        return self.sequential_time / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by the number of threads."""
+        return self.speedup / max(1, self.num_threads)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form used by the experiment reports."""
+        return {
+            "name": self.name,
+            "threads": self.num_threads,
+            "sequential_time": self.sequential_time,
+            "makespan": self.makespan,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+        }
+
+
+class MakespanModel:
+    """Replay a runtime trace against a cost model and a machine model."""
+
+    def __init__(self, cost_model: CostModel, machine: MachineModel) -> None:
+        self.cost_model = cost_model
+        self.machine = machine
+
+    def estimate(
+        self,
+        recorder: TraceRecorder,
+        num_threads: int,
+        *,
+        name: str = "trace",
+        regions: Iterable[int] | None = None,
+        extra_sequential_time: float = 0.0,
+    ) -> SpeedupEstimate:
+        """Estimate makespan/speedup for the regions recorded in ``recorder``.
+
+        ``extra_sequential_time`` adds purely sequential work that exists in
+        both the sequential program and the parallel one outside any region
+        (e.g. initialisation), lowering the achievable speedup accordingly.
+        """
+        events = recorder.events()
+        region_ids = sorted({e.region for e in events if e.kind is EventKind.REGION_BEGIN})
+        if regions is not None:
+            wanted = set(regions)
+            region_ids = [r for r in region_ids if r in wanted]
+
+        total_makespan = extra_sequential_time
+        total_sequential = extra_sequential_time
+        all_phases: list[PhaseBreakdown] = []
+
+        for region_id in region_ids:
+            region_events = [e for e in events if e.region == region_id]
+            makespan, sequential, phases = self._replay_region(region_events, num_threads)
+            total_makespan += makespan
+            total_sequential += sequential
+            all_phases.extend(phases)
+
+        return SpeedupEstimate(
+            name=name,
+            num_threads=num_threads,
+            sequential_time=total_sequential,
+            makespan=total_makespan,
+            phases=all_phases,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _replay_region(self, events, num_threads: int):
+        cost_model = self.cost_model
+        phases: dict[int, PhaseBreakdown] = {}
+        phase_of_thread: dict[int, int] = {}
+        sequential_time = 0.0
+        barrier_rounds = 0
+
+        def phase_for(thread_id: int) -> PhaseBreakdown:
+            index = phase_of_thread.get(thread_id, 0)
+            breakdown = phases.get(index)
+            if breakdown is None:
+                breakdown = PhaseBreakdown(index=index)
+                phases[index] = breakdown
+            return breakdown
+
+        for event in events:
+            thread = event.thread_id
+            if event.kind is EventKind.CHUNK:
+                loop_name = event.data.get("loop", "<loop>")
+                loop_cost = cost_model.loop_cost(loop_name)
+                cost = loop_cost.chunk_cost(
+                    event.data["start"],
+                    event.data["end"],
+                    event.data.get("step", 1),
+                    recorded_weight=event.data.get("weight"),
+                )
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + cost
+                breakdown.weighted_memory_bound += cost * loop_cost.memory_bound_fraction
+                breakdown.weight_total += cost
+                sequential_time += cost
+            elif event.kind is EventKind.CRITICAL:
+                held = float(event.data.get("held", 0.0))
+                acquisitions = float(event.data.get("count", 1.0))
+                breakdown = phase_for(thread)
+                serialized = held + cost_model.critical_overhead * acquisitions
+                breakdown.serialized_per_thread[thread] = breakdown.serialized_per_thread.get(thread, 0.0) + serialized
+                # The work done inside the critical section also exists in the
+                # sequential program; the lock overhead does not.
+                sequential_time += held
+            elif event.kind is EventKind.LOCK_ACQUIRE:
+                acquisitions = float(event.data.get("count", 1.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = (
+                    breakdown.compute_per_thread.get(thread, 0.0) + cost_model.lock_overhead * acquisitions
+                )
+            elif event.kind in (EventKind.MASTER, EventKind.SINGLE):
+                elapsed = float(event.data.get("elapsed", 0.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + elapsed
+                sequential_time += elapsed
+            elif event.kind is EventKind.REDUCTION:
+                elements = float(event.data.get("elements", 0.0)) or float(cost_model.reduction_elements or 0.0)
+                copies = float(event.data.get("count", num_threads))
+                cost = cost_model.reduction_cost_per_element * elements * copies
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + cost
+                # Reductions are parallel-only work: not added to sequential.
+            elif event.kind is EventKind.BARRIER:
+                phase_of_thread[thread] = phase_of_thread.get(thread, 0) + 1
+                if thread == 0:
+                    barrier_rounds += 1
+
+        if cost_model.replicated_seconds:
+            first = phases.setdefault(0, PhaseBreakdown(index=0))
+            for thread in range(num_threads):
+                first.compute_per_thread[thread] = (
+                    first.compute_per_thread.get(thread, 0.0) + cost_model.replicated_seconds
+                )
+            sequential_time += cost_model.replicated_seconds
+
+        makespan = 0.0
+        ordered = [phases[i] for i in sorted(phases)]
+        for breakdown in ordered:
+            breakdown.duration = phase_duration(
+                breakdown.compute_per_thread,
+                breakdown.serialized_per_thread,
+                self.machine,
+                num_threads,
+                breakdown.memory_bound_fraction,
+            )
+            makespan += breakdown.duration
+        makespan += barrier_rounds * self.machine.barrier_cost(num_threads)
+        return makespan, sequential_time, ordered
+
+
+@dataclass
+class AnalyticPhase:
+    """One phase of an analytically constructed scenario."""
+
+    work_per_thread: list[float]
+    serialized_per_thread: list[float] | None = None
+    memory_bound_fraction: float = 0.0
+    overhead: float = 0.0
+
+    def duration(self, machine: MachineModel, num_threads: int) -> float:
+        compute = {t: w for t, w in enumerate(self.work_per_thread)}
+        serialized = {t: s for t, s in enumerate(self.serialized_per_thread or [])}
+        return (
+            phase_duration(compute, serialized, machine, num_threads, self.memory_bound_fraction)
+            + self.overhead
+        )
+
+
+@dataclass
+class AnalyticScenario:
+    """A sequence of analytic phases plus the sequential reference time."""
+
+    name: str
+    phases: list[AnalyticPhase]
+    sequential_time: float
+    num_threads: int
+
+    def makespan(self, machine: MachineModel) -> float:
+        """Total modelled parallel time."""
+        return sum(phase.duration(machine, self.num_threads) for phase in self.phases)
+
+    def estimate(self, machine: MachineModel) -> SpeedupEstimate:
+        """Speedup estimate under ``machine``."""
+        return SpeedupEstimate(
+            name=self.name,
+            num_threads=self.num_threads,
+            sequential_time=self.sequential_time,
+            makespan=self.makespan(machine),
+        )

@@ -1,0 +1,102 @@
+"""Reporting helpers: the tables and series printed by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.perf.model import SpeedupEstimate
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, float_digits: int = 2) -> str:
+    """Format a simple aligned text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.{float_digits}f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(series: Mapping[str, float], *, width: int = 40, unit: str = "x") -> str:
+    """Render a horizontal ASCII bar chart (used for the speedup figures)."""
+    if not series:
+        return "(empty)"
+    peak = max(series.values()) or 1.0
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, value in series.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {value:6.2f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+@dataclass
+class SpeedupReport:
+    """A collection of speedup estimates keyed by (configuration, benchmark)."""
+
+    title: str
+    entries: list[dict] = field(default_factory=list)
+
+    def add(self, configuration: str, benchmark: str, estimate: SpeedupEstimate, **extra) -> None:
+        """Record one estimate."""
+        entry = {"configuration": configuration, "benchmark": benchmark, **estimate.as_dict(), **extra}
+        self.entries.append(entry)
+
+    def add_value(self, configuration: str, benchmark: str, speedup: float, **extra) -> None:
+        """Record a raw speedup value (used for paper-reported reference numbers)."""
+        self.entries.append({"configuration": configuration, "benchmark": benchmark, "speedup": speedup, **extra})
+
+    def speedup(self, configuration: str, benchmark: str) -> float:
+        """Look up the recorded speedup for a (configuration, benchmark) pair."""
+        for entry in self.entries:
+            if entry["configuration"] == configuration and entry["benchmark"] == benchmark:
+                return entry["speedup"]
+        raise KeyError((configuration, benchmark))
+
+    def configurations(self) -> list[str]:
+        """Distinct configurations in insertion order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry["configuration"], None)
+        return list(seen)
+
+    def benchmarks(self) -> list[str]:
+        """Distinct benchmarks in insertion order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry["benchmark"], None)
+        return list(seen)
+
+    def to_table(self) -> str:
+        """Benchmarks x configurations speedup table."""
+        configurations = self.configurations()
+        headers = ["benchmark"] + configurations
+        rows = []
+        for benchmark in self.benchmarks():
+            row: list[object] = [benchmark]
+            for configuration in configurations:
+                try:
+                    row.append(self.speedup(configuration, benchmark))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        return f"{self.title}\n" + format_table(headers, rows)
+
+    def as_dicts(self) -> list[dict]:
+        """All entries as plain dictionaries (for JSON dumps / further analysis)."""
+        return [dict(entry) for entry in self.entries]

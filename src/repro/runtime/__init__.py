@@ -1,0 +1,173 @@
+"""Execution substrate for PyAOmpLib.
+
+This package implements the OpenMP-like execution model that the paper's
+aspect library targets: parallel regions executed by a *team* of threads,
+work-sharing loop schedulers, synchronisation constructs (barriers, critical
+sections, readers/writer locks, ordered execution, single/master), thread
+local fields with reductions, and explicit tasks/futures.
+
+The runtime is independent of the aspect machinery in :mod:`repro.core`; the
+aspects merely call into it.  It can also be used directly, which is what the
+hand-written "JGF MT"-style baselines in :mod:`repro.jgf` do.
+"""
+
+from repro.runtime.config import (
+    RuntimeConfig,
+    config_override,
+    get_config,
+    get_num_threads,
+    set_config,
+    set_num_threads,
+)
+from repro.runtime.context import (
+    ExecutionContext,
+    current_context,
+    current_team,
+    get_num_team_threads,
+    get_thread_id,
+    in_parallel,
+    is_master,
+)
+from repro.runtime.team import Team, TeamMember, parallel_region
+from repro.runtime.backend import Backend, SerialBackend, ThreadBackend, get_backend, set_backend
+from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
+from repro.runtime.locks import LockRegistry, ReadWriteLock, StripedLocks, global_locks
+from repro.runtime.scheduler import (
+    DynamicScheduler,
+    GuidedScheduler,
+    LoopChunk,
+    Schedule,
+    StaticBlockScheduler,
+    StaticCyclicScheduler,
+    make_scheduler,
+)
+from repro.runtime.worksharing import run_for, static_partition
+from repro.runtime.critical import critical_call, fine_grained_call, reader_call, writer_call
+from repro.runtime.threadlocal import (
+    ArrayReducer,
+    CallableReducer,
+    ListReducer,
+    Reducer,
+    SumReducer,
+    ThreadLocalStore,
+    global_thread_locals,
+    reduce_values,
+)
+from repro.runtime.tasks import (
+    FutureResult,
+    TaskHandle,
+    TaskPool,
+    spawn_future,
+    spawn_task,
+    task_wait,
+    wait_for,
+)
+from repro.runtime.ordered import OrderedRegion, current_ordered_region, install_ordered_region, ordered_call
+from repro.runtime.single import MasterRegion, SingleRegion
+from repro.runtime.trace import (
+    EventKind,
+    TraceEvent,
+    TraceRecorder,
+    get_global_recorder,
+    merge_traces,
+    set_global_recorder,
+)
+from repro.runtime.exceptions import (
+    AOmpError,
+    BrokenTeamError,
+    NotInParallelRegionError,
+    PointcutError,
+    ReductionError,
+    SchedulingError,
+    TaskError,
+    WeavingError,
+)
+
+__all__ = [
+    # config
+    "RuntimeConfig",
+    "config_override",
+    "get_config",
+    "set_config",
+    "set_num_threads",
+    "get_num_threads",
+    # context
+    "ExecutionContext",
+    "current_context",
+    "current_team",
+    "get_thread_id",
+    "get_num_team_threads",
+    "in_parallel",
+    "is_master",
+    # team / regions
+    "Team",
+    "TeamMember",
+    "parallel_region",
+    # backends
+    "Backend",
+    "ThreadBackend",
+    "SerialBackend",
+    "get_backend",
+    "set_backend",
+    # synchronisation
+    "CyclicBarrier",
+    "BrokenBarrierError",
+    "LockRegistry",
+    "ReadWriteLock",
+    "StripedLocks",
+    "global_locks",
+    "critical_call",
+    "fine_grained_call",
+    "reader_call",
+    "writer_call",
+    # scheduling / work sharing
+    "Schedule",
+    "LoopChunk",
+    "StaticBlockScheduler",
+    "StaticCyclicScheduler",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "make_scheduler",
+    "run_for",
+    "static_partition",
+    # thread-local / reductions
+    "ThreadLocalStore",
+    "global_thread_locals",
+    "Reducer",
+    "SumReducer",
+    "ListReducer",
+    "ArrayReducer",
+    "CallableReducer",
+    "reduce_values",
+    # tasks
+    "TaskPool",
+    "TaskHandle",
+    "FutureResult",
+    "spawn_task",
+    "spawn_future",
+    "task_wait",
+    "wait_for",
+    # ordered / single / master
+    "OrderedRegion",
+    "ordered_call",
+    "current_ordered_region",
+    "install_ordered_region",
+    "SingleRegion",
+    "MasterRegion",
+    # tracing
+    "TraceRecorder",
+    "TraceEvent",
+    "EventKind",
+    "get_global_recorder",
+    "set_global_recorder",
+    "merge_traces",
+    # errors
+    "AOmpError",
+    "BrokenTeamError",
+    "NotInParallelRegionError",
+    "PointcutError",
+    "ReductionError",
+    "SchedulingError",
+    "TaskError",
+    "WeavingError",
+]

@@ -1,0 +1,137 @@
+"""Execution backends for parallel regions.
+
+Two backends are provided:
+
+* :class:`ThreadBackend` — spawns real OS threads (``threading.Thread``), one
+  per team member beyond the master.  Correct concurrent semantics; actual
+  wall-clock speedup is limited by the CPython GIL for pure-Python work, which
+  is why :mod:`repro.perf` exists (see DESIGN.md).
+* :class:`SerialBackend` — forces a team of one and runs the body inline.
+  Useful for debugging and as the embodiment of the paper's *sequential
+  semantics* claim: a program composed with aspects still runs correctly
+  with parallelism disabled.
+
+The default backend is the thread backend; it can be replaced globally with
+:func:`set_backend` or per-region via the ``backend=`` argument of
+:func:`repro.runtime.team.parallel_region`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.team import Team
+
+
+class Backend:
+    """Interface for parallel-region execution backends."""
+
+    name = "abstract"
+
+    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+        """Execute ``run_member(thread_id)`` for every member of ``team``.
+
+        Must return the master's (thread id 0) return value.  Exceptions
+        raised by members must *not* propagate from this method: they are
+        recorded on the corresponding :class:`~repro.runtime.team.TeamMember`
+        by the region driver, which converts them into a
+        :class:`~repro.runtime.exceptions.BrokenTeamError` after all members
+        have finished.
+        """
+        raise NotImplementedError
+
+
+class ThreadBackend(Backend):
+    """Run each non-master member on its own OS thread; the master runs inline.
+
+    This mirrors the paper's Figure 9: spawn ``numberOfThreads - 1`` threads,
+    have the master execute the body itself, then join all spawned threads.
+    """
+
+    name = "threads"
+
+    def __init__(self, daemon: bool = True, name_prefix: str = "aomp-worker") -> None:
+        self.daemon = daemon
+        self.name_prefix = name_prefix
+
+    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+        def worker(thread_id: int) -> None:
+            try:
+                run_member(thread_id)
+            except BaseException:
+                # The exception is recorded on the member by the region
+                # driver; swallowing it here keeps the thread from printing
+                # an unraisable-traceback message.
+                pass
+
+        threads: list[threading.Thread] = []
+        for member in team.members[1:]:
+            thread = threading.Thread(
+                target=worker,
+                args=(member.thread_id,),
+                name=f"{self.name_prefix}-{team.name}-{member.thread_id}",
+                daemon=self.daemon,
+            )
+            member.thread = thread
+            threads.append(thread)
+        for thread in threads:
+            thread.start()
+
+        master_result: Any = None
+        try:
+            master_result = run_member(0)
+        except BaseException:
+            # Recorded on the member; do not propagate until workers joined.
+            pass
+        finally:
+            for thread in threads:
+                thread.join()
+        return master_result
+
+
+class SerialBackend(Backend):
+    """Run every member sequentially on the calling thread.
+
+    With a team of size 1 this is exactly sequential execution.  With a larger
+    team it runs members one after another, which only works for regions
+    without cross-member blocking synchronisation (no multi-party barriers);
+    the region driver therefore clamps the team size to 1 when this backend is
+    selected globally, unless ``allow_multi`` is set (used by tests that check
+    the clamping behaviour itself).
+    """
+
+    name = "serial"
+
+    def __init__(self, allow_multi: bool = False) -> None:
+        self.allow_multi = allow_multi
+
+    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+        member_ids = range(team.size) if self.allow_multi else range(min(1, team.size))
+        master_result: Any = None
+        for thread_id in member_ids:
+            try:
+                result = run_member(thread_id)
+            except BaseException:
+                continue
+            if thread_id == 0:
+                master_result = result
+        return master_result
+
+
+_backend_lock = threading.Lock()
+_backend: Backend = ThreadBackend()
+
+
+def get_backend() -> Backend:
+    """Return the globally configured backend."""
+    return _backend
+
+
+def set_backend(backend: Backend) -> Backend:
+    """Install ``backend`` globally and return the previous backend."""
+    global _backend
+    with _backend_lock:
+        previous, _backend = _backend, backend
+    return previous

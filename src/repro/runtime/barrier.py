@@ -1,0 +1,125 @@
+"""Reusable cyclic barrier.
+
+A from-scratch implementation (the paper implements its own barrier aspect on
+top of Java primitives).  The barrier is *cyclic*: it can be reused for an
+arbitrary number of synchronisation rounds, which is what the team barrier in
+a parallel region needs (OpenMP semantics: barriers have the scope of the
+team, and the same barrier object is reached repeatedly).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+
+class BrokenBarrierError(RuntimeError):
+    """Raised when a barrier is broken because a participant failed or the barrier was aborted."""
+
+
+class CyclicBarrier:
+    """A reusable barrier for a fixed number of parties.
+
+    Parameters
+    ----------
+    parties:
+        Number of threads that must call :meth:`wait` before any of them is
+        released.
+    action:
+        Optional callable invoked exactly once per round, by the last thread
+        to arrive, before the others are released (mirrors
+        ``java.util.concurrent.CyclicBarrier``'s barrier action).
+    """
+
+    def __init__(self, parties: int, action: Optional[Callable[[], None]] = None) -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs at least 1 party, got {parties}")
+        self._parties = parties
+        self._action = action
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._waiting = 0
+        self._broken = False
+        self._broken_generations: set[int] = set()
+
+    @property
+    def parties(self) -> int:
+        """Number of threads that participate in each round."""
+        return self._parties
+
+    @property
+    def n_waiting(self) -> int:
+        """Number of threads currently blocked in :meth:`wait`."""
+        with self._cond:
+            return self._waiting
+
+    @property
+    def broken(self) -> bool:
+        """Whether the barrier is currently broken (aborted)."""
+        with self._cond:
+            return self._broken
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until all parties have arrived.
+
+        Returns the arrival index for this round (``parties - 1`` for the first
+        arrival down to ``0`` for the last, as in ``threading.Barrier``).
+        Raises :class:`BrokenBarrierError` if the barrier is, or becomes,
+        broken while waiting, or if ``timeout`` expires.
+        """
+        with self._cond:
+            if self._broken:
+                raise BrokenBarrierError("barrier is broken")
+            generation = self._generation
+            index = self._parties - 1 - self._waiting
+            self._waiting += 1
+            if self._waiting == self._parties:
+                # Last arrival: run the action, then open the next generation.
+                try:
+                    if self._action is not None:
+                        self._action()
+                except BaseException:
+                    self._broken = True
+                    self._broken_generations.add(generation)
+                    self._waiting = 0
+                    self._generation += 1
+                    self._cond.notify_all()
+                    raise
+                self._waiting = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return index
+            while generation == self._generation:
+                if self._broken:
+                    break
+                if not self._cond.wait(timeout):
+                    self._broken = True
+                    self._broken_generations.add(generation)
+                    self._waiting = 0
+                    self._generation += 1
+                    self._cond.notify_all()
+                    raise BrokenBarrierError("barrier wait timed out")
+            if self._broken or generation in self._broken_generations:
+                raise BrokenBarrierError("barrier is broken")
+            return index
+
+    def abort(self) -> None:
+        """Break the barrier permanently, waking all waiters with an error."""
+        with self._cond:
+            self._broken = True
+            self._broken_generations.add(self._generation)
+            self._cond.notify_all()
+
+    def reset(self) -> None:
+        """Reset the barrier to a fresh, unbroken state.
+
+        Threads currently waiting are released with :class:`BrokenBarrierError`;
+        subsequent rounds proceed normally.
+        """
+        with self._cond:
+            if self._waiting:
+                self._broken_generations.add(self._generation)
+            self._generation += 1
+            self._waiting = 0
+            self._broken = False
+            self._cond.notify_all()

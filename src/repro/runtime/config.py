@@ -1,0 +1,113 @@
+"""Global runtime configuration.
+
+Mirrors the role of OpenMP environment variables (``OMP_NUM_THREADS``,
+``OMP_SCHEDULE``, ``OMP_NESTED``): a process-wide default consulted when an
+individual parallel region or for-method does not specify its own settings.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field, replace
+
+
+def _default_num_threads() -> int:
+    env = os.environ.get("AOMP_NUM_THREADS") or os.environ.get("OMP_NUM_THREADS")
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Process-wide defaults for the PyAOmpLib runtime.
+
+    Attributes
+    ----------
+    num_threads:
+        Default team size for parallel regions that do not specify one.
+    default_schedule:
+        Default loop schedule name (``"static_block"``, ``"static_cyclic"``,
+        ``"dynamic"`` or ``"guided"``).
+    default_chunk:
+        Default chunk size for dynamic/guided schedules.
+    nested:
+        Whether nested parallel regions create new teams (OpenMP ``OMP_NESTED``).
+        When ``False`` a nested region executes with a team of one.
+    max_nesting_depth:
+        Hard cap on nesting depth to guard against runaway recursion.
+    tracing:
+        Whether the runtime records :class:`~repro.runtime.trace.TraceRecorder`
+        events (needed by :mod:`repro.perf`).
+    """
+
+    num_threads: int = field(default_factory=_default_num_threads)
+    default_schedule: str = "static_block"
+    default_chunk: int = 1
+    nested: bool = True
+    max_nesting_depth: int = 4
+    tracing: bool = True
+
+    def with_updates(self, **kwargs) -> "RuntimeConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+_lock = threading.Lock()
+_config = RuntimeConfig()
+
+
+def get_config() -> RuntimeConfig:
+    """Return the current global configuration."""
+    return _config
+
+
+def set_config(config: RuntimeConfig) -> RuntimeConfig:
+    """Install ``config`` as the global configuration and return the previous one."""
+    global _config
+    with _lock:
+        previous, _config = _config, config
+    return previous
+
+
+def set_num_threads(n: int) -> None:
+    """Set the default number of threads used by parallel regions."""
+    if n < 1:
+        raise ValueError(f"number of threads must be >= 1, got {n}")
+    global _config
+    with _lock:
+        _config = _config.with_updates(num_threads=int(n))
+
+
+def get_num_threads() -> int:
+    """Return the default number of threads used by parallel regions."""
+    return _config.num_threads
+
+
+class config_override:
+    """Context manager temporarily overriding global configuration fields.
+
+    Example
+    -------
+    >>> with config_override(num_threads=2, tracing=False):
+    ...     ...
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self._previous: RuntimeConfig | None = None
+
+    def __enter__(self) -> RuntimeConfig:
+        self._previous = get_config()
+        set_config(self._previous.with_updates(**self._kwargs))
+        return get_config()
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._previous is not None
+        set_config(self._previous)

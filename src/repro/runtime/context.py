@@ -1,0 +1,115 @@
+"""Per-thread execution context.
+
+The paper's execution model (Section III.A) says the execution starts with a
+single *master* activity; entering a parallel region creates a team of
+threads; inside the region every construct (for work-sharing, barrier,
+critical, master, single, thread-local fields...) refers to *the team of the
+enclosing region*.  This module maintains that association: every OS thread
+carries a stack of :class:`ExecutionContext` frames, one per nested parallel
+region it is currently executing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.runtime.team import Team
+
+
+@dataclass
+class ExecutionContext:
+    """One frame of parallel-region context for a single thread.
+
+    Attributes
+    ----------
+    team:
+        The :class:`~repro.runtime.team.Team` executing the region.
+    thread_id:
+        This thread's id inside the team (0 is the master).
+    nesting_level:
+        0 for the outermost region, incremented for nested regions.
+    parent:
+        The enclosing context, if any (for nested regions).
+    """
+
+    team: "Team"
+    thread_id: int
+    nesting_level: int = 0
+    parent: Optional["ExecutionContext"] = None
+    # Per-context scratch area used by constructs that need per-thread,
+    # per-region state (e.g. the dynamic scheduler's loop descriptors).
+    scratch: dict = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        """Number of threads in the team executing this region."""
+        return self.team.size
+
+    @property
+    def is_master(self) -> bool:
+        """Whether this thread is the master (id 0) of its team."""
+        return self.thread_id == 0
+
+
+class _ContextStack(threading.local):
+    def __init__(self) -> None:  # noqa: D401 - threading.local initialiser
+        self.stack: list[ExecutionContext] = []
+
+
+_contexts = _ContextStack()
+
+
+def push_context(context: ExecutionContext) -> None:
+    """Push ``context`` on the calling thread's context stack."""
+    _contexts.stack.append(context)
+
+
+def pop_context() -> ExecutionContext:
+    """Pop and return the calling thread's innermost context."""
+    return _contexts.stack.pop()
+
+
+def current_context() -> ExecutionContext | None:
+    """Return the innermost context of the calling thread, or ``None``."""
+    stack = _contexts.stack
+    return stack[-1] if stack else None
+
+
+def context_depth() -> int:
+    """Return how many nested parallel regions the calling thread is inside."""
+    return len(_contexts.stack)
+
+
+def current_team() -> "Team | None":
+    """Return the team of the innermost region, or ``None`` outside regions."""
+    context = current_context()
+    return context.team if context is not None else None
+
+
+def get_thread_id() -> int:
+    """Return the calling thread's id within its team (0 outside regions).
+
+    Mirrors the paper's ``getThreadId()`` used by case-specific aspects.
+    """
+    context = current_context()
+    return context.thread_id if context is not None else 0
+
+
+def get_num_team_threads() -> int:
+    """Return the size of the calling thread's team (1 outside regions)."""
+    context = current_context()
+    return context.num_threads if context is not None else 1
+
+
+def in_parallel() -> bool:
+    """Whether the calling thread is currently inside a parallel region."""
+    return current_context() is not None
+
+
+def is_master() -> bool:
+    """Whether the calling thread is the master of its team (True outside regions)."""
+    context = current_context()
+    return True if context is None else context.is_master

@@ -1,0 +1,97 @@
+"""Critical-section execution helpers.
+
+The paper's ``@Critical[(id=name)]`` restricts a method execution to a single
+activity at a time, using either a named lock shared across type-unrelated
+objects, the target object's own lock (plain-Java behaviour,
+``criticalUsingCapturedLock``), or one lock per aspect instance
+(``criticalUsingSharedLock``).  These helpers execute a callable under the
+appropriate lock and record the serialised time in the trace, which is what
+lets the performance model account for contention (Figure 15's critical
+variant).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Hashable
+
+from repro.runtime import context as ctx
+from repro.runtime.locks import LockRegistry, ReadWriteLock, global_locks
+from repro.runtime.trace import EventKind
+
+
+def critical_call(
+    fn: Callable[[], Any],
+    *,
+    key: Hashable = "critical",
+    registry: LockRegistry | None = None,
+    target: object | None = None,
+) -> Any:
+    """Run ``fn`` in mutual exclusion on the lock identified by ``key``.
+
+    When ``target`` is given and ``key`` is ``None``, the target object's own
+    lock is used (captured-lock / plain ``synchronized`` behaviour).
+    Serialised time (waiting + executing) is recorded as a ``CRITICAL`` trace
+    event when inside a parallel region.
+    """
+    registry = registry if registry is not None else global_locks
+    if key is None:
+        if target is None:
+            raise ValueError("critical_call needs either a key or a target object")
+        lock = registry.for_object(target)
+        label = f"object:{type(target).__name__}"
+    else:
+        lock = registry.get(key)
+        label = str(key)
+
+    context = ctx.current_context()
+    wait_start = time.perf_counter()
+    lock.acquire()
+    acquired = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        finished = time.perf_counter()
+        lock.release()
+        if context is not None:
+            context.team.record(
+                EventKind.CRITICAL,
+                key=label,
+                waited=acquired - wait_start,
+                held=finished - acquired,
+            )
+    return result
+
+
+def fine_grained_call(
+    fn: Callable[[], Any],
+    lock,
+    *,
+    label: str = "fine",
+) -> Any:
+    """Run ``fn`` under an explicit (fine-grained) lock, tracing the acquisition.
+
+    Used by the "lock per particle" style parallelisations: the caller picks
+    the lock (e.g. from a :class:`~repro.runtime.locks.StripedLocks` pool);
+    the runtime only contributes tracing.
+    """
+    context = ctx.current_context()
+    lock.acquire()
+    try:
+        return fn()
+    finally:
+        lock.release()
+        if context is not None:
+            context.team.record(EventKind.LOCK_ACQUIRE, key=label)
+
+
+def reader_call(fn: Callable[[], Any], rwlock: ReadWriteLock) -> Any:
+    """Run ``fn`` holding ``rwlock`` for shared (read) access."""
+    with rwlock.read():
+        return fn()
+
+
+def writer_call(fn: Callable[[], Any], rwlock: ReadWriteLock) -> Any:
+    """Run ``fn`` holding ``rwlock`` exclusively (write access)."""
+    with rwlock.write():
+        return fn()

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the PyAOmpLib runtime and aspect library."""
+
+from __future__ import annotations
+
+
+class AOmpError(Exception):
+    """Base class for all PyAOmpLib errors."""
+
+
+class NotInParallelRegionError(AOmpError):
+    """Raised when a construct requiring a team is used outside a parallel region.
+
+    Most constructs degrade gracefully to sequential semantics when used
+    outside a region (this is a central claim of the paper); this error is
+    reserved for operations that are meaningless without a team, e.g. an
+    explicit team barrier requested through the low-level API.
+    """
+
+
+class WeavingError(AOmpError):
+    """Raised when an aspect cannot be woven into (or removed from) a target."""
+
+
+class PointcutError(AOmpError):
+    """Raised for malformed pointcut expressions."""
+
+
+class SchedulingError(AOmpError):
+    """Raised for invalid loop-scheduling requests (bad bounds, zero step, ...)."""
+
+
+class ReductionError(AOmpError):
+    """Raised when a thread-local reduction cannot be performed."""
+
+
+class TaskError(AOmpError):
+    """Raised when a spawned task failed; wraps the original exception."""
+
+    def __init__(self, message: str, cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class BrokenTeamError(AOmpError):
+    """Raised when a team member died with an exception and the team is unusable."""

@@ -1,0 +1,197 @@
+"""Lock infrastructure for the critical and readers/writer constructs.
+
+The paper's ``@Critical[(id=name)]`` maps method executions to *named* locks:
+unlike plain Java ``synchronized`` (one lock per object), a named lock can be
+shared among type-unrelated objects, or several named locks can partition the
+methods of one object into disjoint sets (Section III.C).  The two pointcut
+variants ``criticalUsingCapturedLock`` (one lock per target object) and
+``criticalUsingSharedLock`` (one lock per aspect) are both supported through
+the registry keys.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Hashable, Iterator
+
+
+class LockRegistry:
+    """A registry of named re-entrant locks.
+
+    Keys may be any hashable value: a string id (the annotation style's
+    ``id=name``), an aspect instance (shared-lock style), or a target object's
+    ``id()`` (captured-lock style).  Looking up a key lazily creates the lock.
+    """
+
+    def __init__(self) -> None:
+        self._locks: dict[Hashable, threading.RLock] = {}
+        self._guard = threading.Lock()
+
+    def get(self, key: Hashable) -> threading.RLock:
+        """Return the lock registered under ``key``, creating it if needed."""
+        with self._guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = threading.RLock()
+                self._locks[key] = lock
+            return lock
+
+    def for_object(self, obj: object) -> threading.RLock:
+        """Return the per-object lock (captured-lock style, plain-Java semantics)."""
+        return self.get(("__object__", id(obj)))
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._guard:
+            return key in self._locks
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._locks)
+
+    def clear(self) -> None:
+        """Forget all registered locks (used by tests)."""
+        with self._guard:
+            self._locks.clear()
+
+    @contextmanager
+    def acquire(self, key: Hashable) -> Iterator[float]:
+        """Context manager acquiring the named lock.
+
+        Yields the time (seconds) spent *waiting* for the lock, which the
+        tracing layer records as contention.
+        """
+        lock = self.get(key)
+        start = time.perf_counter()
+        lock.acquire()
+        waited = time.perf_counter() - start
+        try:
+            yield waited
+        finally:
+            lock.release()
+
+
+#: Process-wide registry used by the critical aspect/annotation by default.
+#: Mirrors the paper's remark that ``@Critical``'s scope is *all threads in
+#: the system* (not just the team).
+global_locks = LockRegistry()
+
+
+class ReadWriteLock:
+    """A writer-preference readers/writer lock.
+
+    Multiple readers may hold the lock simultaneously; writers are exclusive.
+    Writer preference avoids writer starvation: once a writer is waiting, new
+    readers block until the writer has been served.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side -------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Acquire the lock for reading (shared)."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release a read hold."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Context manager for shared (read) access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side -------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Acquire the lock for writing (exclusive)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive (write) hold."""
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without matching acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Context manager for exclusive (write) access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (used in tests) --------------------------------------
+
+    @property
+    def readers(self) -> int:
+        """Number of threads currently holding the lock for reading."""
+        with self._cond:
+            return self._readers
+
+    @property
+    def writing(self) -> bool:
+        """Whether a writer currently holds the lock."""
+        with self._cond:
+            return self._writer
+
+
+class StripedLocks:
+    """A fixed pool of locks indexed by hash, for fine-grained locking.
+
+    Used by the "lock per particle" MolDyn variant (Figure 15): acquiring a
+    lock per element of a huge array would allocate millions of lock objects,
+    so the usual practice (and what the model assumes) is a striped pool.
+    With ``stripes >= number of particles touched concurrently`` contention is
+    negligible, matching the per-particle-lock behaviour the paper measures.
+    """
+
+    def __init__(self, stripes: int = 1024) -> None:
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self._stripes = [threading.Lock() for _ in range(stripes)]
+
+    def __len__(self) -> int:
+        return len(self._stripes)
+
+    def lock_for(self, index: Hashable) -> threading.Lock:
+        """Return the lock guarding ``index``."""
+        return self._stripes[hash(index) % len(self._stripes)]
+
+    @contextmanager
+    def acquire(self, index: Hashable) -> Iterator[None]:
+        """Context manager acquiring the stripe lock for ``index``."""
+        lock = self.lock_for(index)
+        lock.acquire()
+        try:
+            yield
+        finally:
+            lock.release()

@@ -1,0 +1,130 @@
+"""Ordered execution inside work-shared loops.
+
+The paper's ``@Ordered`` construct is only supported within the calling
+context of a *for method*: executions of the ordered method must happen in the
+original (sequential) iteration order even though the iterations themselves
+are distributed across the team.
+
+Semantics implemented here (matching OpenMP's ``ordered`` clause):
+
+* the work-sharing construct creates an :class:`OrderedRegion` describing the
+  loop's full iteration sequence and installs it as the thread's *current*
+  ordered region;
+* each iteration executes the ordered method at most once, passing its
+  iteration index; the region blocks the caller until all preceding
+  iterations' ordered parts have completed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runtime import context as ctx
+from repro.runtime.exceptions import SchedulingError
+from repro.runtime.trace import EventKind
+
+
+class OrderedRegion:
+    """Ticket dispenser enforcing sequential order over a loop's iterations."""
+
+    def __init__(self, start: int, end: int, step: int) -> None:
+        if step == 0:
+            raise SchedulingError("ordered region needs a non-zero step")
+        self.start = start
+        self.end = end
+        self.step = step
+        self._order = range(start, end, step)
+        self._cond = threading.Condition()
+        self._position = 0  # index into self._order of the next iteration allowed to run
+
+    @property
+    def total(self) -> int:
+        """Total number of iterations the region will sequence."""
+        return len(self._order)
+
+    def _index_of(self, iteration: int) -> int:
+        offset = iteration - self.start
+        if self.step > 0:
+            if offset < 0 or offset % self.step != 0 or iteration >= self.end:
+                raise SchedulingError(f"iteration {iteration} is not part of the ordered range")
+        else:
+            if offset > 0 or offset % self.step != 0 or iteration <= self.end:
+                raise SchedulingError(f"iteration {iteration} is not part of the ordered range")
+        return offset // self.step
+
+    def run(self, iteration: int, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` when ``iteration`` becomes the next one in order."""
+        position = self._index_of(iteration)
+        with self._cond:
+            while self._position != position:
+                self._cond.wait()
+        try:
+            return fn()
+        finally:
+            with self._cond:
+                self._position += 1
+                self._cond.notify_all()
+
+    def skip(self, iteration: int) -> None:
+        """Mark ``iteration`` as not executing an ordered part (advance the ticket)."""
+        position = self._index_of(iteration)
+        with self._cond:
+            while self._position != position:
+                self._cond.wait()
+            self._position += 1
+            self._cond.notify_all()
+
+
+_CURRENT_KEY = "current_ordered_region"
+
+
+def install_ordered_region(region: OrderedRegion | None) -> OrderedRegion | None:
+    """Install ``region`` as the calling thread's current ordered region.
+
+    Returns the previously installed region so callers can restore it (for
+    nested loops).  Used by the for-work-sharing aspect when the target loop
+    declares an ordered part.
+    """
+    context = ctx.current_context()
+    if context is None:
+        return None
+    previous = context.scratch.get(_CURRENT_KEY)
+    context.scratch[_CURRENT_KEY] = region
+    return previous
+
+
+def current_ordered_region() -> OrderedRegion | None:
+    """Return the ordered region installed for the calling thread, if any."""
+    context = ctx.current_context()
+    if context is None:
+        return None
+    return context.scratch.get(_CURRENT_KEY)
+
+
+def ordered_call(iteration: int, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` in iteration order if an ordered region is active, else directly.
+
+    This is the entry point used by the ``@Ordered`` aspect: outside a
+    work-shared loop (or outside a parallel region) the call degrades to a
+    plain invocation — sequential semantics again.
+    """
+    region = current_ordered_region()
+    context = ctx.current_context()
+    if region is None or context is None:
+        return fn()
+    context.team.record(EventKind.ORDERED, iteration=iteration)
+    return region.run(iteration, fn)
+
+
+def iterate_in_order(chunks: Sequence[range]) -> Iterator[int]:
+    """Yield the union of ``chunks`` in ascending iteration order.
+
+    Helper for tests and for hand-written threaded baselines that need the
+    global sequential order of a partitioned loop.
+    """
+    merged: list[int] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    merged.sort()
+    return iter(merged)

@@ -1,0 +1,316 @@
+"""Loop schedulers for the ``@For`` work-sharing construct.
+
+The paper exposes loops as *for methods* whose first three integer parameters
+are the iteration range ``(start, end, step)``.  A scheduler decides which
+part of that range each team member executes.  Three schedules are provided
+by AOmpLib (Table 1): static by blocks, static cyclic and dynamic; a guided
+schedule is added as a natural extension (OpenMP has it, and it is used by an
+ablation benchmark).
+
+Schedulers are deliberately independent from threading: given a loop range and
+``(thread_id, num_threads)`` they produce :class:`LoopChunk` objects.  The
+aspects/threaded code execute those chunks; the trace layer records them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.runtime.exceptions import SchedulingError
+
+
+class Schedule(str, Enum):
+    """Supported loop schedules (names follow the paper's Table 1)."""
+
+    STATIC_BLOCK = "static_block"
+    STATIC_CYCLIC = "static_cyclic"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+    @classmethod
+    def parse(cls, value: "str | Schedule") -> "Schedule":
+        """Parse a schedule name; accepts the paper's camelCase spellings too."""
+        if isinstance(value, Schedule):
+            return value
+        normalised = value.strip().lower().replace("-", "_")
+        aliases = {
+            "staticblock": cls.STATIC_BLOCK,
+            "static": cls.STATIC_BLOCK,
+            "block": cls.STATIC_BLOCK,
+            "static_block": cls.STATIC_BLOCK,
+            "staticcyclic": cls.STATIC_CYCLIC,
+            "cyclic": cls.STATIC_CYCLIC,
+            "static_cyclic": cls.STATIC_CYCLIC,
+            "dynamic": cls.DYNAMIC,
+            "guided": cls.GUIDED,
+        }
+        try:
+            return aliases[normalised]
+        except KeyError as exc:
+            raise SchedulingError(f"unknown schedule {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class LoopChunk:
+    """A contiguous (in the strided sense) sub-range assigned to one thread.
+
+    ``range(start, end, step)`` gives the iteration indices of the chunk.
+    """
+
+    start: int
+    end: int
+    step: int
+
+    @property
+    def count(self) -> int:
+        """Number of iterations in the chunk."""
+        if self.step == 0:
+            raise SchedulingError("loop step must be non-zero")
+        if self.step > 0:
+            span = self.end - self.start
+        else:
+            span = self.start - self.end
+        if span <= 0:
+            return 0
+        return (span + abs(self.step) - 1) // abs(self.step)
+
+    def indices(self) -> range:
+        """Return the iteration indices as a :class:`range`."""
+        return range(self.start, self.end, self.step)
+
+    def is_empty(self) -> bool:
+        """Whether the chunk contains no iterations."""
+        return self.count == 0
+
+
+def _validate(start: int, end: int, step: int) -> int:
+    """Validate a loop range and return the total iteration count."""
+    if step == 0:
+        raise SchedulingError("loop step must be non-zero")
+    chunk = LoopChunk(start, end, step)
+    return chunk.count
+
+
+class LoopScheduler:
+    """Base class for loop schedulers."""
+
+    #: schedule identifier; overridden by subclasses
+    schedule: Schedule
+
+    def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Yield the chunks that ``thread_id`` (of ``num_threads``) must execute."""
+        raise NotImplementedError
+
+    def partition(self, num_threads: int, start: int, end: int, step: int) -> list[list[LoopChunk]]:
+        """Return every thread's chunk list (static schedules only).
+
+        Dynamic schedulers raise :class:`SchedulingError` because their
+        assignment depends on execution order.
+        """
+        return [list(self.chunks_for(t, num_threads, start, end, step)) for t in range(num_threads)]
+
+
+class StaticBlockScheduler(LoopScheduler):
+    """Static block distribution: thread *t* gets the *t*-th contiguous block.
+
+    This matches the paper's Figure 10 implementation (lower/upper limit
+    computed from the thread id), with the rounding fixed so that every
+    iteration is assigned exactly once even when the trip count does not
+    divide evenly.
+    """
+
+    schedule = Schedule.STATIC_BLOCK
+
+    def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        total = _validate(start, end, step)
+        if num_threads < 1:
+            raise SchedulingError("num_threads must be >= 1")
+        if not (0 <= thread_id < num_threads):
+            raise SchedulingError(f"thread_id {thread_id} outside team of {num_threads}")
+        if total == 0:
+            return
+        base, extra = divmod(total, num_threads)
+        # Threads [0, extra) get one extra iteration, preserving order.
+        begin_index = thread_id * base + min(thread_id, extra)
+        count = base + (1 if thread_id < extra else 0)
+        if count == 0:
+            return
+        chunk_start = start + begin_index * step
+        chunk_end = chunk_start + count * step
+        yield LoopChunk(chunk_start, chunk_end, step)
+
+
+class StaticCyclicScheduler(LoopScheduler):
+    """Static cyclic distribution: thread *t* executes iterations t, t+N, t+2N, ...
+
+    With ``chunk > 1`` the distribution is block-cyclic.  Cyclic scheduling is
+    the paper's choice for triangular workloads (MolDyn, MonteCarlo,
+    RayTracer in Table 2) because it balances non-uniform iteration costs.
+    """
+
+    schedule = Schedule.STATIC_CYCLIC
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk < 1:
+            raise SchedulingError("chunk must be >= 1")
+        self.chunk = chunk
+
+    def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        total = _validate(start, end, step)
+        if num_threads < 1:
+            raise SchedulingError("num_threads must be >= 1")
+        if not (0 <= thread_id < num_threads):
+            raise SchedulingError(f"thread_id {thread_id} outside team of {num_threads}")
+        chunk = self.chunk
+        # Iterate over this thread's blocks of `chunk` logical iterations.
+        block = thread_id * chunk
+        stride = num_threads * chunk
+        while block < total:
+            count = min(chunk, total - block)
+            chunk_start = start + block * step
+            chunk_end = chunk_start + count * step
+            yield LoopChunk(chunk_start, chunk_end, step)
+            block += stride
+
+
+class _DynamicLoopState:
+    """Shared iteration counter for one execution of a dynamic loop."""
+
+    def __init__(self, total_chunks: int) -> None:
+        self.total_chunks = total_chunks
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_chunk(self) -> int | None:
+        """Atomically claim the next chunk index, or ``None`` when exhausted."""
+        with self._lock:
+            if self._next >= self.total_chunks:
+                return None
+            index = self._next
+            self._next += 1
+            return index
+
+
+class DynamicScheduler(LoopScheduler):
+    """Dynamic (self-scheduling) distribution.
+
+    Matches the paper's Figure 11: threads repeatedly claim the next chunk of
+    ``chunk`` logical iterations from a shared counter (``getTask()``) until
+    the loop is exhausted.  The shared state must be created once per loop
+    execution with :meth:`new_state` and passed to :meth:`chunks_from`.
+    """
+
+    schedule = Schedule.DYNAMIC
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk < 1:
+            raise SchedulingError("chunk must be >= 1")
+        self.chunk = chunk
+
+    def new_state(self, start: int, end: int, step: int) -> _DynamicLoopState:
+        """Create the shared claim counter for one loop execution."""
+        total = _validate(start, end, step)
+        total_chunks = (total + self.chunk - 1) // self.chunk
+        return _DynamicLoopState(total_chunks)
+
+    def chunks_from(self, state: _DynamicLoopState, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Yield chunks claimed by the calling thread from ``state``."""
+        total = _validate(start, end, step)
+        while True:
+            index = state.next_chunk()
+            if index is None:
+                return
+            begin = index * self.chunk
+            count = min(self.chunk, total - begin)
+            chunk_start = start + begin * step
+            chunk_end = chunk_start + count * step
+            yield LoopChunk(chunk_start, chunk_end, step)
+
+    def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Single-threaded fallback: the calling thread claims every chunk.
+
+        Used when the construct runs outside a parallel region (sequential
+        semantics) or in tests.  In a real team, use :meth:`new_state` +
+        :meth:`chunks_from` so that claims are shared.
+        """
+        state = self.new_state(start, end, step)
+        yield from self.chunks_from(state, start, end, step)
+
+    def partition(self, num_threads: int, start: int, end: int, step: int) -> list[list[LoopChunk]]:
+        raise SchedulingError("dynamic schedules have no static partition")
+
+
+class GuidedScheduler(DynamicScheduler):
+    """Guided self-scheduling: chunk sizes decay exponentially.
+
+    Each claim takes ``max(min_chunk, remaining / num_threads)`` iterations,
+    reducing scheduling overhead at the start while keeping good load balance
+    at the tail.  Extension over the paper's three schedules, used by the
+    scheduling ablation benchmark.
+    """
+
+    schedule = Schedule.GUIDED
+
+    def __init__(self, min_chunk: int = 1) -> None:
+        super().__init__(chunk=min_chunk)
+        self.min_chunk = min_chunk
+
+    def new_guided_state(self, start: int, end: int, step: int, num_threads: int) -> "_GuidedLoopState":
+        """Create the shared claim state for one guided loop execution."""
+        total = _validate(start, end, step)
+        return _GuidedLoopState(total, self.min_chunk, max(1, num_threads))
+
+    def chunks_from_guided(self, state: "_GuidedLoopState", start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Yield chunks claimed by the calling thread from guided ``state``."""
+        while True:
+            claim = state.next_range()
+            if claim is None:
+                return
+            begin, count = claim
+            chunk_start = start + begin * step
+            chunk_end = chunk_start + count * step
+            yield LoopChunk(chunk_start, chunk_end, step)
+
+    def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        state = self.new_guided_state(start, end, step, num_threads)
+        yield from self.chunks_from_guided(state, start, end, step)
+
+
+class _GuidedLoopState:
+    """Shared claim state for guided scheduling."""
+
+    def __init__(self, total: int, min_chunk: int, num_threads: int) -> None:
+        self.total = total
+        self.min_chunk = min_chunk
+        self.num_threads = num_threads
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_range(self) -> tuple[int, int] | None:
+        """Atomically claim the next (begin, count) block, or ``None`` when done."""
+        with self._lock:
+            remaining = self.total - self._next
+            if remaining <= 0:
+                return None
+            count = max(self.min_chunk, remaining // self.num_threads)
+            count = min(count, remaining)
+            begin = self._next
+            self._next += count
+            return begin, count
+
+
+def make_scheduler(schedule: "str | Schedule", chunk: int = 1) -> LoopScheduler:
+    """Factory returning a scheduler instance for ``schedule``."""
+    parsed = Schedule.parse(schedule)
+    if parsed is Schedule.STATIC_BLOCK:
+        return StaticBlockScheduler()
+    if parsed is Schedule.STATIC_CYCLIC:
+        return StaticCyclicScheduler(chunk=chunk)
+    if parsed is Schedule.DYNAMIC:
+        return DynamicScheduler(chunk=chunk)
+    if parsed is Schedule.GUIDED:
+        return GuidedScheduler(min_chunk=chunk)
+    raise SchedulingError(f"unhandled schedule {schedule!r}")  # pragma: no cover

@@ -1,0 +1,155 @@
+"""Single and master execution with result broadcast.
+
+``@Single`` — the first team member to reach the construct executes the
+method; the remaining members skip it.  ``@Master`` — only the master (thread
+id 0) executes the method.  In both cases, when the method returns a value,
+that value is *propagated to all threads in the team* (paper Section III.C),
+which requires the skipping members to wait for the value to be produced.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Hashable
+
+from repro.runtime import context as ctx
+from repro.runtime.team import Team
+from repro.runtime.trace import EventKind
+
+
+class _BroadcastSlot:
+    """Team-shared slot holding one produced value plus a readiness event."""
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.exception: BaseException | None = None
+        self._claim_lock = threading.Lock()
+        self._claimed = False
+
+    def try_claim(self) -> bool:
+        """Atomically claim the right to execute; only the first caller wins."""
+        with self._claim_lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+    def publish(self, value: Any = None, exception: BaseException | None = None) -> None:
+        """Publish the produced value (or failure) and release waiters."""
+        self.value = value
+        self.exception = exception
+        self.event.set()
+
+    def await_value(self) -> Any:
+        """Block until the value is published, then return it (or re-raise)."""
+        self.event.wait()
+        if self.exception is not None:
+            raise self.exception
+        return self.value
+
+
+class _SerialCounter:
+    """Per-thread counter distinguishing successive uses of the same construct.
+
+    Successive executions of e.g. the same ``@Single`` method within one
+    region must each use a fresh broadcast slot.  Because the region body is
+    SPMD, the *n*-th encounter on every member corresponds to the same logical
+    construct instance, so a per-member counter keyed by the construct id
+    produces matching keys across the team.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[Hashable, int] = {}
+
+    def next(self, construct_key: Hashable) -> int:
+        value = self._counts.get(construct_key, 0)
+        self._counts[construct_key] = value + 1
+        return value
+
+
+def _encounter_key(team: Team, construct_key: Hashable) -> Hashable:
+    """Build the team-shared slot key for this member's next encounter of the construct."""
+    context = ctx.current_context()
+    assert context is not None and context.team is team
+    counter: _SerialCounter = context.scratch.setdefault("encounter_counter", _SerialCounter())
+    occurrence = counter.next(construct_key)
+    return (construct_key, occurrence)
+
+
+class SingleRegion:
+    """Executes a callable on exactly one (the first-arriving) team member."""
+
+    def __init__(self, key: Hashable = "single") -> None:
+        self.key = key
+
+    def run(self, fn: Callable[[], Any], *, wait_for_value: bool = True) -> Any:
+        """Run ``fn`` once per construct encounter; every member gets the value.
+
+        Outside a parallel region the callable simply runs (sequential
+        semantics).  When ``wait_for_value`` is false, non-executing members
+        return ``None`` immediately instead of blocking (OpenMP ``nowait``).
+        """
+        context = ctx.current_context()
+        if context is None or context.team.size == 1:
+            return fn()
+        team = context.team
+        slot_key = ("single", self.key, _encounter_key(team, self.key))
+        slot: _BroadcastSlot = team.shared_slot(slot_key, _BroadcastSlot)
+        if slot.try_claim():
+            start = time.perf_counter()
+            try:
+                value = fn()
+            except BaseException as exc:
+                slot.publish(exception=exc)
+                raise
+            finally:
+                team.record(EventKind.SINGLE, key=str(self.key), elapsed=time.perf_counter() - start)
+            slot.publish(value)
+            return value
+        if not wait_for_value:
+            return None
+        return slot.await_value()
+
+
+class MasterRegion:
+    """Executes a callable on the master member only (thread id 0)."""
+
+    def __init__(self, key: Hashable = "master") -> None:
+        self.key = key
+
+    def run(self, fn: Callable[[], Any], *, broadcast: bool = True) -> Any:
+        """Run ``fn`` on the master; optionally broadcast its value to the team.
+
+        When ``broadcast`` is false, non-master members return ``None``
+        without waiting (this matches OpenMP's ``master`` construct, which has
+        no implied synchronisation; the paper's value-propagating behaviour is
+        the default ``broadcast=True``).
+        """
+        context = ctx.current_context()
+        if context is None or context.team.size == 1:
+            return fn()
+        team = context.team
+        if not broadcast:
+            if context.is_master:
+                start = time.perf_counter()
+                try:
+                    return fn()
+                finally:
+                    team.record(EventKind.MASTER, key=str(self.key), elapsed=time.perf_counter() - start)
+            return None
+        slot_key = ("master", self.key, _encounter_key(team, self.key))
+        slot: _BroadcastSlot = team.shared_slot(slot_key, _BroadcastSlot)
+        if context.is_master:
+            start = time.perf_counter()
+            try:
+                value = fn()
+            except BaseException as exc:
+                slot.publish(exception=exc)
+                raise
+            finally:
+                team.record(EventKind.MASTER, key=str(self.key), elapsed=time.perf_counter() - start)
+            slot.publish(value)
+            return value
+        return slot.await_value()

@@ -1,0 +1,170 @@
+"""Explicit tasks and futures.
+
+Implements the runtime behind the paper's ``@Task``, ``@TaskWait``,
+``@FutureTask`` and ``@FutureResult`` constructs (Section III.C):
+
+* ``@Task`` spawns a new parallel activity to execute the annotated method
+  (usable inside *or outside* a parallel region);
+* ``@TaskWait`` marks a method execution as the join point between the
+  spawning and the spawned activity;
+* ``@FutureTask`` targets methods returning a value; the returned object's
+  getters act as synchronisation points (``@FutureResult``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+from repro.runtime import context as ctx
+from repro.runtime.exceptions import TaskError
+from repro.runtime.trace import EventKind
+
+T = TypeVar("T")
+
+
+class TaskHandle(Generic[T]):
+    """Handle on a spawned task; ``join`` waits for completion and re-raises failures."""
+
+    def __init__(self, name: str = "task") -> None:
+        self.name = name
+        self._done = threading.Event()
+        self._result: T | None = None
+        self._exception: BaseException | None = None
+
+    def _complete(self, result: T | None = None, exception: BaseException | None = None) -> None:
+        self._result = result
+        self._exception = exception
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the task has finished (successfully or not)."""
+        return self._done.is_set()
+
+    def join(self, timeout: float | None = None) -> T:
+        """Wait for the task and return its result, re-raising task failures."""
+        if not self._done.wait(timeout):
+            raise TaskError(f"task {self.name!r} did not complete within {timeout}s")
+        if self._exception is not None:
+            raise TaskError(f"task {self.name!r} failed: {self._exception!r}", cause=self._exception) from self._exception
+        return self._result  # type: ignore[return-value]
+
+    def result(self, timeout: float | None = None) -> T:
+        """Alias for :meth:`join` (concurrent.futures-style spelling)."""
+        return self.join(timeout)
+
+
+class FutureResult(Generic[T]):
+    """Proxy for a value produced asynchronously.
+
+    Mirrors the paper's ``@FutureTask``/``@FutureResult`` pattern: the
+    spawning call immediately returns this proxy; calling :meth:`get` (the
+    designated getter) blocks until the spawned activity has produced the
+    value.
+    """
+
+    def __init__(self, handle: TaskHandle[T]) -> None:
+        self._handle = handle
+
+    def get(self, timeout: float | None = None) -> T:
+        """Block until the value is available and return it."""
+        return self._handle.join(timeout)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the value is already available."""
+        return self._handle.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "ready" if self.ready else "pending"
+        return f"FutureResult({self._handle.name!r}, {state})"
+
+
+class TaskPool:
+    """Tracks the tasks spawned from one scope so that a task-wait can join them.
+
+    Each execution context owns (lazily) a pool; tasks spawned outside any
+    parallel region use a process-global pool.  ``@TaskWait`` joins all tasks
+    spawned in the current scope since the last wait.
+    """
+
+    def __init__(self, name: str = "tasks") -> None:
+        self.name = name
+        self._handles: list[TaskHandle[Any]] = []
+        self._lock = threading.Lock()
+
+    def spawn(self, fn: Callable[..., T], *args: Any, name: str | None = None, **kwargs: Any) -> TaskHandle[T]:
+        """Spawn ``fn(*args, **kwargs)`` on a new thread and track its handle."""
+        handle: TaskHandle[T] = TaskHandle(name or getattr(fn, "__name__", "task"))
+        context = ctx.current_context()
+        if context is not None:
+            context.team.record(EventKind.TASK_SPAWN, task=handle.name)
+
+        def runner() -> None:
+            try:
+                handle._complete(result=fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - stored and re-raised at join
+                handle._complete(exception=exc)
+            finally:
+                inner = ctx.current_context()
+                if inner is not None:  # pragma: no cover - tasks run outside regions
+                    inner.team.record(EventKind.TASK_COMPLETE, task=handle.name)
+
+        thread = threading.Thread(target=runner, name=f"aomp-task-{handle.name}", daemon=True)
+        with self._lock:
+            self._handles.append(handle)
+        thread.start()
+        return handle
+
+    def spawn_future(self, fn: Callable[..., T], *args: Any, name: str | None = None, **kwargs: Any) -> FutureResult[T]:
+        """Spawn ``fn`` and return a :class:`FutureResult` for its value."""
+        return FutureResult(self.spawn(fn, *args, name=name, **kwargs))
+
+    def wait_all(self, timeout: float | None = None) -> list[Any]:
+        """Join every outstanding task spawned through this pool (``@TaskWait``)."""
+        with self._lock:
+            handles, self._handles = self._handles, []
+        return [handle.join(timeout) for handle in handles]
+
+    @property
+    def outstanding(self) -> int:
+        """Number of tasks spawned and not yet waited for."""
+        with self._lock:
+            return len(self._handles)
+
+
+_global_pool = TaskPool(name="global")
+_POOL_KEY = "task_pool"
+
+
+def current_pool() -> TaskPool:
+    """Return the task pool of the current scope (region-local or global)."""
+    context = ctx.current_context()
+    if context is None:
+        return _global_pool
+    pool = context.scratch.get(_POOL_KEY)
+    if pool is None:
+        pool = TaskPool(name=f"{context.team.name}-t{context.thread_id}")
+        context.scratch[_POOL_KEY] = pool
+    return pool
+
+
+def spawn_task(fn: Callable[..., T], *args: Any, name: str | None = None, **kwargs: Any) -> TaskHandle[T]:
+    """Spawn a task in the current scope's pool."""
+    return current_pool().spawn(fn, *args, name=name, **kwargs)
+
+
+def spawn_future(fn: Callable[..., T], *args: Any, name: str | None = None, **kwargs: Any) -> FutureResult[T]:
+    """Spawn a value-returning task in the current scope's pool."""
+    return current_pool().spawn_future(fn, *args, name=name, **kwargs)
+
+
+def task_wait(timeout: float | None = None) -> list[Any]:
+    """Join all tasks spawned in the current scope since the last wait."""
+    return current_pool().wait_all(timeout)
+
+
+def wait_for(handles: Iterable[TaskHandle[Any]], timeout: float | None = None) -> list[Any]:
+    """Join an explicit collection of task handles."""
+    return [handle.join(timeout) for handle in handles]

@@ -1,0 +1,227 @@
+"""Teams of threads and parallel-region execution.
+
+This is the heart of the execution model (paper Section III.A and Figure 9):
+the master thread enters a parallel region, a team of threads is created,
+every member executes the region body, and the master waits for all spawned
+members before returning.  Constructs used inside the region (work-sharing,
+barriers, single/master, thread-local fields...) locate their team through
+:mod:`repro.runtime.context`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.runtime import context as ctx
+from repro.runtime.backend import Backend, get_backend
+from repro.runtime.barrier import CyclicBarrier
+from repro.runtime.config import get_config
+from repro.runtime.exceptions import BrokenTeamError
+from repro.runtime.trace import EventKind, TraceRecorder, get_global_recorder
+
+
+@dataclass
+class TeamMember:
+    """One member of a team: its id and (for spawned members) the OS thread."""
+
+    thread_id: int
+    thread: Optional[threading.Thread] = None
+    exception: Optional[BaseException] = None
+    result: Any = None
+
+
+class Team:
+    """A team of ``size`` threads executing one parallel region.
+
+    The team owns the synchronisation objects that have *team scope* in the
+    paper's model: the team barrier and the shared slots used by the
+    single/master/dynamic-for/ordered constructs.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        region_id: int = 0,
+        name: str | None = None,
+        recorder: TraceRecorder | None = None,
+        nesting_level: int = 0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"team size must be >= 1, got {size}")
+        self.size = size
+        self.name = name or f"region-{region_id}"
+        self.region_id = region_id
+        self.recorder = recorder
+        self.nesting_level = nesting_level
+        self.members = [TeamMember(thread_id=i) for i in range(size)]
+        self._barrier = CyclicBarrier(size)
+        self._shared: dict[Hashable, Any] = {}
+        self._shared_lock = threading.Lock()
+
+    # -- synchronisation ----------------------------------------------------
+
+    def barrier(self, *, label: str | None = None) -> None:
+        """Block the calling member until all team members have arrived.
+
+        Records a ``BARRIER`` trace event per member (the perf model uses
+        barriers to delimit phases).
+        """
+        if self.recorder is not None:
+            self.recorder.record(
+                EventKind.BARRIER,
+                self.region_id,
+                ctx.get_thread_id(),
+                label=label,
+            )
+        if self.size > 1:
+            self._barrier.wait()
+
+    def abort(self) -> None:
+        """Break the team barrier so that members blocked in it fail fast."""
+        self._barrier.abort()
+
+    # -- shared slots --------------------------------------------------------
+
+    def shared_slot(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the team-shared object registered under ``key``.
+
+        The first member to ask for ``key`` creates the object with
+        ``factory``; all members then observe the same instance.  Used for
+        dynamic-loop claim counters, single/master result broadcasts and
+        ordered-region tickets.
+        """
+        with self._shared_lock:
+            if key not in self._shared:
+                self._shared[key] = factory()
+            return self._shared[key]
+
+    def drop_slot(self, key: Hashable) -> None:
+        """Remove a shared slot (used once a construct instance is finished)."""
+        with self._shared_lock:
+            self._shared.pop(key, None)
+
+    # -- tracing helpers -----------------------------------------------------
+
+    def record(self, kind: EventKind, **data: Any) -> None:
+        """Record a trace event attributed to the calling member, if tracing."""
+        if self.recorder is not None:
+            self.recorder.record(kind, self.region_id, ctx.get_thread_id(), **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Team(name={self.name!r}, size={self.size}, region={self.region_id})"
+
+
+def _resolve_num_threads(num_threads: int | None, nesting_level: int) -> int:
+    config = get_config()
+    if nesting_level > 0 and not config.nested:
+        return 1
+    if nesting_level >= config.max_nesting_depth:
+        return 1
+    n = num_threads if num_threads is not None else config.num_threads
+    return max(1, int(n))
+
+
+def parallel_region(
+    body: Callable[[], Any],
+    *,
+    num_threads: int | None = None,
+    backend: Backend | None = None,
+    recorder: TraceRecorder | None = None,
+    name: str | None = None,
+) -> Any:
+    """Execute ``body`` as a parallel region and return the master's result.
+
+    Every team member calls ``body()`` (SPMD execution, exactly as the
+    ``around`` advice in the paper's Figure 9 makes every spawned thread and
+    the master call ``proceed()``).  The master's return value is returned to
+    the caller; the other members' return values are kept on the team's
+    :class:`TeamMember` records.
+
+    Parameters
+    ----------
+    body:
+        Zero-argument callable; use a closure or ``functools.partial`` to bind
+        arguments.
+    num_threads:
+        Team size; defaults to the global configuration.
+    backend:
+        Execution backend; defaults to the globally configured backend
+        (real threads).
+    recorder:
+        Trace recorder; defaults to the globally installed recorder (if any)
+        when tracing is enabled.
+    name:
+        Human-readable region name used in traces.
+    """
+    parent = ctx.current_context()
+    nesting_level = parent.nesting_level + 1 if parent is not None else 0
+    size = _resolve_num_threads(num_threads, nesting_level)
+    backend = backend if backend is not None else get_backend()
+    # A serial backend runs members one after another, which cannot satisfy
+    # multi-party barriers; clamp to a team of one (sequential semantics)
+    # unless the backend explicitly opts into multi-member serial execution.
+    if getattr(backend, "name", "") == "serial" and not getattr(backend, "allow_multi", False):
+        size = 1
+    config = get_config()
+    if recorder is None and config.tracing:
+        recorder = get_global_recorder()
+
+    region_id = recorder.new_region_id() if recorder is not None else 0
+    team = Team(
+        size,
+        region_id=region_id,
+        name=name,
+        recorder=recorder,
+        nesting_level=nesting_level,
+    )
+
+    if recorder is not None:
+        recorder.record(EventKind.REGION_BEGIN, region_id, ctx.get_thread_id(), name=team.name, size=size)
+
+    def run_member(thread_id: int) -> Any:
+        member = team.members[thread_id]
+        frame = ctx.ExecutionContext(
+            team=team,
+            thread_id=thread_id,
+            nesting_level=nesting_level,
+            parent=parent if thread_id == 0 else None,
+        )
+        ctx.push_context(frame)
+        start = time.perf_counter()
+        try:
+            member.result = body()
+            return member.result
+        except BaseException as exc:
+            member.exception = exc
+            team.abort()
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            if recorder is not None:
+                recorder.record(
+                    EventKind.PHASE_WORK,
+                    region_id,
+                    thread_id,
+                    elapsed=elapsed,
+                    label="region_body",
+                )
+            ctx.pop_context()
+
+    try:
+        result = backend.run_team(team, run_member)
+    finally:
+        if recorder is not None:
+            recorder.record(EventKind.REGION_END, region_id, ctx.get_thread_id(), name=team.name)
+
+    failures = [m for m in team.members if m.exception is not None]
+    if failures:
+        first = failures[0]
+        raise BrokenTeamError(
+            f"{len(failures)} team member(s) of {team.name} failed; first failure from "
+            f"thread {first.thread_id}: {first.exception!r}"
+        ) from first.exception
+    return result

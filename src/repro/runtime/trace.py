@@ -1,0 +1,169 @@
+"""Execution tracing.
+
+The runtime emits trace events describing *what the parallel execution did*:
+which team ran which region, which iterations each member executed for each
+work-shared loop, where barriers fell, how much time was spent inside named
+critical sections, which reductions were performed, and so on.
+
+These traces are the bridge between the real (GIL-bound) execution and the
+calibrated performance model in :mod:`repro.perf`: the model replays a trace
+against per-benchmark cost models to estimate the makespan a real multi-core
+machine would achieve.  (See DESIGN.md, substitution table.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator
+
+
+class EventKind(str, Enum):
+    """Kinds of trace events recorded by the runtime."""
+
+    REGION_BEGIN = "region_begin"
+    REGION_END = "region_end"
+    CHUNK = "chunk"                  # a member executed iterations [start, end) of a loop
+    BARRIER = "barrier"
+    CRITICAL = "critical"            # a member spent `elapsed` seconds serialised in a named lock
+    LOCK_ACQUIRE = "lock_acquire"    # fine-grained lock acquisition (per-object locks)
+    REDUCTION = "reduction"          # a reduction over `count` thread-local copies
+    SINGLE = "single"
+    MASTER = "master"
+    ORDERED = "ordered"
+    TASK_SPAWN = "task_spawn"
+    TASK_COMPLETE = "task_complete"
+    PHASE_WORK = "phase_work"        # generic replicated (non-loop) work performed by a member
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace event.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`EventKind`.
+    region:
+        Identifier of the parallel region (monotonically increasing per recorder).
+    thread_id:
+        Team-relative id of the member that emitted the event (0 = master).
+    seq:
+        Global sequence number (total order of emission).
+    data:
+        Event-specific payload, e.g. ``{"loop": "compute_forces", "start": 0,
+        "end": 128, "step": 1, "count": 128}`` for ``CHUNK`` events.
+    """
+
+    kind: EventKind
+    region: int
+    thread_id: int
+    seq: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Thread-safe collector of :class:`TraceEvent` objects.
+
+    A recorder is attached to a :class:`~repro.runtime.team.Team` (or installed
+    globally through :func:`set_global_recorder`) and later handed to
+    :class:`repro.perf.model.MakespanModel`.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._region_counter = itertools.count()
+
+    def new_region_id(self) -> int:
+        """Allocate a fresh region identifier."""
+        return next(self._region_counter)
+
+    def record(self, kind: EventKind, region: int, thread_id: int, **data: Any) -> TraceEvent:
+        """Record a new event and return it."""
+        event = TraceEvent(kind=kind, region=region, thread_id=thread_id, seq=next(self._seq), data=dict(data))
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def events(self, kind: EventKind | None = None, region: int | None = None) -> list[TraceEvent]:
+        """Return a snapshot of recorded events, optionally filtered."""
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is not None:
+            snapshot = [e for e in snapshot if e.kind is kind]
+        if region is not None:
+            snapshot = [e for e in snapshot if e.region == region]
+        return snapshot
+
+    def clear(self) -> None:
+        """Drop all recorded events (region/sequence counters keep increasing)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    # -- convenience accessors used by the perf model and tests ------------
+
+    def chunks_by_thread(self, region: int | None = None, loop: str | None = None) -> dict[int, list[TraceEvent]]:
+        """Group ``CHUNK`` events by executing thread id."""
+        grouped: dict[int, list[TraceEvent]] = {}
+        for event in self.events(EventKind.CHUNK, region):
+            if loop is not None and event.data.get("loop") != loop:
+                continue
+            grouped.setdefault(event.thread_id, []).append(event)
+        return grouped
+
+    def iterations_by_thread(self, region: int | None = None, loop: str | None = None) -> dict[int, list[int]]:
+        """Expand ``CHUNK`` events into the explicit iteration indices per thread."""
+        expanded: dict[int, list[int]] = {}
+        for thread_id, events in self.chunks_by_thread(region, loop).items():
+            indices: list[int] = []
+            for event in events:
+                start = event.data["start"]
+                end = event.data["end"]
+                step = event.data.get("step", 1)
+                indices.extend(range(start, end, step))
+            expanded[thread_id] = indices
+        return expanded
+
+    def loops(self, region: int | None = None) -> list[str]:
+        """Names of work-shared loops seen in the trace, in first-seen order."""
+        seen: dict[str, None] = {}
+        for event in self.events(EventKind.CHUNK, region):
+            seen.setdefault(event.data.get("loop", "<anonymous>"), None)
+        return list(seen)
+
+
+_global_recorder: TraceRecorder | None = None
+_global_lock = threading.Lock()
+
+
+def get_global_recorder() -> TraceRecorder | None:
+    """Return the process-wide recorder, if one is installed."""
+    return _global_recorder
+
+
+def set_global_recorder(recorder: TraceRecorder | None) -> TraceRecorder | None:
+    """Install (or clear, with ``None``) the process-wide recorder."""
+    global _global_recorder
+    with _global_lock:
+        previous, _global_recorder = _global_recorder, recorder
+    return previous
+
+
+def merge_traces(traces: Iterable[TraceRecorder]) -> list[TraceEvent]:
+    """Merge events from several recorders into a single list ordered by ``seq``."""
+    merged: list[TraceEvent] = []
+    for trace in traces:
+        merged.extend(trace.events())
+    merged.sort(key=lambda e: e.seq)
+    return merged

@@ -1,0 +1,199 @@
+"""Work-sharing executor for *for methods*.
+
+A *for method* exposes a loop's iteration range as its first three integer
+parameters ``(start, end, step)`` (paper Section III.A).  The executor in this
+module rewrites that range according to the calling thread's position in the
+team and the selected schedule, then invokes the original method once per
+assigned chunk — exactly the behaviour of the ``around`` advice in the paper's
+Figures 10 (static) and 11 (dynamic).
+
+The executor also:
+
+* records one ``CHUNK`` trace event per executed chunk (consumed by
+  :mod:`repro.perf`),
+* optionally installs an :class:`~repro.runtime.ordered.OrderedRegion`,
+* optionally performs the implicit end-of-loop barrier (``nowait=False``).
+
+Outside a parallel region the full range is executed directly — the paper's
+sequential-semantics guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Hashable
+
+from repro.runtime import context as ctx
+from repro.runtime.ordered import OrderedRegion, install_ordered_region
+from repro.runtime.scheduler import (
+    DynamicScheduler,
+    GuidedScheduler,
+    LoopChunk,
+    LoopScheduler,
+    Schedule,
+    StaticBlockScheduler,
+    StaticCyclicScheduler,
+    make_scheduler,
+)
+from repro.runtime.trace import EventKind
+
+
+def _loop_encounter_key(loop_name: str) -> Hashable:
+    """Key identifying this *execution* of the loop across the whole team.
+
+    The region body is SPMD, so the *n*-th time each member reaches the loop
+    corresponds to the same logical loop execution; a per-member counter keyed
+    by loop name therefore yields matching keys on every member.
+    """
+    context = ctx.current_context()
+    assert context is not None
+    counters: dict[str, int] = context.scratch.setdefault("loop_counters", {})
+    occurrence = counters.get(loop_name, 0)
+    counters[loop_name] = occurrence + 1
+    return ("for", loop_name, occurrence)
+
+
+def run_for(
+    body: Callable[..., Any],
+    start: int,
+    end: int,
+    step: int,
+    *args: Any,
+    schedule: "str | Schedule" = Schedule.STATIC_BLOCK,
+    chunk: int = 1,
+    loop_name: str | None = None,
+    ordered: bool = False,
+    nowait: bool = False,
+    weight: Callable[[int], float] | None = None,
+    **kwargs: Any,
+) -> Any:
+    """Execute for-method ``body`` with its range distributed over the team.
+
+    Parameters
+    ----------
+    body:
+        The original for method; called as ``body(chunk_start, chunk_end,
+        step, *args, **kwargs)`` for each chunk assigned to this thread.
+    start, end, step:
+        The full loop range as passed by the caller of the for method.
+    schedule, chunk:
+        Loop schedule and chunk size (``chunk`` applies to cyclic, dynamic and
+        guided schedules).
+    loop_name:
+        Name recorded in trace events; defaults to ``body.__name__``.
+    ordered:
+        Whether an ordered region spanning the full range should be installed
+        while the loop runs (needed when the loop body uses ``@Ordered``).
+    nowait:
+        Skip the implicit barrier at the end of the work-shared loop.
+    weight:
+        Optional per-iteration weight function recorded with each chunk so the
+        performance model can account for non-uniform iteration costs.
+
+    Returns the result of the last chunk invocation on this thread (for
+    methods are normally ``void``, mirroring the paper).
+    """
+    context = ctx.current_context()
+    name = loop_name or getattr(body, "__name__", "<loop>")
+
+    if context is None or context.team.size == 1:
+        # Sequential semantics: run the untouched range.
+        began = time.perf_counter()
+        result = body(start, end, step, *args, **kwargs)
+        team = context.team if context is not None else None
+        if team is not None:
+            full = LoopChunk(start, end, step)
+            _record_chunk(team, name, full, weight, elapsed=time.perf_counter() - began)
+        return result
+
+    team = context.team
+    scheduler = make_scheduler(schedule, chunk=chunk)
+
+    ordered_region: OrderedRegion | None = None
+    previous_ordered: OrderedRegion | None = None
+    if ordered:
+        loop_key = _loop_encounter_key(f"{name}#ordered")
+        ordered_region = team.shared_slot(loop_key, lambda: OrderedRegion(start, end, step))
+        previous_ordered = install_ordered_region(ordered_region)
+
+    result: Any = None
+    try:
+        if isinstance(scheduler, GuidedScheduler):
+            loop_key = _loop_encounter_key(name)
+            state = team.shared_slot(
+                loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
+            )
+            for piece in scheduler.chunks_from_guided(state, start, end, step):
+                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
+        elif isinstance(scheduler, DynamicScheduler):
+            loop_key = _loop_encounter_key(name)
+            state = team.shared_slot(loop_key, lambda: scheduler.new_state(start, end, step))
+            for piece in scheduler.chunks_from(state, start, end, step):
+                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
+        else:
+            for piece in scheduler.chunks_for(context.thread_id, team.size, start, end, step):
+                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
+    finally:
+        if ordered:
+            install_ordered_region(previous_ordered)
+
+    if not nowait:
+        team.barrier(label=f"for:{name}")
+    return result
+
+
+def _run_chunk(
+    body: Callable[..., Any],
+    piece: LoopChunk,
+    args: tuple,
+    kwargs: dict,
+    team,
+    name: str,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    if piece.is_empty():
+        return None
+    start = time.perf_counter()
+    try:
+        return body(piece.start, piece.end, piece.step, *args, **kwargs)
+    finally:
+        _record_chunk(team, name, piece, weight, elapsed=time.perf_counter() - start)
+
+
+def _record_chunk(
+    team, name: str, piece: LoopChunk, weight: Callable[[int], float] | None, elapsed: float | None = None
+) -> None:
+    total_weight: float | None = None
+    if weight is not None:
+        total_weight = float(sum(weight(i) for i in piece.indices()))
+    team.record(
+        EventKind.CHUNK,
+        loop=name,
+        start=piece.start,
+        end=piece.end,
+        step=piece.step,
+        count=piece.count,
+        weight=total_weight,
+        elapsed=elapsed,
+    )
+
+
+def static_partition(
+    num_threads: int,
+    start: int,
+    end: int,
+    step: int,
+    *,
+    schedule: "str | Schedule" = Schedule.STATIC_BLOCK,
+    chunk: int = 1,
+) -> list[list[LoopChunk]]:
+    """Return the per-thread chunk lists for a static schedule.
+
+    Convenience wrapper used by the hand-written threaded baselines and by
+    the performance model's analytic mode (large problem sizes that are not
+    actually executed).
+    """
+    scheduler: LoopScheduler = make_scheduler(schedule, chunk=chunk)
+    if isinstance(scheduler, (StaticBlockScheduler, StaticCyclicScheduler)):
+        return scheduler.partition(num_threads, start, end, step)
+    raise ValueError(f"schedule {schedule!r} has no static partition")

@@ -1,0 +1,41 @@
+"""Shared pytest fixtures for the PyAOmpLib test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.backend import ThreadBackend, set_backend
+from repro.runtime.config import RuntimeConfig, set_config
+from repro.runtime.locks import global_locks
+from repro.runtime.threadlocal import global_thread_locals
+from repro.runtime.trace import TraceRecorder, set_global_recorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime_state():
+    """Reset global runtime state around every test.
+
+    Tests freely change the global configuration, backend, lock registry and
+    trace recorder; this fixture guarantees isolation.
+    """
+    previous_backend = set_backend(ThreadBackend())
+    previous_recorder = set_global_recorder(None)
+    set_config(RuntimeConfig(num_threads=4, tracing=True))
+    global_locks.clear()
+    yield
+    set_backend(previous_backend)
+    set_global_recorder(previous_recorder)
+    set_config(RuntimeConfig())
+    global_locks.clear()
+    # The thread-local store is keyed by object identity; dropping references
+    # is enough, but clear defensively to keep memory bounded across the run.
+    global_thread_locals._values.clear()  # noqa: SLF001 - test-only cleanup
+
+
+@pytest.fixture
+def recorder():
+    """A trace recorder installed as the global recorder for the test."""
+    rec = TraceRecorder()
+    set_global_recorder(rec)
+    yield rec
+    set_global_recorder(None)

@@ -1,0 +1,466 @@
+"""Tests for the library aspects (Table 1 abstractions), pointcut style."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import numpy as np
+
+from repro.core.aspects.composite import ParallelFor
+from repro.core.aspects.data import ReduceAspect, ThreadLocalFieldAspect
+from repro.core.aspects.execution import (
+    FutureResultAspect,
+    FutureTaskAspect,
+    MasterAspect,
+    SingleAspect,
+    TaskAspect,
+    TaskWaitAspect,
+)
+from repro.core.aspects.parallel_region import ParallelRegion
+from repro.core.aspects.synchronization import (
+    BarrierAfterAspect,
+    BarrierBeforeAspect,
+    CriticalAspect,
+    ReadersWriterAspect,
+)
+from repro.core.aspects.worksharing import ForCyclic, ForDynamic, ForStatic, ForWorkSharing, OrderedAspect
+from repro.core.weaver.pointcut import call
+from repro.core.weaver.weaver import Weaver
+from repro.runtime import context as ctx
+from repro.runtime.exceptions import SchedulingError, BrokenTeamError
+from repro.runtime.tasks import FutureResult, TaskHandle
+from repro.runtime.threadlocal import ArrayReducer, SumReducer
+
+
+@pytest.fixture
+def weaver():
+    w = Weaver()
+    yield w
+    w.unweave_all()
+
+
+class TestParallelRegionAspect:
+    def test_region_spawns_team(self, weaver):
+        class App:
+            def __init__(self):
+                self.threads = set()
+                self.lock = threading.Lock()
+
+            def region(self):
+                with self.lock:
+                    self.threads.add(ctx.get_thread_id())
+
+        weaver.weave(ParallelRegion(call("App.region"), threads=4), App)
+        app = App()
+        app.region()
+        assert app.threads == {0, 1, 2, 3}
+
+    def test_threads_provider_override(self, weaver):
+        class Sized(ParallelRegion):
+            def num_threads(self):
+                return 3
+
+        class App:
+            def __init__(self):
+                self.count = 0
+                self.lock = threading.Lock()
+
+            def region(self):
+                with self.lock:
+                    self.count += 1
+
+        weaver.weave(Sized(call("App.region")), App)
+        app = App()
+        app.region()
+        assert app.count == 3
+
+    def test_master_return_value(self, weaver):
+        class App:
+            def region(self):
+                return ctx.get_thread_id() + 100
+
+        weaver.weave(ParallelRegion(call("App.region"), threads=4), App)
+        assert App().region() == 100
+
+
+class TestForAspects:
+    def make_app(self):
+        class App:
+            def __init__(self):
+                self.seen = []
+                self.lock = threading.Lock()
+
+            def region(self):
+                self.loop(0, 30, 1)
+
+            def loop(self, start, end, step):
+                tid = ctx.get_thread_id()
+                with self.lock:
+                    self.seen.extend((tid, i) for i in range(start, end, step))
+
+        return App
+
+    @pytest.mark.parametrize("aspect_cls", [ForStatic, ForCyclic, ForDynamic])
+    def test_every_iteration_runs_once(self, weaver, aspect_cls):
+        App = self.make_app()
+        weaver.weave(aspect_cls(call("App.loop")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=3), App)
+        app = App()
+        app.region()
+        assert sorted(i for _, i in app.seen) == list(range(30))
+
+    def test_cyclic_distribution_shape(self, weaver):
+        App = self.make_app()
+        weaver.weave(ForCyclic(call("App.loop")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=3), App)
+        app = App()
+        app.region()
+        thread_zero = sorted(i for tid, i in app.seen if tid == 0)
+        assert thread_zero == list(range(0, 30, 3))
+
+    def test_non_for_method_raises(self, weaver):
+        class Bad:
+            def region(self):
+                self.not_a_loop()
+
+            def not_a_loop(self):
+                pass
+
+        weaver.weave(ForStatic(call("Bad.not_a_loop")), Bad)
+        weaver.weave(ParallelRegion(call("Bad.region"), threads=2), Bad)
+        with pytest.raises((SchedulingError, BrokenTeamError)):
+            Bad().region()
+
+    def test_sequential_semantics_without_region(self, weaver):
+        App = self.make_app()
+        weaver.weave(ForStatic(call("App.loop")), App)
+        app = App()
+        app.loop(0, 10, 1)
+        assert sorted(i for _, i in app.seen) == list(range(10))
+        assert {tid for tid, _ in app.seen} == {0}
+
+    def test_case_specific_schedule_override(self, weaver):
+        class EvenOddSchedule(ForWorkSharing):
+            """Case-specific schedule: picks cyclic, as the Sparse benchmark does."""
+
+            def loop_schedule(self):
+                return "staticCyclic"
+
+        App = self.make_app()
+        weaver.weave(EvenOddSchedule(call("App.loop")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=2), App)
+        app = App()
+        app.region()
+        thread_zero = sorted(i for tid, i in app.seen if tid == 0)
+        assert thread_zero == list(range(0, 30, 2))
+
+    def test_parallel_for_combined_construct(self, weaver):
+        class App:
+            def __init__(self):
+                self.seen = []
+                self.lock = threading.Lock()
+
+            def sweep(self, start, end, step):
+                tid = ctx.get_thread_id()
+                with self.lock:
+                    self.seen.extend((tid, i) for i in range(start, end, step))
+
+        weaver.weave(ParallelFor(call("App.sweep"), threads=4), App)
+        app = App()
+        app.sweep(0, 24, 1)
+        assert sorted(i for _, i in app.seen) == list(range(24))
+        assert len({tid for tid, _ in app.seen}) == 4
+
+
+class TestOrderedAspect:
+    def test_ordered_execution_matches_sequential_order(self, weaver):
+        class App:
+            def __init__(self):
+                self.log = []
+                self.lock = threading.Lock()
+
+            def region(self):
+                self.loop(0, 12, 1)
+
+            def loop(self, start, end, step):
+                for i in range(start, end, step):
+                    self.record(i)
+
+            def record(self, i):
+                with self.lock:
+                    self.log.append(i)
+
+        weaver.weave(OrderedAspect(call("App.record")), App)
+        weaver.weave(ForCyclic(call("App.loop"), ordered=True), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=4), App)
+        app = App()
+        app.region()
+        assert app.log == list(range(12))
+
+
+class TestSynchronizationAspects:
+    def test_critical_prevents_data_race(self, weaver):
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            def region(self):
+                for _ in range(50):
+                    self.increment()
+
+            def increment(self):
+                current = self.value
+                time.sleep(0.00005)
+                self.value = current + 1
+
+        weaver.weave(CriticalAspect(call("Counter.increment"), lock_id="inc"), Counter)
+        weaver.weave(ParallelRegion(call("Counter.region"), threads=4), Counter)
+        counter = Counter()
+        counter.region()
+        assert counter.value == 200
+
+    def test_shared_lock_spans_type_unrelated_objects(self, weaver):
+        class A:
+            def touch(self):
+                return "a"
+
+        class B:
+            def touch(self):
+                return "b"
+
+        aspect = CriticalAspect(call("touch"), lock_id="shared")
+        weaver.weave(aspect, A, B)
+        assert A().touch() == "a"
+        assert B().touch() == "b"
+
+    def test_barriers_before_and_after(self, weaver):
+        class App:
+            def __init__(self):
+                self.order = []
+                self.lock = threading.Lock()
+
+            def region(self):
+                with self.lock:
+                    self.order.append(("work", ctx.get_thread_id()))
+                self.sync_point()
+
+            def sync_point(self):
+                with self.lock:
+                    self.order.append(("sync", ctx.get_thread_id()))
+
+        weaver.weave(BarrierBeforeAspect(call("App.sync_point")), App)
+        weaver.weave(BarrierAfterAspect(call("App.sync_point")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=4), App)
+        app = App()
+        app.region()
+        tags = [tag for tag, _ in app.order]
+        # All 'work' entries happen before any 'sync' entry (barrier-before).
+        assert tags[:4] == ["work"] * 4
+        assert tags[4:] == ["sync"] * 4
+
+    def test_readers_writer_pair(self, weaver):
+        class Store:
+            def __init__(self):
+                self.data = {}
+
+            def region(self):
+                tid = ctx.get_thread_id()
+                if tid == 0:
+                    self.put("k", 1)
+                else:
+                    self.get("k")
+
+            def get(self, key):
+                return self.data.get(key)
+
+            def put(self, key, value):
+                self.data[key] = value
+
+        pair = ReadersWriterAspect(call("Store.get"), call("Store.put"))
+        weaver.weave_all(pair.aspects(), Store)
+        weaver.weave(ParallelRegion(call("Store.region"), threads=4), Store)
+        store = Store()
+        store.region()
+        assert store.data == {"k": 1}
+        assert pair.reader_aspect().rwlock is pair.writer_aspect().rwlock
+
+
+class TestExecutionAspects:
+    def test_single_and_master(self, weaver):
+        class App:
+            def __init__(self):
+                self.single_runs = []
+                self.master_runs = []
+                self.lock = threading.Lock()
+
+            def region(self):
+                self.only_once()
+                self.only_master()
+
+            def only_once(self):
+                with self.lock:
+                    self.single_runs.append(ctx.get_thread_id())
+
+            def only_master(self):
+                with self.lock:
+                    self.master_runs.append(ctx.get_thread_id())
+
+        weaver.weave(SingleAspect(call("App.only_once")), App)
+        weaver.weave(MasterAspect(call("App.only_master")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=4), App)
+        app = App()
+        app.region()
+        assert len(app.single_runs) == 1
+        assert app.master_runs == [0]
+
+    def test_master_broadcasts_result(self, weaver):
+        class App:
+            def __init__(self):
+                self.received = []
+                self.lock = threading.Lock()
+
+            def region(self):
+                value = self.compute_pivot()
+                with self.lock:
+                    self.received.append(value)
+
+            def compute_pivot(self):
+                return 42
+
+        weaver.weave(MasterAspect(call("App.compute_pivot")), App)
+        weaver.weave(ParallelRegion(call("App.region"), threads=3), App)
+        app = App()
+        app.region()
+        assert app.received == [42, 42, 42]
+
+    def test_task_and_task_wait(self, weaver):
+        class App:
+            def __init__(self):
+                self.done = []
+                self.lock = threading.Lock()
+
+            def main(self):
+                for i in range(4):
+                    self.background(i)
+                self.join_point()
+                return list(self.done)
+
+            def background(self, i):
+                with self.lock:
+                    self.done.append(i)
+
+            def join_point(self):
+                pass
+
+        weaver.weave(TaskAspect(call("App.background")), App)
+        weaver.weave(TaskWaitAspect(call("App.join_point")), App)
+        app = App()
+        result = app.main()
+        assert sorted(result) == [0, 1, 2, 3]
+
+    def test_task_returns_handle(self, weaver):
+        class App:
+            def work(self):
+                return "done"
+
+        weaver.weave(TaskAspect(call("App.work")), App)
+        handle = App().work()
+        assert isinstance(handle, TaskHandle)
+        assert handle.join(timeout=5) == "done"
+
+    def test_future_task_and_future_result(self, weaver):
+        class Result:
+            def __init__(self, value):
+                self.value = value
+
+            def get_value(self):
+                return self.value
+
+        class App:
+            def compute(self):
+                time.sleep(0.05)
+                return Result(99)
+
+        weaver.weave(FutureTaskAspect(call("App.compute")), App)
+        weaver.weave(FutureResultAspect(call("Result.get_value"), attribute=None), Result)
+        future = App().compute()
+        assert isinstance(future, FutureResult)
+        assert future.get(timeout=5).get_value() == 99
+
+
+class TestDataAspects:
+    def test_thread_local_field_isolates_threads(self, weaver):
+        class Accumulator:
+            def __init__(self):
+                self.partial = 0.0
+                self.totals = {}
+                self.lock = threading.Lock()
+
+            def region(self):
+                tid = ctx.get_thread_id()
+                self.partial = 0.0
+                for i in range(10):
+                    self.partial += tid + 1
+                with self.lock:
+                    self.totals[tid] = self.partial
+
+        weaver.weave(ThreadLocalFieldAspect("partial", classes=[Accumulator]), Accumulator)
+        weaver.weave(ParallelRegion(call("Accumulator.region"), threads=3), Accumulator)
+        acc = Accumulator()
+        acc.region()
+        assert acc.totals == {0: 10.0, 1: 20.0, 2: 30.0}
+
+    def test_reduce_aspect_merges_thread_locals(self, weaver):
+        class Histogram:
+            def __init__(self):
+                self.counts = np.zeros(4)
+
+            def region(self):
+                self.fill()
+
+            def fill(self):
+                local = self.counts
+                local = local + 1.0
+                self.counts = local
+
+        field_aspect = ThreadLocalFieldAspect("counts", classes=[Histogram], copy_value=np.copy)
+        weaver.weave(field_aspect, Histogram)
+        weaver.weave(
+            ReduceAspect(call("Histogram.fill"), field_aspect=field_aspect, reducer=ArrayReducer(), include_shared=False),
+            Histogram,
+        )
+        weaver.weave(ParallelRegion(call("Histogram.region"), threads=4), Histogram)
+        histogram = Histogram()
+        histogram.region()
+        assert histogram.counts.tolist() == [4.0, 4.0, 4.0, 4.0]
+
+    def test_thread_local_outside_region_behaves_normally(self, weaver):
+        class Plain:
+            def __init__(self):
+                self.value = 5
+
+        weaver.weave(ThreadLocalFieldAspect("value", classes=[Plain]), Plain)
+        obj = Plain()
+        assert obj.value == 5
+        obj.value = 7
+        assert obj.value == 7
+
+    def test_programmatic_reduce(self, weaver):
+        class Summed:
+            def __init__(self):
+                self.total = 0
+
+            def region(self):
+                self.total = ctx.get_thread_id() + 1
+
+        field_aspect = ThreadLocalFieldAspect("total", classes=[Summed])
+        weaver.weave(field_aspect, Summed)
+        weaver.weave(ParallelRegion(call("Summed.region"), threads=4), Summed)
+        obj = Summed()
+        obj.region()
+        merged = field_aspect.reduce(obj, SumReducer(), include_shared=False)
+        assert merged == 1 + 2 + 3 + 4
+        assert obj.total == 10

@@ -1,0 +1,164 @@
+"""Tests for the experiment drivers (Figure 13, Table 2, Figure 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure13, figure15, table2
+from repro.experiments.harness import (
+    aspect_interception_cost,
+    calibrate_cost_model_from_trace,
+    count_advice_activations,
+    estimate_jgf_and_aomp,
+)
+from repro.jgf import BENCHMARKS
+from repro.perf.machines import INTEL_I7
+from repro.runtime.config import config_override
+from repro.runtime.trace import TraceRecorder
+
+
+class TestHarness:
+    def test_calibration_builds_loop_costs(self):
+        recorder = TraceRecorder()
+        with config_override(num_threads=1):
+            BENCHMARKS["Series"].run_aomp("tiny", num_threads=1, recorder=recorder)
+        model = calibrate_cost_model_from_trace(recorder)
+        assert model.loops
+        for cost in model.loops.values():
+            assert cost.seconds_per_unit > 0
+
+    def test_interception_cost_positive_and_cached(self):
+        first = aspect_interception_cost(samples=2000)
+        second = aspect_interception_cost(samples=2000)
+        assert first > 0
+        assert first == second
+
+    def test_estimate_jgf_and_aomp_ordering(self):
+        recorder = TraceRecorder()
+        with config_override(num_threads=1):
+            BENCHMARKS["Series"].run_aomp("tiny", num_threads=1, recorder=recorder)
+        cost_model = calibrate_cost_model_from_trace(recorder)
+        parallel = TraceRecorder()
+        BENCHMARKS["Series"].run_aomp("tiny", num_threads=4, recorder=parallel)
+        estimate = estimate_jgf_and_aomp("Series", parallel, cost_model, INTEL_I7, 4)
+        assert estimate.aomp.speedup <= estimate.jgf.speedup
+        assert estimate.relative_difference >= 0.0
+        assert count_advice_activations(parallel) > 0
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure13.run(size="tiny", benchmarks=["Series", "SOR"])
+
+    def test_report_covers_both_machines_and_styles(self, report):
+        configurations = report.configurations()
+        assert any(c.startswith("JGF i7") for c in configurations)
+        assert any(c.startswith("AOmp xeon") for c in configurations)
+        assert set(report.benchmarks()) == {"Series", "SOR"}
+
+    def test_speedups_are_positive_and_bounded(self, report):
+        for entry in report.entries:
+            assert 0 < entry["speedup"] <= entry["threads"]
+
+    def test_aomp_close_to_jgf(self, report):
+        """The headline Figure 13 claim: AOmp tracks the hand-written version."""
+        for benchmark in report.benchmarks():
+            for machine_key in ("i7-8threads", "xeon-24threads"):
+                jgf = report.speedup(f"JGF {machine_key}", benchmark)
+                aomp = report.speedup(f"AOmp {machine_key}", benchmark)
+                assert aomp <= jgf + 1e-9
+                assert (jgf - aomp) / jgf < 0.10  # tiny workloads; < 1% at realistic sizes
+
+    def test_embarrassingly_parallel_scales_better_than_memory_bound(self, report):
+        """Series must out-scale SOR on the big machine (the paper's locality remark)."""
+        assert report.speedup("JGF xeon-24threads", "Series") > report.speedup("JGF xeon-24threads", "SOR")
+
+    def test_paper_reference_values_present(self):
+        assert figure13.PAPER_REPORTED[("Series", "xeon-24threads")] > figure13.PAPER_REPORTED[("LUFact", "xeon-24threads")]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.run(num_threads=4)
+
+    def test_all_benchmarks_present(self, rows):
+        assert {row.benchmark for row in rows} == set(BENCHMARKS)
+
+    def test_every_row_has_region_and_loop(self, rows):
+        for row in rows:
+            assert "PR" in row.abstractions
+            assert "FOR" in row.abstractions or "CS" in row.abstractions
+
+    def test_schedules_match_paper(self, rows):
+        by_name = {row.benchmark: row for row in rows}
+        assert "FOR(block)" in by_name["Crypt"].abstractions
+        assert "FOR(cyclic)" in by_name["MonteCarlo"].abstractions
+        assert "FOR(cyclic)" in by_name["RayTracer"].abstractions
+        assert "CS" in by_name["Sparse"].abstractions
+        assert "2xTLF" in by_name["MolDyn"].abstractions
+        assert "4xBR" in by_name["LUFact"].abstractions and "2xMA" in by_name["LUFact"].abstractions
+
+    def test_refactorings_match_paper(self, rows):
+        for row in rows:
+            assert row.refactorings.replace(" ", "") == row.paper_refactorings.replace(" ", "")
+
+    def test_table_renders(self, rows):
+        text = table2.to_table(rows)
+        assert "MolDyn" in text and "paper abstractions" in text
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        return figure15.calibrate(neighbour_sample_particles=256)
+
+    @pytest.fixture(scope="class")
+    def report(self, calibration):
+        return figure15.run(calibration=calibration)
+
+    def test_report_has_all_points(self, report):
+        assert len(report.entries) == len(figure15.STRATEGIES) * len(figure15.PAPER_PARTICLE_COUNTS) * len(
+            figure15.PAPER_THREAD_COUNTS
+        )
+
+    def test_speedups_bounded_by_threads(self, report):
+        for entry in report.entries:
+            assert 0 < entry["speedup"] <= entry["threads"] + 1e-9
+
+    def test_locks_beat_jgf_at_12_threads_for_large_sizes(self, report):
+        """Paper: 'a lock per particle provides better performance than the JGF base implementation for 12 threads'."""
+        for particles in ("256000", "500000"):
+            locks = report.speedup("locks-12threads", particles)
+            jgf = report.speedup("jgf-12threads", particles)
+            assert locks > jgf
+
+    def test_critical_best_for_largest_sizes_at_4_threads(self, report):
+        """Paper: 'for larger number of particles (256k and 500k) and a small number of threads the critical region approach is the best strategy'."""
+        for particles in ("500000",):
+            critical = report.speedup("critical-4threads", particles)
+            assert critical >= report.speedup("jgf-4threads", particles)
+            assert critical >= report.speedup("locks-4threads", particles)
+
+    def test_critical_does_not_scale_to_12_threads(self, report):
+        """Serialisation keeps the critical variant far from ideal at 12 threads."""
+        assert report.speedup("critical-12threads", "8788") < 8.0
+
+    def test_jgf_competitive_at_reference_size(self, report):
+        """At the JGF reference size (8788) the thread-local variant is competitive at 4 threads."""
+        assert report.speedup("jgf-4threads", "8788") > 3.0
+
+    def test_calibration_measures_neighbours(self, calibration):
+        assert calibration.average_neighbours > 0
+        assert calibration.seconds_per_pair > 0
+
+    def test_python_calibration_source(self):
+        calibration = figure15.calibrate(neighbour_sample_particles=108, source="python")
+        assert calibration.seconds_per_update > 0
+        with pytest.raises(ValueError):
+            figure15.calibrate(source="nope")
+
+    def test_unknown_strategy_rejected(self, calibration):
+        with pytest.raises(ValueError):
+            figure15.build_scenario("magic", 864, 4, calibration)

@@ -1,0 +1,226 @@
+"""Tests for teams, parallel regions, contexts and backends."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import context as ctx
+from repro.runtime.backend import SerialBackend, ThreadBackend, get_backend, set_backend
+from repro.runtime.config import config_override, set_num_threads
+from repro.runtime.exceptions import BrokenTeamError
+from repro.runtime.team import Team, parallel_region
+from repro.runtime.trace import EventKind, TraceRecorder
+
+
+class TestParallelRegion:
+    def test_every_member_executes_body(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                seen.append((ctx.get_thread_id(), threading.get_ident()))
+
+        parallel_region(body, num_threads=4)
+        ids = sorted(tid for tid, _ in seen)
+        assert ids == [0, 1, 2, 3]
+        # The master runs on the calling thread; workers run on spawned
+        # threads (OS thread identifiers may be recycled once a worker exits,
+        # so only the master/worker distinction is asserted).
+        master_os_id = next(os_id for tid, os_id in seen if tid == 0)
+        assert master_os_id == threading.get_ident()
+        assert any(os_id != master_os_id for tid, os_id in seen if tid != 0)
+
+    def test_master_result_returned(self):
+        def body():
+            return ctx.get_thread_id() * 10
+
+        assert parallel_region(body, num_threads=3) == 0
+
+    def test_default_team_size_from_config(self):
+        set_num_threads(5)
+        sizes = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                sizes.append(ctx.get_num_team_threads())
+
+        parallel_region(body)
+        assert sizes == [5] * 5
+
+    def test_single_thread_region_runs_inline(self):
+        def body():
+            return (ctx.get_thread_id(), ctx.in_parallel(), threading.get_ident())
+
+        tid, inside, os_id = parallel_region(body, num_threads=1)
+        assert tid == 0 and inside is True
+        assert os_id == threading.get_ident()
+
+    def test_context_cleared_after_region(self):
+        parallel_region(lambda: None, num_threads=2)
+        assert ctx.current_context() is None
+        assert not ctx.in_parallel()
+        assert ctx.get_thread_id() == 0
+        assert ctx.get_num_team_threads() == 1
+
+    def test_member_exception_becomes_broken_team(self):
+        def body():
+            if ctx.get_thread_id() == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=3)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_master_exception_becomes_broken_team(self):
+        def body():
+            if ctx.get_thread_id() == 0:
+                raise RuntimeError("master failed")
+
+        with pytest.raises(BrokenTeamError):
+            parallel_region(body, num_threads=3)
+
+    def test_team_barrier_synchronises_members(self):
+        order = []
+        lock = threading.Lock()
+
+        def body():
+            team = ctx.current_team()
+            with lock:
+                order.append(("before", ctx.get_thread_id()))
+            team.barrier()
+            with lock:
+                order.append(("after", ctx.get_thread_id()))
+
+        parallel_region(body, num_threads=4)
+        phases = [phase for phase, _ in order]
+        # All "before" entries precede all "after" entries.
+        assert phases.index("after") == 4
+        assert phases[:4] == ["before"] * 4
+
+    def test_nested_regions_create_nested_teams(self):
+        observed = []
+        lock = threading.Lock()
+
+        def inner():
+            with lock:
+                observed.append((ctx.current_context().nesting_level, ctx.get_num_team_threads()))
+
+        def outer():
+            parallel_region(inner, num_threads=2)
+
+        parallel_region(outer, num_threads=2)
+        assert len(observed) == 4  # 2 outer members x 2 inner members
+        assert all(level == 1 and size == 2 for level, size in observed)
+
+    def test_nested_disabled_clamps_to_one(self):
+        observed = []
+        lock = threading.Lock()
+
+        def inner():
+            with lock:
+                observed.append(ctx.get_num_team_threads())
+
+        def outer():
+            parallel_region(inner, num_threads=3)
+
+        with config_override(nested=False):
+            parallel_region(outer, num_threads=2)
+        assert observed == [1, 1]
+
+    def test_return_values_of_all_members_recorded(self):
+        def body():
+            return ctx.get_thread_id() * 2
+
+        recorder = TraceRecorder()
+        # Use the low-level API through parallel_region and inspect the trace
+        # to ensure every member ran; results live on the Team but the Team is
+        # internal — the observable contract is the master result plus traces.
+        result = parallel_region(body, num_threads=3, recorder=recorder)
+        assert result == 0
+        begins = recorder.events(EventKind.REGION_BEGIN)
+        assert len(begins) == 1 and begins[0].data["size"] == 3
+
+    def test_num_threads_argument_overrides_config(self):
+        set_num_threads(2)
+        sizes = set()
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                sizes.add(ctx.get_num_team_threads())
+
+        parallel_region(body, num_threads=6)
+        assert sizes == {6}
+
+
+class TestBackends:
+    def test_serial_backend_clamps_to_one_member(self):
+        observed = []
+
+        def body():
+            observed.append((ctx.get_thread_id(), ctx.get_num_team_threads()))
+
+        parallel_region(body, num_threads=4, backend=SerialBackend())
+        assert observed == [(0, 1)]
+
+    def test_serial_backend_allow_multi_runs_all_members_inline(self):
+        observed = []
+
+        def body():
+            observed.append(ctx.get_thread_id())
+
+        parallel_region(body, num_threads=3, backend=SerialBackend(allow_multi=True))
+        assert observed == [0, 1, 2]
+
+    def test_set_backend_globally(self):
+        previous = set_backend(SerialBackend())
+        try:
+            assert isinstance(get_backend(), SerialBackend)
+            observed = []
+            parallel_region(lambda: observed.append(ctx.get_thread_id()), num_threads=4)
+            assert observed == [0]
+        finally:
+            set_backend(previous)
+
+    def test_thread_backend_daemon_flag(self):
+        backend = ThreadBackend(daemon=False)
+        assert backend.daemon is False
+
+
+class TestTeamObject:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Team(0)
+
+    def test_shared_slot_created_once(self):
+        team = Team(2)
+        created = []
+
+        def factory():
+            created.append(1)
+            return object()
+
+        first = team.shared_slot("key", factory)
+        second = team.shared_slot("key", factory)
+        assert first is second
+        assert len(created) == 1
+
+    def test_drop_slot(self):
+        team = Team(2)
+        team.shared_slot("key", list)
+        team.drop_slot("key")
+        fresh = team.shared_slot("key", dict)
+        assert isinstance(fresh, dict)
+
+    def test_region_trace_events(self, recorder):
+        parallel_region(lambda: None, num_threads=2, name="traced")
+        kinds = [e.kind for e in recorder.events()]
+        assert EventKind.REGION_BEGIN in kinds
+        assert EventKind.REGION_END in kinds
+        work = recorder.events(EventKind.PHASE_WORK)
+        assert len(work) == 2  # one per member

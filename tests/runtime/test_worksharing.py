@@ -1,0 +1,222 @@
+"""Tests for the work-sharing executor (run_for) inside parallel regions."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import context as ctx
+from repro.runtime.exceptions import SchedulingError
+from repro.runtime.team import parallel_region
+from repro.runtime.trace import EventKind, TraceRecorder
+from repro.runtime.worksharing import run_for, static_partition
+
+
+def make_accumulating_loop(results, lock):
+    """A for-method appending (thread_id, index) for each executed iteration."""
+
+    def loop(start, end, step):
+        tid = ctx.get_thread_id()
+        for i in range(start, end, step):
+            with lock:
+                results.append((tid, i))
+
+    return loop
+
+
+@pytest.mark.parametrize("schedule", ["staticBlock", "staticCyclic", "dynamic", "guided"])
+def test_all_iterations_executed_exactly_once(schedule):
+    results = []
+    lock = threading.Lock()
+    loop = make_accumulating_loop(results, lock)
+
+    def body():
+        run_for(loop, 0, 40, 1, schedule=schedule)
+
+    parallel_region(body, num_threads=4)
+    indices = sorted(i for _, i in results)
+    assert indices == list(range(40))
+
+
+def test_static_block_assigns_contiguous_ranges():
+    results = []
+    lock = threading.Lock()
+    loop = make_accumulating_loop(results, lock)
+
+    def body():
+        run_for(loop, 0, 8, 1, schedule="staticBlock")
+
+    parallel_region(body, num_threads=4)
+    per_thread = {}
+    for tid, i in results:
+        per_thread.setdefault(tid, []).append(i)
+    assert sorted(per_thread.keys()) == [0, 1, 2, 3]
+    assert sorted(per_thread[0]) == [0, 1]
+    assert sorted(per_thread[3]) == [6, 7]
+
+
+def test_cyclic_distribution_matches_paper_pattern():
+    results = []
+    lock = threading.Lock()
+    loop = make_accumulating_loop(results, lock)
+
+    def body():
+        run_for(loop, 0, 9, 1, schedule="staticCyclic")
+
+    parallel_region(body, num_threads=3)
+    per_thread = {tid: sorted(i for t, i in results if t == tid) for tid in range(3)}
+    assert per_thread[0] == [0, 3, 6]
+    assert per_thread[1] == [1, 4, 7]
+    assert per_thread[2] == [2, 5, 8]
+
+
+def test_sequential_semantics_outside_region():
+    results = []
+    lock = threading.Lock()
+    loop = make_accumulating_loop(results, lock)
+    run_for(loop, 0, 10, 1, schedule="dynamic")
+    assert sorted(i for _, i in results) == list(range(10))
+    assert {tid for tid, _ in results} == {0}
+
+
+def test_strided_range_distributed_correctly():
+    results = []
+    lock = threading.Lock()
+    loop = make_accumulating_loop(results, lock)
+
+    def body():
+        run_for(loop, 1, 30, 3, schedule="staticBlock")
+
+    parallel_region(body, num_threads=3)
+    assert sorted(i for _, i in results) == list(range(1, 30, 3))
+
+
+def test_extra_positional_args_forwarded():
+    sums = []
+    lock = threading.Lock()
+
+    def loop(start, end, step, scale, offset=0):
+        total = sum(i * scale + offset for i in range(start, end, step))
+        with lock:
+            sums.append(total)
+
+    def body():
+        run_for(loop, 0, 10, 1, 2, schedule="staticBlock", offset=1)
+
+    parallel_region(body, num_threads=2)
+    # Total over all threads must equal the sequential result.
+    assert sum(sums) == sum(i * 2 + 1 for i in range(10))
+
+
+def test_dynamic_schedule_with_shared_state_covers_range():
+    executed = []
+    lock = threading.Lock()
+
+    def loop(start, end, step):
+        tid = ctx.get_thread_id()
+        for i in range(start, end, step):
+            with lock:
+                executed.append((tid, i))
+
+    def body():
+        run_for(loop, 0, 101, 1, schedule="dynamic", chunk=7)
+
+    parallel_region(body, num_threads=5)
+    assert sorted(i for _, i in executed) == list(range(101))
+    # With 101 iterations in chunks of 7 across 5 threads at least two threads
+    # should have claimed something (probabilistically certain; the claim
+    # counter guarantees no duplicates which is the key invariant).
+    assert len({tid for tid, _ in executed}) >= 1
+
+
+def test_chunk_trace_events_record_assignments(recorder):
+    def loop(start, end, step):
+        for _ in range(start, end, step):
+            pass
+
+    def body():
+        run_for(loop, 0, 12, 1, schedule="staticBlock", loop_name="work")
+
+    parallel_region(body, num_threads=3)
+    chunks = recorder.events(EventKind.CHUNK)
+    assert len(chunks) == 3
+    assert {e.data["loop"] for e in chunks} == {"work"}
+    assert sum(e.data["count"] for e in chunks) == 12
+
+
+def test_weight_function_recorded(recorder):
+    def loop(start, end, step):
+        pass
+
+    def body():
+        run_for(loop, 0, 10, 1, schedule="staticBlock", loop_name="tri", weight=lambda i: 10 - i)
+
+    parallel_region(body, num_threads=2)
+    chunks = recorder.events(EventKind.CHUNK)
+    total_weight = sum(e.data["weight"] for e in chunks)
+    assert total_weight == sum(10 - i for i in range(10))
+
+
+def test_implicit_barrier_can_be_skipped(recorder):
+    def loop(start, end, step):
+        pass
+
+    def body():
+        run_for(loop, 0, 4, 1, nowait=True)
+        run_for(loop, 0, 4, 1, nowait=False)
+
+    parallel_region(body, num_threads=2)
+    barriers = recorder.events(EventKind.BARRIER)
+    # Only the second loop emits the implicit barrier: one event per member.
+    assert len(barriers) == 2
+
+
+def test_loop_return_value_last_chunk():
+    def loop(start, end, step):
+        return sum(range(start, end, step))
+
+    result = run_for(loop, 0, 10, 1)
+    assert result == sum(range(10))
+
+
+def test_static_partition_helper():
+    parts = static_partition(4, 0, 16, 1, schedule="staticBlock")
+    assert len(parts) == 4
+    assert sum(len(list(c.indices())) for p in parts for c in p) == 16
+    with pytest.raises(ValueError):
+        static_partition(4, 0, 16, 1, schedule="dynamic")
+
+
+def test_zero_step_rejected():
+    def loop(start, end, step):
+        pass
+
+    def body():
+        run_for(loop, 0, 10, 0)
+
+    with pytest.raises(Exception):
+        parallel_region(body, num_threads=2)
+
+
+def test_multiple_loops_in_one_region():
+    order = []
+    lock = threading.Lock()
+
+    def loop_a(start, end, step):
+        with lock:
+            order.extend(("a", i) for i in range(start, end, step))
+
+    def loop_b(start, end, step):
+        with lock:
+            order.extend(("b", i) for i in range(start, end, step))
+
+    def body():
+        run_for(loop_a, 0, 6, 1)
+        run_for(loop_b, 0, 6, 1)
+
+    parallel_region(body, num_threads=3)
+    a_indices = sorted(i for tag, i in order if tag == "a")
+    b_indices = sorted(i for tag, i in order if tag == "b")
+    assert a_indices == list(range(6))
+    assert b_indices == list(range(6))
