@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full test entry point: tier-1 suite first (fast, fails fast), then the
+# stress tier (contention/livelock scenarios with watchdogs).
+#
+#   scripts/test.sh              # tier-1 + stress
+#   scripts/test.sh -k backend   # extra args are forwarded to the tier-1 run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 =="
+python -m pytest -x -q "$@"
+
+echo "== stress tier =="
+python -m pytest -q -m stress

@@ -25,6 +25,13 @@ from repro.runtime.exceptions import WeavingError
 class Aspect:
     """Common base for all aspects."""
 
+    #: Whether the construct this aspect implements needs team members to
+    #: share one Python heap (value broadcast, ordered hand-off, in-process
+    #: locks, thread-local reductions).  The weaver aggregates this flag over
+    #: a woven aspect set and hands it to the parallel-region aspect, which
+    #: lets backends without shared locals (processes) fall back to threads.
+    requires_shared_locals = False
+
     def __init__(self, name: str | None = None) -> None:
         self._name = name or type(self).__name__
 

@@ -80,6 +80,7 @@ class ThreadLocalFieldAspect(ClassAspect):
     """
 
     abstraction = "TLF"
+    requires_shared_locals = True  # per-thread copies are reduced on the spawning heap
 
     def __init__(
         self,
@@ -150,6 +151,7 @@ class ReduceAspect(MethodAspect):
     """
 
     abstraction = "RED"
+    requires_shared_locals = True
 
     def __init__(
         self,

@@ -21,6 +21,7 @@ class SingleAspect(MethodAspect):
     """
 
     abstraction = "SINGLE"
+    requires_shared_locals = True  # first-arrival claim + value broadcast
 
     def __init__(self, pointcut: Pointcut | None = None, *, wait_for_value: bool = True, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)
@@ -40,6 +41,7 @@ class MasterAspect(MethodAspect):
     """
 
     abstraction = "MA"
+    requires_shared_locals = True  # value broadcast slot
 
     def __init__(self, pointcut: Pointcut | None = None, *, broadcast: bool = True, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)
@@ -60,6 +62,7 @@ class TaskAspect(MethodAspect):
     """
 
     abstraction = "TASK"
+    requires_shared_locals = True  # task handles/results live on the spawning heap
 
     def around(self, joinpoint: JoinPoint) -> Any:
         return spawn_task(joinpoint.proceed, name=joinpoint.qualified_name)
@@ -74,6 +77,7 @@ class TaskWaitAspect(MethodAspect):
     """
 
     abstraction = "TASKWAIT"
+    requires_shared_locals = True
 
     def around(self, joinpoint: JoinPoint) -> Any:
         task_wait()
@@ -89,6 +93,7 @@ class FutureTaskAspect(MethodAspect):
     """
 
     abstraction = "FUTURE"
+    requires_shared_locals = True
 
     def around(self, joinpoint: JoinPoint) -> FutureResult:
         return spawn_future(joinpoint.proceed, name=joinpoint.qualified_name)
@@ -106,6 +111,7 @@ class FutureResultAspect(MethodAspect):
     """
 
     abstraction = "FUTURE"
+    requires_shared_locals = True
 
     def __init__(self, pointcut: Pointcut | None = None, *, attribute: str | None = None, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)

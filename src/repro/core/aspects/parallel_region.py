@@ -43,7 +43,7 @@ class ParallelRegion(MethodAspect):
         pointcut: Pointcut | None = None,
         *,
         threads: "int | Callable[[], int] | None" = None,
-        backend: Backend | None = None,
+        backend: "Backend | str | None" = None,
         recorder: TraceRecorder | None = None,
         region_name: str | None = None,
         name: str | None = None,
@@ -53,6 +53,11 @@ class ParallelRegion(MethodAspect):
         self._backend = backend
         self._recorder = recorder
         self._region_name = region_name
+        #: Set by the weaver when sibling aspects woven alongside this one
+        #: need a shared Python heap (single/master, ordered, critical,
+        #: reductions); backends without that capability (processes) then
+        #: fall back to threads for regions this aspect creates.
+        self.region_requires_shared_locals = False
 
     def num_threads(self) -> int | None:
         """Team size for regions created by this aspect (``None`` = configured default)."""
@@ -60,10 +65,22 @@ class ParallelRegion(MethodAspect):
 
     def around(self, joinpoint: JoinPoint) -> Any:
         region_name = self._region_name or joinpoint.qualified_name
+        requires_shared_locals = self.region_requires_shared_locals
+        # A woven region body mutates its owner's ordinary attributes.  Unless
+        # the owner declares all its mutable state shared-memory-backed
+        # (``process_safe``, as the ported JGF kernels do), a process team
+        # would silently lose the workers' writes — so unmarked targets are
+        # treated as needing a shared heap, which routes them to the process
+        # backend's thread fallback.  Direct runtime-API users keep full
+        # control via ``parallel_region(..., requires_shared_locals=...)``.
+        target = joinpoint.target
+        if target is not None and not getattr(target, "process_safe", False):
+            requires_shared_locals = True
         return run_parallel_region(
             joinpoint.proceed,
             num_threads=self.num_threads(),
             backend=self._backend,
             recorder=self._recorder,
             name=region_name,
+            requires_shared_locals=requires_shared_locals,
         )

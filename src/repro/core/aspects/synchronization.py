@@ -28,6 +28,7 @@ class CriticalAspect(MethodAspect):
     """
 
     abstraction = "CRIT"
+    requires_shared_locals = True  # in-process lock objects
 
     def __init__(
         self,
@@ -87,6 +88,7 @@ class ReaderAspect(MethodAspect):
     """``@Reader`` — matched methods acquire a readers/writer lock for reading."""
 
     abstraction = "RW"
+    requires_shared_locals = True  # in-process readers/writer lock
 
     def __init__(self, pointcut: Pointcut | None = None, *, rwlock: ReadWriteLock | None = None, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)
@@ -100,6 +102,7 @@ class WriterAspect(MethodAspect):
     """``@Writer`` — matched methods acquire a readers/writer lock exclusively."""
 
     abstraction = "RW"
+    requires_shared_locals = True  # in-process readers/writer lock
 
     def __init__(self, pointcut: Pointcut | None = None, *, rwlock: ReadWriteLock | None = None, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)

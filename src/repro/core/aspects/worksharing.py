@@ -142,6 +142,7 @@ class OrderedAspect(MethodAspect):
     """
 
     abstraction = "ORD"
+    requires_shared_locals = True  # ordered hand-off uses an in-process ticket
 
     def __init__(self, pointcut: Pointcut | None = None, *, index_arg: int = 0, name: str | None = None) -> None:
         super().__init__(pointcut, name=name)

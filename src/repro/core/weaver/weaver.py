@@ -91,6 +91,19 @@ def _original_of(func: Callable[..., Any]) -> Callable[..., Any]:
     return func
 
 
+def _flatten_aspects(aspects: Iterable["Aspect"]) -> list["Aspect"]:
+    """Expand composite aspects so capability flags can be aggregated."""
+    from repro.core.aspects.base import CompositeAspect
+
+    flat: list["Aspect"] = []
+    for aspect in aspects:
+        if isinstance(aspect, CompositeAspect):
+            flat.extend(_flatten_aspects(aspect.inner_aspects()))
+        else:
+            flat.append(aspect)
+    return flat
+
+
 def _iter_classes(target: Any) -> Iterator[type]:
     """Yield the classes reachable from a weaving target."""
     if inspect.isclass(target):
@@ -144,7 +157,25 @@ class Weaver:
         return records
 
     def weave_all(self, aspects: Iterable[Aspect], *targets: Any) -> list[WeaveRecord]:
-        """Weave several aspects in order (later aspects become outer advice)."""
+        """Weave several aspects in order (later aspects become outer advice).
+
+        The aspect set is also inspected for backend capability requirements:
+        if any aspect needs a shared Python heap
+        (:attr:`~repro.core.aspects.base.Aspect.requires_shared_locals`),
+        every parallel-region aspect in the set is told so, which makes
+        process backends fall back to threads for those regions instead of
+        running constructs they cannot honour.
+        """
+        aspects = list(aspects)
+        flattened = _flatten_aspects(aspects)
+        needs_shared_locals = any(getattr(a, "requires_shared_locals", False) for a in flattened)
+        from repro.core.aspects.parallel_region import ParallelRegion
+
+        for aspect in flattened:
+            if isinstance(aspect, ParallelRegion):
+                # Unconditional assignment: an aspect instance re-woven with a
+                # different (now process-safe) set must shed a stale flag.
+                aspect.region_requires_shared_locals = needs_shared_locals
         records: list[WeaveRecord] = []
         for aspect in aspects:
             records.extend(self.weave(aspect, *targets))

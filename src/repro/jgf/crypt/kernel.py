@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.jgf.jgfrandom import JGFRandom
+from repro.runtime import shm
+from repro.runtime.worksharing import run_for
 
 
 def _mul(a: int, b: int) -> int:
@@ -155,18 +157,40 @@ class IDEACipher:
 
 
 class CryptBenchmark:
-    """Refactored sequential Crypt kernel (for methods already extracted)."""
+    """Refactored sequential Crypt kernel (for methods already extracted).
 
-    def __init__(self, array_size: int, seed: int = 136506717) -> None:
+    With ``shared=True`` the three byte arrays are allocated in
+    :mod:`repro.runtime.shm` shared memory, which makes the kernel safe for
+    the process backend: worksharing chunks executed by worker processes
+    mutate the same pages the master validates.  ``process_safe`` marks the
+    kernel as eligible for the backend's persistent worker pool (its bound
+    methods pickle by shared-memory reference, not by value).
+    """
+
+    def __init__(self, array_size: int, seed: int = 136506717, *, shared: bool = False) -> None:
         if array_size % 8 != 0:
             array_size += 8 - array_size % 8
         self.size = array_size
         rng = JGFRandom(seed)
-        self.plain = np.array([rng.next_int() & 0xFF for _ in range(array_size)], dtype=np.int64)
+        self.shared = bool(shared)
+        self.process_safe = self.shared
+        plain = np.array([rng.next_int() & 0xFF for _ in range(array_size)], dtype=np.int64)
+        if shared:
+            self.plain = shm.as_shared(plain)
+            self.encrypted = shm.shared_zeros(array_size, np.int64)
+            self.decrypted = shm.shared_zeros(array_size, np.int64)
+        else:
+            self.plain = plain
+            self.encrypted = np.zeros(array_size, dtype=np.int64)
+            self.decrypted = np.zeros(array_size, dtype=np.int64)
         key_bytes = [rng.next_int() & 0xFF for _ in range(16)]
         self.cipher = IDEACipher(key_bytes)
-        self.encrypted = np.zeros(array_size, dtype=np.int64)
-        self.decrypted = np.zeros(array_size, dtype=np.int64)
+
+    def release_shared(self) -> None:
+        """Free the shared-memory segments (no-op for in-process arrays)."""
+        for array in (self.plain, self.encrypted, self.decrypted):
+            if shm.is_shared(array):
+                array.close()
 
     # -- base program --------------------------------------------------------------
 
@@ -174,6 +198,16 @@ class CryptBenchmark:
         """Encrypt then decrypt the whole array (the parallel-region method)."""
         self.encrypt_blocks(0, self.size, 8)
         self.decrypt_blocks(0, self.size, 8)
+
+    def run_spmd(self) -> None:
+        """SPMD region body using the runtime work-sharing API directly.
+
+        Equivalent to :meth:`run` under the woven aspects, but expressed
+        without weaving so it can be pickled to the process backend's
+        persistent worker pool (``parallel_region(kernel.run_spmd, ...)``).
+        """
+        run_for(self.encrypt_blocks, 0, self.size, 8, loop_name="Crypt.encrypt")
+        run_for(self.decrypt_blocks, 0, self.size, 8, loop_name="Crypt.decrypt")
 
     def encrypt_blocks(self, start: int, end: int, step: int) -> None:
         """For method: encrypt 8-byte blocks starting at offsets [start, end)."""

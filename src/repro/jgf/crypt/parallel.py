@@ -5,6 +5,8 @@ from __future__ import annotations
 from repro.core import ForStatic, ParallelRegion, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.crypt.kernel import CryptBenchmark
+from repro.runtime.backend import Backend, resolve_backend
+from repro.runtime.team import parallel_region
 from repro.runtime.trace import TraceRecorder
 
 #: Problem sizes (bytes of plaintext).  JGF size A is 3 000 000 bytes; the
@@ -50,32 +52,78 @@ def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> Benchmark
     )
 
 
-def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+def build_aspects(
+    num_threads: int, recorder: TraceRecorder | None = None, backend: "Backend | str | None" = None
+) -> list:
     """The aspect modules composing the Crypt parallelisation (Table 2 row)."""
     return [
         ForStatic(call("CryptBenchmark.encrypt_blocks")),
         ForStatic(call("CryptBenchmark.decrypt_blocks")),
-        ParallelRegion(call("CryptBenchmark.run"), threads=num_threads, recorder=recorder),
+        ParallelRegion(call("CryptBenchmark.run"), threads=num_threads, recorder=recorder, backend=backend),
     ]
 
 
-def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
-    """AOmp style: weave the aspects onto the unchanged sequential kernel."""
+def run_aomp(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+) -> BenchmarkResult:
+    """AOmp style: weave the aspects onto the unchanged sequential kernel.
+
+    With a process backend the kernel's arrays are allocated in shared
+    memory so worker processes mutate the data the master validates.
+    """
     n = resolve_size(SIZES, size)
-    kernel = CryptBenchmark(n)
-    weaver = Weaver()
-    weaver.weave_all(build_aspects(num_threads, recorder), CryptBenchmark)
+    backend_obj = resolve_backend(backend) if backend is not None else None
+    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    kernel = CryptBenchmark(n, shared=shared)
     try:
-        _, elapsed = timed(kernel.run)
+        weaver = Weaver()
+        weaver.weave_all(build_aspects(num_threads, recorder, backend_obj), CryptBenchmark)
+        try:
+            _, elapsed = timed(kernel.run)
+        finally:
+            weaver.unweave_all()
+        return BenchmarkResult(
+            "Crypt",
+            "aomp",
+            size,
+            kernel.checksum(),
+            elapsed,
+            num_threads=num_threads,
+            recorder=recorder,
+            details={"valid": kernel.validate(), "backend": backend_obj.name if backend_obj else None},
+        )
     finally:
-        weaver.unweave_all()
-    return BenchmarkResult(
-        "Crypt",
-        "aomp",
-        size,
-        kernel.checksum(),
-        elapsed,
-        num_threads=num_threads,
-        recorder=recorder,
-        details={"valid": kernel.validate()},
-    )
+        kernel.release_shared()
+
+
+def run_backend(
+    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+) -> BenchmarkResult:
+    """Runtime-API port: execute :meth:`CryptBenchmark.run_spmd` on ``backend``.
+
+    This is the entry point :mod:`benchmarks.bench_backends` compares across
+    serial/threads/processes; the body is picklable (all mutable state in
+    shared memory under the process backend), so the persistent worker pool
+    path is exercised.
+    """
+    n = resolve_size(SIZES, size)
+    backend_obj = resolve_backend(backend)
+    kernel = CryptBenchmark(n, shared=backend_obj.is_process_based)
+    try:
+        _, elapsed = timed(
+            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="Crypt.spmd")
+        )
+        return BenchmarkResult(
+            "Crypt",
+            f"backend:{backend_obj.name}",
+            size,
+            kernel.checksum(),
+            elapsed,
+            num_threads=num_threads,
+            details={"valid": kernel.validate(), "backend": backend_obj.name},
+        )
+    finally:
+        kernel.release_shared()

@@ -17,19 +17,36 @@ import math
 
 import numpy as np
 
+from repro.runtime import shm
+from repro.runtime.worksharing import run_for
+
 
 class FourierSeries:
-    """Sequential Fourier-coefficient kernel with for-method refactoring applied."""
+    """Sequential Fourier-coefficient kernel with for-method refactoring applied.
+
+    With ``shared=True`` the coefficient table is allocated in
+    :mod:`repro.runtime.shm` shared memory so worker processes fill their
+    coefficient pairs in place — the process-backend port of the paper's
+    embarrassingly parallel Series loop.
+    """
 
     #: number of integration intervals per coefficient (JGF uses 1000)
     INTEGRATION_INTERVALS = 1000
 
-    def __init__(self, n_coefficients: int) -> None:
+    def __init__(self, n_coefficients: int, *, shared: bool = False) -> None:
         if n_coefficients < 2:
             raise ValueError("need at least 2 coefficient pairs")
         self.n = n_coefficients
+        self.shared = bool(shared)
+        self.process_safe = self.shared
         #: row 0 = a_i coefficients, row 1 = b_i coefficients
-        self.coefficients = np.zeros((2, n_coefficients), dtype=np.float64)
+        coefficients = np.zeros((2, n_coefficients), dtype=np.float64)
+        self.coefficients = shm.as_shared(coefficients) if shared else coefficients
+
+    def release_shared(self) -> None:
+        """Free the shared-memory segment (no-op for in-process tables)."""
+        if shm.is_shared(self.coefficients):
+            self.coefficients.close()
 
     # -- base program -----------------------------------------------------------
 
@@ -37,6 +54,17 @@ class FourierSeries:
         """Compute all coefficient pairs (the method made a parallel region)."""
         self.compute_coefficients(0, self.n, 1)
         return self.coefficients
+
+    def run_spmd(self) -> float:
+        """SPMD region body using the runtime work-sharing API directly.
+
+        Picklable (all mutable state in shared memory when ``shared=True``),
+        so the process backend can dispatch it to its persistent worker pool.
+        Returns the checksum rather than the array: member return values
+        cross a process boundary, and the checksum is what validation uses.
+        """
+        run_for(self.compute_coefficients, 0, self.n, 1, loop_name="Series.coefficients")
+        return self.checksum()
 
     def compute_coefficients(self, start: int, end: int, step: int) -> None:
         """For method: compute coefficient pairs ``start <= i < end`` (M2FOR)."""

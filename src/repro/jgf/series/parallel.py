@@ -5,6 +5,8 @@ from __future__ import annotations
 from repro.core import ForStatic, ParallelRegion, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.series.kernel import FourierSeries
+from repro.runtime.backend import Backend, resolve_backend
+from repro.runtime.team import parallel_region
 from repro.runtime.trace import TraceRecorder
 
 #: Problem sizes (number of coefficient pairs).  JGF size A is 10 000; the
@@ -41,24 +43,60 @@ def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> Benchmark
     return BenchmarkResult("Series", "threaded", size, kernel.checksum(), elapsed, num_threads=num_threads)
 
 
-def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+def build_aspects(
+    num_threads: int, recorder: TraceRecorder | None = None, backend: "Backend | str | None" = None
+) -> list:
     """The aspect modules composing the Series parallelisation (Table 2 row)."""
     return [
         ForStatic(call("FourierSeries.compute_coefficients")),
-        ParallelRegion(call("FourierSeries.run"), threads=num_threads, recorder=recorder),
+        ParallelRegion(call("FourierSeries.run"), threads=num_threads, recorder=recorder, backend=backend),
     ]
 
 
-def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+def run_aomp(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+) -> BenchmarkResult:
     """AOmp style: weave the aspects onto the unchanged sequential kernel."""
     n = resolve_size(SIZES, size)
-    kernel = FourierSeries(n)
-    weaver = Weaver()
-    weaver.weave_all(build_aspects(num_threads, recorder), FourierSeries)
+    backend_obj = resolve_backend(backend) if backend is not None else None
+    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    kernel = FourierSeries(n, shared=shared)
     try:
-        _, elapsed = timed(kernel.run)
+        weaver = Weaver()
+        weaver.weave_all(build_aspects(num_threads, recorder, backend_obj), FourierSeries)
+        try:
+            _, elapsed = timed(kernel.run)
+        finally:
+            weaver.unweave_all()
+        return BenchmarkResult(
+            "Series", "aomp", size, kernel.checksum(), elapsed, num_threads=num_threads, recorder=recorder
+        )
     finally:
-        weaver.unweave_all()
-    return BenchmarkResult(
-        "Series", "aomp", size, kernel.checksum(), elapsed, num_threads=num_threads, recorder=recorder
-    )
+        kernel.release_shared()
+
+
+def run_backend(
+    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+) -> BenchmarkResult:
+    """Runtime-API port: execute :meth:`FourierSeries.run_spmd` on ``backend``."""
+    n = resolve_size(SIZES, size)
+    backend_obj = resolve_backend(backend)
+    kernel = FourierSeries(n, shared=backend_obj.is_process_based)
+    try:
+        _, elapsed = timed(
+            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="Series.spmd")
+        )
+        return BenchmarkResult(
+            "Series",
+            f"backend:{backend_obj.name}",
+            size,
+            kernel.checksum(),
+            elapsed,
+            num_threads=num_threads,
+            details={"backend": backend_obj.name},
+        )
+    finally:
+        kernel.release_shared()

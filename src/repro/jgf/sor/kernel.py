@@ -16,24 +16,40 @@ from __future__ import annotations
 import numpy as np
 
 from repro.jgf.jgfrandom import JGFRandom
+from repro.runtime import shm
+from repro.runtime.worksharing import run_for
 
 
 class SORBenchmark:
-    """Refactored sequential SOR kernel."""
+    """Refactored sequential SOR kernel.
+
+    With ``shared=True`` the grid lives in :mod:`repro.runtime.shm` shared
+    memory, making the kernel safe for the process backend (worker processes
+    relax rows of the same physical grid; the red/black barrier between
+    half-sweeps is the team's cross-process barrier).
+    """
 
     OMEGA = 1.25
 
-    def __init__(self, grid_size: int, iterations: int = 20, seed: int = 10101010) -> None:
+    def __init__(self, grid_size: int, iterations: int = 20, seed: int = 10101010, *, shared: bool = False) -> None:
         if grid_size < 3:
             raise ValueError("grid must be at least 3x3")
         self.n = grid_size
         self.iterations = iterations
+        self.shared = bool(shared)
+        self.process_safe = self.shared
         rng = JGFRandom(seed, left=-0.5, right=0.5)
         # Row-by-row generation keeps the values identical regardless of the
         # parallelisation applied later (data is created sequentially).
-        self.grid = np.empty((grid_size, grid_size), dtype=np.float64)
+        grid = np.empty((grid_size, grid_size), dtype=np.float64)
         for i in range(grid_size):
-            self.grid[i, :] = rng.doubles(grid_size)
+            grid[i, :] = rng.doubles(grid_size)
+        self.grid = shm.as_shared(grid) if shared else grid
+
+    def release_shared(self) -> None:
+        """Free the shared-memory segment (no-op for in-process grids)."""
+        if shm.is_shared(self.grid):
+            self.grid.close()
 
     # -- base program -----------------------------------------------------------
 
@@ -44,6 +60,18 @@ class SORBenchmark:
             # colour are independent, so each half-sweep can be work-shared.
             self.relax_rows(1, self.n - 1, 2)
             self.relax_rows(2, self.n - 1, 2)
+        return self.total()
+
+    def run_spmd(self) -> float:
+        """SPMD region body using the runtime work-sharing API directly.
+
+        The implicit barrier after each work-shared half-sweep provides the
+        red/black synchronisation; picklable, so the process backend can run
+        it on its persistent worker pool.
+        """
+        for _ in range(self.iterations):
+            run_for(self.relax_rows, 1, self.n - 1, 2, loop_name="SOR.red")
+            run_for(self.relax_rows, 2, self.n - 1, 2, loop_name="SOR.black")
         return self.total()
 
     def relax_rows(self, start: int, end: int, step: int) -> None:

@@ -5,6 +5,8 @@ from __future__ import annotations
 from repro.core import ForStatic, ParallelRegion, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.sor.kernel import SORBenchmark
+from repro.runtime.backend import Backend, resolve_backend
+from repro.runtime.team import parallel_region
 from repro.runtime.trace import TraceRecorder
 
 #: Problem sizes (grid edge length).  JGF size A is 1000x1000, 100 iterations.
@@ -48,7 +50,9 @@ def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> Benchmark
     return BenchmarkResult("SOR", "threaded", size, kernel.total(), elapsed, num_threads=num_threads)
 
 
-def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
+def build_aspects(
+    num_threads: int, recorder: TraceRecorder | None = None, backend: "Backend | str | None" = None
+) -> list:
     """The aspect modules composing the SOR parallelisation (Table 2 row).
 
     The implicit end-of-loop barrier of the for aspect provides the
@@ -56,18 +60,52 @@ def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> li
     """
     return [
         ForStatic(call("SORBenchmark.relax_rows")),
-        ParallelRegion(call("SORBenchmark.run"), threads=num_threads, recorder=recorder),
+        ParallelRegion(call("SORBenchmark.run"), threads=num_threads, recorder=recorder, backend=backend),
     ]
 
 
-def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+def run_aomp(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+) -> BenchmarkResult:
     """AOmp style: weave the aspects onto the unchanged sequential kernel."""
     n = resolve_size(SIZES, size)
-    kernel = SORBenchmark(n, iterations=_iterations_for(size))
-    weaver = Weaver()
-    weaver.weave_all(build_aspects(num_threads, recorder), SORBenchmark)
+    backend_obj = resolve_backend(backend) if backend is not None else None
+    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    kernel = SORBenchmark(n, iterations=_iterations_for(size), shared=shared)
     try:
-        value, elapsed = timed(kernel.run)
+        weaver = Weaver()
+        weaver.weave_all(build_aspects(num_threads, recorder, backend_obj), SORBenchmark)
+        try:
+            value, elapsed = timed(kernel.run)
+        finally:
+            weaver.unweave_all()
+        return BenchmarkResult("SOR", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)
     finally:
-        weaver.unweave_all()
-    return BenchmarkResult("SOR", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)
+        kernel.release_shared()
+
+
+def run_backend(
+    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+) -> BenchmarkResult:
+    """Runtime-API port: execute :meth:`SORBenchmark.run_spmd` on ``backend``."""
+    n = resolve_size(SIZES, size)
+    backend_obj = resolve_backend(backend)
+    kernel = SORBenchmark(n, iterations=_iterations_for(size), shared=backend_obj.is_process_based)
+    try:
+        value, elapsed = timed(
+            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="SOR.spmd")
+        )
+        return BenchmarkResult(
+            "SOR",
+            f"backend:{backend_obj.name}",
+            size,
+            kernel.total(),
+            elapsed,
+            num_threads=num_threads,
+            details={"backend": backend_obj.name},
+        )
+    finally:
+        kernel.release_shared()

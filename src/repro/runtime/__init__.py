@@ -29,7 +29,27 @@ from repro.runtime.context import (
     is_master,
 )
 from repro.runtime.team import Team, TeamMember, parallel_region
-from repro.runtime.backend import Backend, SerialBackend, ThreadBackend, get_backend, set_backend
+from repro.runtime.backend import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    backend_by_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+)
+from repro.runtime.shm import (
+    SharedArray,
+    SharedBarrier,
+    SyncArena,
+    as_shared,
+    fork_available,
+    is_shared,
+    shared_zeros,
+)
 from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
 from repro.runtime.locks import LockRegistry, ReadWriteLock, StripedLocks, global_locks
 from repro.runtime.scheduler import (
@@ -74,6 +94,7 @@ from repro.runtime.trace import (
 )
 from repro.runtime.exceptions import (
     AOmpError,
+    BackendCapabilityError,
     BrokenTeamError,
     NotInParallelRegionError,
     PointcutError,
@@ -81,6 +102,7 @@ from repro.runtime.exceptions import (
     SchedulingError,
     TaskError,
     WeavingError,
+    WorkerProcessError,
 )
 
 __all__ = [
@@ -107,8 +129,21 @@ __all__ = [
     "Backend",
     "ThreadBackend",
     "SerialBackend",
+    "ProcessBackend",
     "get_backend",
     "set_backend",
+    "resolve_backend",
+    "backend_by_name",
+    "register_backend",
+    "available_backends",
+    # shared memory
+    "SharedArray",
+    "SharedBarrier",
+    "SyncArena",
+    "shared_zeros",
+    "as_shared",
+    "is_shared",
+    "fork_available",
     # synchronisation
     "CyclicBarrier",
     "BrokenBarrierError",
@@ -163,6 +198,8 @@ __all__ = [
     "merge_traces",
     # errors
     "AOmpError",
+    "BackendCapabilityError",
+    "WorkerProcessError",
     "BrokenTeamError",
     "NotInParallelRegionError",
     "PointcutError",

@@ -1,25 +1,40 @@
 """Execution backends for parallel regions.
 
-Two backends are provided:
+The backend is a strategy object deciding *how* team members execute:
 
 * :class:`ThreadBackend` — spawns real OS threads (``threading.Thread``), one
   per team member beyond the master.  Correct concurrent semantics; actual
   wall-clock speedup is limited by the CPython GIL for pure-Python work, which
-  is why :mod:`repro.perf` exists (see DESIGN.md).
+  is why :mod:`repro.perf` exists (see README.md).
 * :class:`SerialBackend` — forces a team of one and runs the body inline.
   Useful for debugging and as the embodiment of the paper's *sequential
   semantics* claim: a program composed with aspects still runs correctly
   with parallelism disabled.
+* :class:`ProcessBackend` — runs team members in worker *processes*, escaping
+  the GIL for genuine multi-core speedups.  Shared state must live in
+  :mod:`repro.runtime.shm` shared-memory arrays; constructs that require a
+  shared Python heap (single/master broadcast, ordered, critical sections,
+  thread-local reductions) transparently fall back to the thread backend via
+  the :attr:`Backend.supports_shared_locals` capability flag, which the
+  weaver and the worksharing layer consult.
 
-The default backend is the thread backend; it can be replaced globally with
-:func:`set_backend` or per-region via the ``backend=`` argument of
-:func:`repro.runtime.team.parallel_region`.
+Backends are selected (in increasing precedence): the ``AOMP_BACKEND``
+environment variable / :class:`repro.runtime.config.RuntimeConfig` field, a
+global :func:`set_backend` override, and the per-region ``backend=`` argument
+of :func:`repro.runtime.team.parallel_region` (a backend instance or name).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
-from typing import TYPE_CHECKING, Any, Callable
+import time
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.runtime import shm
+from repro.runtime.exceptions import WorkerProcessError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.team import Team
@@ -30,7 +45,21 @@ class Backend:
 
     name = "abstract"
 
-    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+    #: Whether team members share one Python heap: mutations of ordinary
+    #: Python objects made by one member are visible to the others.  Process
+    #: backends set this to ``False``; constructs that need shared locals
+    #: (single/master broadcast, ordered, critical sections, reductions) are
+    #: routed to a fallback backend when it is unset.
+    supports_shared_locals = True
+
+    #: Whether members can block in multi-party barriers (False only for the
+    #: serial backend, which runs members one after another).
+    supports_blocking_sync = True
+
+    #: Whether members execute in separate OS processes.
+    is_process_based = False
+
+    def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
         """Execute ``run_member(thread_id)`` for every member of ``team``.
 
         Must return the master's (thread id 0) return value.  Exceptions
@@ -38,9 +67,28 @@ class Backend:
         recorded on the corresponding :class:`~repro.runtime.team.TeamMember`
         by the region driver, which converts them into a
         :class:`~repro.runtime.exceptions.BrokenTeamError` after all members
-        have finished.
+        have finished.  ``body`` is the raw region body (before the context
+        bookkeeping that ``run_member`` adds); process backends use it to
+        decide whether the region can be shipped to a persistent worker pool.
         """
         raise NotImplementedError
+
+    def resolve_for_region(self, *, size: int, nesting_level: int, requires_shared_locals: bool) -> "Backend":
+        """Return the backend that will actually execute the region.
+
+        The default backend honours every region; the process backend
+        delegates to its thread fallback for regions it cannot execute
+        faithfully (nested regions, regions whose constructs need a shared
+        Python heap).
+        """
+        return self
+
+    def create_process_sync(self, size: int, body: Callable[[], Any] | None) -> "shm.ProcessSync | None":
+        """Create cross-process team synchronisation, or ``None`` for in-process backends."""
+        return None
+
+    def finish_region(self, team: "Team") -> None:
+        """Hook called after a region completes (releases pooled resources)."""
 
 
 class ThreadBackend(Backend):
@@ -56,7 +104,7 @@ class ThreadBackend(Backend):
         self.daemon = daemon
         self.name_prefix = name_prefix
 
-    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+    def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
         def worker(thread_id: int) -> None:
             try:
                 run_member(thread_id)
@@ -103,11 +151,12 @@ class SerialBackend(Backend):
     """
 
     name = "serial"
+    supports_blocking_sync = False
 
     def __init__(self, allow_multi: bool = False) -> None:
         self.allow_multi = allow_multi
 
-    def run_team(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+    def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
         member_ids = range(team.size) if self.allow_multi else range(min(1, team.size))
         master_result: Any = None
         for thread_id in member_ids:
@@ -120,17 +169,409 @@ class SerialBackend(Backend):
         return master_result
 
 
+class ProcessBackend(Backend):
+    """Run team members in worker *processes* for true multi-core execution.
+
+    Two execution paths, chosen per region:
+
+    * **Persistent pool** — when the region body is a picklable SPMD callable
+      whose owner opts in (``process_safe`` attribute, set by the JGF kernels
+      when their arrays live in shared memory), the members are dispatched to
+      a pool of long-lived worker processes.  The pool's barrier and claim
+      arena are reused across regions, so steady-state region startup costs
+      one task message per member instead of a fork.
+    * **Fork-per-region** — arbitrary region bodies (closures over local
+      state, woven classes) cannot be pickled; they are shipped to workers by
+      address-space inheritance instead: ``size - 1`` processes are forked at
+      region entry and exit at region end.  Requires the ``fork`` start
+      method (anything POSIX).
+
+    In both paths the master executes inline in the parent, worksharing
+    chunks mutate :class:`~repro.runtime.shm.SharedArray` data in place, team
+    barriers are :class:`~repro.runtime.shm.SharedBarrier` instances, and
+    dynamic/guided loop claims go through a pre-allocated
+    :class:`~repro.runtime.shm.SyncArena`.  Member results and exceptions are
+    shipped back over a result channel, so ``BrokenTeamError`` semantics are
+    identical to the thread backend.
+
+    Regions the backend cannot honour — nested regions, or regions whose
+    aspects require a shared Python heap (``supports_shared_locals``) — run
+    on the ``fallback`` thread backend instead.
+    """
+
+    name = "processes"
+    supports_shared_locals = False
+    is_process_based = True
+
+    #: Seconds granted to workers beyond the barrier timeout before the
+    #: parent declares them lost.
+    JOIN_GRACE = 30.0
+
+    def __init__(
+        self,
+        fallback: Backend | None = None,
+        *,
+        pool_workers: int | None = None,
+        use_pool: bool = True,
+    ) -> None:
+        self._fallback = fallback if fallback is not None else ThreadBackend(name_prefix="aomp-proc-fallback")
+        self._pool_workers = pool_workers
+        self._use_pool = use_pool
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._warned_fallback: set[str] = set()
+
+    @property
+    def fallback(self) -> Backend:
+        """The in-process backend used for regions processes cannot honour."""
+        return self._fallback
+
+    # -- strategy hooks -------------------------------------------------------
+
+    def resolve_for_region(self, *, size: int, nesting_level: int, requires_shared_locals: bool) -> Backend:
+        if size <= 1:
+            return self
+        if not shm.fork_available():
+            self._warn_once("platform", "fork start method unavailable; using thread backend")
+            return self._fallback
+        if nesting_level > 0:
+            self._warn_once("nested", "nested parallel regions run on the thread backend")
+            return self._fallback
+        if requires_shared_locals and not self.supports_shared_locals:
+            self._warn_once(
+                "shared-locals",
+                "region needs a shared Python heap (constructs like single/master "
+                "broadcast, ordered, critical or reductions — or a woven target whose "
+                "mutable state is not shared-memory backed / marked process_safe); "
+                "using thread backend",
+            )
+            return self._fallback
+        return self
+
+    def create_process_sync(self, size: int, body: Callable[[], Any] | None) -> "shm.ProcessSync | None":
+        if size <= 1 or not shm.fork_available():
+            return None
+        body_bytes = self._pool_payload(body) if self._use_pool else None
+        if body_bytes is not None and self._pool_lock.acquire(blocking=False):
+            pool = self._ensure_pool(size - 1)
+            if pool is not None:
+                pool.prepare(size)
+                sync = shm.ProcessSync(pool.barrier, pool.arena, pooled=True)
+                sync.body_bytes = body_bytes  # type: ignore[attr-defined]
+                return sync
+            self._pool_lock.release()
+        return shm.ProcessSync(shm.SharedBarrier(size), shm.SyncArena(), pooled=False)
+
+    def finish_region(self, team: "Team") -> None:
+        sync = team.process_sync
+        if sync is not None and sync.pooled and not getattr(sync, "released", False):
+            sync.released = True  # type: ignore[attr-defined]
+            self._pool_lock.release()
+
+    # -- execution ------------------------------------------------------------
+
+    def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
+        sync = team.process_sync
+        if sync is None:
+            return self._fallback.run_team(team, run_member, body)
+        if sync.pooled:
+            return self._run_pooled(team, run_member, sync)
+        return self._run_forked(team, run_member)
+
+    def _run_forked(self, team: "Team", run_member: Callable[[int], Any]) -> Any:
+        ctx = shm._mp_context()
+        channel = ctx.SimpleQueue()
+
+        def child(thread_id: int) -> None:
+            try:
+                result = run_member(thread_id)
+            except BaseException as exc:
+                channel.put((thread_id, None, _encode_exception(exc)))
+            else:
+                channel.put((thread_id, _encode_result(result), None))
+
+        workers = [
+            ctx.Process(target=child, args=(member.thread_id,), daemon=True, name=f"aomp-proc-{member.thread_id}")
+            for member in team.members[1:]
+        ]
+        for worker in workers:
+            worker.start()
+
+        master_result: Any = None
+        try:
+            master_result = run_member(0)
+        except BaseException:
+            # Recorded on the member record; run_member already aborted the
+            # (cross-process) barrier so workers fail fast.
+            pass
+        finally:
+            payloads = self._collect(channel, workers, expected=team.size - 1, abort=team.abort)
+            self._apply_payloads(team, payloads)
+            for worker in workers:
+                worker.join(timeout=5.0)
+        return master_result
+
+    def _run_pooled(self, team: "Team", run_member: Callable[[int], Any], sync: "shm.ProcessSync") -> Any:
+        pool = self._pool
+        assert pool is not None
+        ticket = pool.submit_region(team, sync.body_bytes)  # type: ignore[attr-defined]
+        master_result: Any = None
+        try:
+            master_result = run_member(0)
+        except BaseException:
+            pass
+        finally:
+            payloads = pool.collect(ticket, expected=team.size - 1, abort=team.abort)
+            self._apply_payloads(team, payloads)
+        return master_result
+
+    # -- helpers --------------------------------------------------------------
+
+    def _pool_payload(self, body: Callable[[], Any] | None) -> bytes | None:
+        """Pickle ``body`` for pool dispatch, or ``None`` when ineligible.
+
+        Pool dispatch pickles the body, so by-value state would be *copied*
+        into workers and its mutations lost; only callables whose owner
+        explicitly declares itself ``process_safe`` (all mutable state in
+        shared memory) are eligible.  Everything else uses fork inheritance.
+        """
+        owner = getattr(body, "__self__", None)
+        if owner is None or not getattr(owner, "process_safe", False):
+            return None
+        try:
+            return pickle.dumps(body)
+        except Exception:
+            return None
+
+    def _ensure_pool(self, needed_workers: int):
+        from repro.runtime.procpool import PersistentProcessPool
+
+        pool = self._pool
+        if pool is not None and (not pool.healthy or pool.workers < needed_workers):
+            pool.shutdown()
+            pool = self._pool = None
+        if pool is None:
+            default = self._pool_workers or max(needed_workers, (os.cpu_count() or 2) - 1)
+            try:
+                pool = PersistentProcessPool(max(needed_workers, default))
+            except Exception:  # pragma: no cover - pool creation failure
+                return None
+            self._pool = pool
+        return pool
+
+    def _collect(self, channel, workers, *, expected: int, abort: Callable[[], None]) -> dict:
+        """Drain member payloads, guarding against workers that died silently."""
+        return collect_member_payloads(
+            channel,
+            expected=expected,
+            alive=lambda: any(worker.is_alive() for worker in workers),
+            abort=abort,
+            timeout=shm.BARRIER_TIMEOUT + self.JOIN_GRACE,
+            accept=lambda item: (item[0], (item[1], item[2])),
+        )
+
+    def _apply_payloads(self, team: "Team", payloads: dict) -> None:
+        for member in team.members[1:]:
+            payload = payloads.get(member.thread_id)
+            if payload is None:
+                member.exception = WorkerProcessError(
+                    f"worker process for thread {member.thread_id} of {team.name} died without reporting"
+                )
+                continue
+            result, exc = payload
+            if exc is not None:
+                member.exception = _decode_exception(exc)
+            else:
+                member.result = _decode_result(result)
+
+    def shutdown(self) -> None:
+        """Stop the persistent worker pool (used by tests and at interpreter exit)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def _warn_once(self, key: str, message: str) -> None:
+        if key not in self._warned_fallback:
+            self._warned_fallback.add(key)
+            warnings.warn(f"ProcessBackend: {message}", RuntimeWarning, stacklevel=3)
+
+
+# ---------------------------------------------------------------------------
+# Shared member-payload collection (fork path and persistent pool).
+# ---------------------------------------------------------------------------
+
+
+def collect_member_payloads(
+    channel,
+    *,
+    expected: int,
+    alive: Callable[[], bool],
+    abort: Callable[[], None],
+    timeout: float,
+    accept: Callable[[tuple], "tuple[int, tuple] | None"],
+    on_give_up: Callable[[], None] | None = None,
+) -> dict:
+    """Drain ``expected`` member payloads from a result channel.
+
+    ``accept`` maps a raw queue item to ``(thread_id, payload)`` or ``None``
+    to discard it (the pool uses this to filter stale region tickets).  When
+    the workers die or ``timeout`` passes, ``on_give_up`` fires (the pool
+    poisons itself), the team is aborted to release any members still blocked
+    in a barrier, and the channel is drained one last time after a short
+    grace period so a member that reported moments too late is not
+    misclassified as having died silently.
+    """
+    payloads: dict[int, tuple] = {}
+
+    def drain() -> bool:
+        got_any = False
+        while not channel.empty():
+            accepted = accept(channel.get())
+            got_any = True
+            if accepted is not None:
+                payloads[accepted[0]] = accepted[1]
+        return got_any
+
+    deadline = time.monotonic() + timeout
+    while len(payloads) < expected:
+        drained = drain()
+        if len(payloads) >= expected:
+            break
+        if not alive() or time.monotonic() > deadline:
+            if on_give_up is not None:
+                on_give_up()
+            abort()
+            time.sleep(0.05)
+            drain()
+            break
+        if not drained:
+            time.sleep(0.001)
+    return payloads
+
+
+# ---------------------------------------------------------------------------
+# Payload encoding: results/exceptions must cross a process boundary.  The
+# object graph is pickled exactly once, in the worker; the channel then only
+# ships the resulting bytes (re-pickling bytes is a cheap copy).
+# ---------------------------------------------------------------------------
+
+
+def _encode_result(result: Any) -> bytes | None:
+    try:
+        return pickle.dumps(result)
+    except Exception:
+        return None  # non-picklable member results are dropped (master's is inline)
+
+
+def _decode_result(payload: bytes | None) -> Any:
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def _encode_exception(exc: BaseException) -> "bytes | str":
+    try:
+        return pickle.dumps(exc)
+    except Exception:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def _decode_exception(payload: "bytes | str") -> BaseException:
+    if isinstance(payload, bytes):
+        try:
+            return pickle.loads(payload)
+        except Exception:  # pragma: no cover - unpicklable in the parent
+            return WorkerProcessError("worker exception could not be reconstructed")
+    return WorkerProcessError(str(payload))
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and selection
+# ---------------------------------------------------------------------------
+
 _backend_lock = threading.Lock()
-_backend: Backend = ThreadBackend()
+_backend: Optional[Backend] = None  # explicit global override (set_backend)
+
+_BACKEND_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_BACKEND_ALIASES = {
+    "serial": "serial",
+    "sequential": "serial",
+    "thread": "threads",
+    "threads": "threads",
+    "threading": "threads",
+    "process": "processes",
+    "processes": "processes",
+    "proc": "processes",
+    "multiprocessing": "processes",
+}
+_named_instances: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend], *, aliases: tuple = ()) -> None:
+    """Register a backend factory under ``name`` (plus optional aliases)."""
+    _BACKEND_FACTORIES[name] = factory
+    _BACKEND_ALIASES[name] = name
+    for alias in aliases:
+        _BACKEND_ALIASES[alias] = name
+    _named_instances.pop(name, None)
+
+
+register_backend("serial", SerialBackend)
+register_backend("threads", ThreadBackend)
+register_backend("processes", ProcessBackend)
+
+
+def available_backends() -> list[str]:
+    """Canonical names of the registered backends."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def backend_by_name(name: str) -> Backend:
+    """Return the (cached) backend instance registered under ``name``."""
+    try:
+        canonical = _BACKEND_ALIASES[name.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown backend {name!r}; valid backends: {', '.join(available_backends())}"
+        ) from None
+    with _backend_lock:
+        if canonical not in _named_instances:
+            _named_instances[canonical] = _BACKEND_FACTORIES[canonical]()
+        return _named_instances[canonical]
+
+
+def resolve_backend(spec: "Backend | str | None" = None) -> Backend:
+    """Normalise a backend specification (instance, name, or ``None``).
+
+    ``None`` resolves to the global override installed with
+    :func:`set_backend`, falling back to the backend named by the runtime
+    configuration (``AOMP_BACKEND`` environment variable).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if spec is None:
+        return get_backend()
+    if isinstance(spec, str):
+        return backend_by_name(spec)
+    raise TypeError(f"backend must be a Backend, name or None, got {type(spec).__name__}")
 
 
 def get_backend() -> Backend:
     """Return the globally configured backend."""
-    return _backend
+    if _backend is not None:
+        return _backend
+    from repro.runtime.config import get_config
+
+    return backend_by_name(get_config().backend)
 
 
-def set_backend(backend: Backend) -> Backend:
-    """Install ``backend`` globally and return the previous backend."""
+def set_backend(backend: Optional[Backend]) -> Optional[Backend]:
+    """Install ``backend`` as the global override and return the previous override.
+
+    Passing ``None`` clears the override, restoring configuration-driven
+    selection (the ``AOMP_BACKEND`` environment variable).
+    """
     global _backend
     with _backend_lock:
         previous, _backend = _backend, backend

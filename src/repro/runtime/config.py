@@ -12,6 +12,12 @@ import threading
 from dataclasses import dataclass, field, replace
 
 
+def _default_backend() -> str:
+    """Backend name from ``AOMP_BACKEND`` (``serial`` | ``threads`` | ``processes``)."""
+    env = (os.environ.get("AOMP_BACKEND") or "").strip().lower()
+    return env or "threads"
+
+
 def _default_num_threads() -> int:
     env = os.environ.get("AOMP_NUM_THREADS") or os.environ.get("OMP_NUM_THREADS")
     if env:
@@ -32,6 +38,12 @@ class RuntimeConfig:
     ----------
     num_threads:
         Default team size for parallel regions that do not specify one.
+    backend:
+        Name of the default execution backend (``"serial"``, ``"threads"`` or
+        ``"processes"``), seeded from the ``AOMP_BACKEND`` environment
+        variable.  Overridden globally by
+        :func:`repro.runtime.backend.set_backend` and per-region via the
+        ``backend=`` argument of ``parallel_region``.
     default_schedule:
         Default loop schedule name (``"static_block"``, ``"static_cyclic"``,
         ``"dynamic"`` or ``"guided"``).
@@ -48,6 +60,7 @@ class RuntimeConfig:
     """
 
     num_threads: int = field(default_factory=_default_num_threads)
+    backend: str = field(default_factory=_default_backend)
     default_schedule: str = "static_block"
     default_chunk: int = 1
     nested: bool = True

@@ -16,8 +16,29 @@ import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
+from repro.runtime.exceptions import BackendCapabilityError
 from repro.runtime.locks import LockRegistry, ReadWriteLock, global_locks
 from repro.runtime.trace import EventKind
+
+
+def _require_shared_heap(construct: str) -> "ctx.ExecutionContext | None":
+    """In-process locks cannot serialise members of a *process* team.
+
+    Each forked/pooled worker inherits its own copy of a ``threading`` lock,
+    so every process would acquire its private lock simultaneously and the
+    critical section would silently stop excluding anyone.  Fail loudly
+    instead, exactly like single/master/ordered do (the weaver's
+    ``requires_shared_locals`` fallback prevents woven programs from ever
+    reaching this).
+    """
+    context = ctx.current_context()
+    if context is not None and context.team.size > 1 and context.team.is_process_team:
+        raise BackendCapabilityError(
+            f"{construct}: in-process locks cannot span a process team; weave with "
+            "threads, or mark the region as requiring shared locals to get the "
+            "automatic fallback"
+        )
+    return context
 
 
 def critical_call(
@@ -44,7 +65,7 @@ def critical_call(
         lock = registry.get(key)
         label = str(key)
 
-    context = ctx.current_context()
+    context = _require_shared_heap("critical")
     wait_start = time.perf_counter()
     lock.acquire()
     acquired = time.perf_counter()
@@ -75,7 +96,7 @@ def fine_grained_call(
     the lock (e.g. from a :class:`~repro.runtime.locks.StripedLocks` pool);
     the runtime only contributes tracing.
     """
-    context = ctx.current_context()
+    context = _require_shared_heap("fine-grained lock")
     lock.acquire()
     try:
         return fn()
@@ -87,11 +108,13 @@ def fine_grained_call(
 
 def reader_call(fn: Callable[[], Any], rwlock: ReadWriteLock) -> Any:
     """Run ``fn`` holding ``rwlock`` for shared (read) access."""
+    _require_shared_heap("reader lock")
     with rwlock.read():
         return fn()
 
 
 def writer_call(fn: Callable[[], Any], rwlock: ReadWriteLock) -> Any:
     """Run ``fn`` holding ``rwlock`` exclusively (write access)."""
+    _require_shared_heap("writer lock")
     with rwlock.write():
         return fn()

@@ -43,3 +43,19 @@ class TaskError(AOmpError):
 
 class BrokenTeamError(AOmpError):
     """Raised when a team member died with an exception and the team is unusable."""
+
+
+class BackendCapabilityError(AOmpError):
+    """Raised when a construct is used on a backend that cannot honour it.
+
+    Typically: constructs requiring a shared Python heap (single/master
+    broadcast, ordered execution) invoked inside a process-backed team.  The
+    weaver avoids this by consulting backend capability flags and falling
+    back to threads; the error surfaces only on direct runtime API misuse.
+    """
+
+
+class WorkerProcessError(AOmpError):
+    """Raised when a process-backend worker failed in a way that cannot be
+    reconstructed in the parent (died silently, or its exception was not
+    picklable)."""

@@ -1,0 +1,171 @@
+"""Persistent worker-process pool for the process backend.
+
+Forking per region is cheap on Linux but not free; regions whose bodies are
+*picklable* SPMD callables (bound methods of kernels whose arrays live in
+shared memory) can instead be dispatched to this pool of long-lived worker
+processes.  The pool owns the cross-process synchronisation objects — one
+reusable :class:`~repro.runtime.shm.SharedBarrier` and one
+:class:`~repro.runtime.shm.SyncArena` — created *before* the workers fork so
+every worker inherits them; they are reset between regions.
+
+Only one region executes on the pool at a time (the backend serialises
+access); arbitrary non-picklable region bodies always use the backend's
+fork-per-region path instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from typing import Any, Callable, Dict, Tuple
+
+from repro.runtime import shm
+from repro.runtime.backend import _encode_exception, _encode_result
+
+#: sentinel telling workers to exit
+_STOP = None
+
+
+def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
+    """Worker loop: execute one team member per task message.
+
+    Runs in a forked child; imports are deferred so the module can be
+    imported by :mod:`repro.runtime.backend` without a circular import.
+    """
+    from repro.runtime import context as ctx
+    from repro.runtime.team import Team
+
+    while True:
+        task = task_queue.get()
+        if task is _STOP:
+            break
+        ticket, thread_id, size, nesting_level, region_id, name, body_bytes = task
+        try:
+            body = pickle.loads(body_bytes)
+            team = Team(
+                size,
+                region_id=region_id,
+                name=name,
+                nesting_level=nesting_level,
+                process_sync=sync,
+            )
+            frame = ctx.ExecutionContext(team=team, thread_id=thread_id, nesting_level=nesting_level)
+            ctx.push_context(frame)
+            try:
+                result = body()
+            finally:
+                ctx.pop_context()
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            # Release siblings blocked in the team barrier, then report.
+            sync.barrier.abort()
+            payload = (ticket, thread_id, None, _encode_exception(exc))
+        else:
+            payload = (ticket, thread_id, _encode_result(result), None)
+        result_queue.put(payload)
+
+
+class PersistentProcessPool:
+    """A fixed-size pool of forked worker processes executing team members."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"pool needs at least 1 worker, got {workers}")
+        ctx = shm._mp_context()
+        self.workers = workers
+        self.barrier = shm.SharedBarrier(1)
+        self.arena = shm.SyncArena()
+        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True)
+        self._tasks = ctx.SimpleQueue()
+        self._results = ctx.SimpleQueue()
+        self._tickets = itertools.count(1)
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(self._tasks, self._results, self._sync),
+                daemon=True,
+                name=f"aomp-pool-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._shutdown = False
+        self._broken = False
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the pool is usable: not shut down, not timed out, workers alive."""
+        return (
+            not self._shutdown
+            and not self._broken
+            and all(proc.is_alive() for proc in self._procs)
+        )
+
+    def prepare(self, team_size: int) -> None:
+        """Reset the shared barrier/arena for a region of ``team_size`` members."""
+        self.barrier.reset(team_size)
+        self.arena.reset()
+
+    def submit_region(self, team, body_bytes: bytes) -> int:
+        """Dispatch one task per non-master member; returns the region ticket."""
+        ticket = next(self._tickets)
+        for member in team.members[1:]:
+            self._tasks.put(
+                (
+                    ticket,
+                    member.thread_id,
+                    team.size,
+                    team.nesting_level,
+                    team.region_id,
+                    team.name,
+                    body_bytes,
+                )
+            )
+        return ticket
+
+    def collect(
+        self,
+        ticket: int,
+        *,
+        expected: int,
+        abort: Callable[[], None],
+        timeout: float | None = None,
+    ) -> Dict[int, Tuple[Any, Any]]:
+        """Gather ``expected`` member payloads for ``ticket``.
+
+        Stale payloads from earlier (aborted) regions are discarded.  If
+        workers die or the deadline passes, the remaining members are left
+        unreported (the backend converts them into ``WorkerProcessError``)
+        and the pool poisons itself — a worker still stuck in the old
+        region's body would otherwise hit the *next* region's reset
+        barrier/arena — so the backend replaces it.
+        """
+        from repro.runtime.backend import collect_member_payloads
+
+        def give_up() -> None:
+            self._broken = True
+
+        return collect_member_payloads(
+            self._results,
+            expected=expected,
+            alive=lambda: self.healthy,
+            abort=abort,
+            timeout=timeout if timeout is not None else shm.BARRIER_TIMEOUT + 30.0,
+            accept=lambda item: (item[1], (item[2], item[3])) if item[0] == ticket else None,
+            on_give_up=give_up,
+        )
+
+    def shutdown(self) -> None:
+        """Stop all workers and release the queues."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(_STOP)
+            except Exception:  # pragma: no cover - queue already closed
+                break
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()

@@ -35,6 +35,11 @@ class Schedule(str, Enum):
         """Parse a schedule name; accepts the paper's camelCase spellings too."""
         if isinstance(value, Schedule):
             return value
+        if not isinstance(value, str):
+            raise SchedulingError(
+                f"schedule must be a Schedule or a name, got {type(value).__name__}; "
+                f"valid names: {', '.join(member.value for member in cls)}"
+            )
         normalised = value.strip().lower().replace("-", "_")
         aliases = {
             "staticblock": cls.STATIC_BLOCK,
@@ -50,7 +55,11 @@ class Schedule(str, Enum):
         try:
             return aliases[normalised]
         except KeyError as exc:
-            raise SchedulingError(f"unknown schedule {value!r}") from exc
+            raise SchedulingError(
+                f"unknown schedule {value!r}; valid names: "
+                f"{', '.join(member.value for member in cls)} "
+                f"(also accepted: {', '.join(sorted(set(aliases) - {m.value for m in cls}))})"
+            ) from exc
 
 
 @dataclass(frozen=True)

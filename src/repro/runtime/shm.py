@@ -1,0 +1,423 @@
+"""Shared-memory primitives backing the process-based execution backend.
+
+The thread backend shares state for free (one address space); the process
+backend does not.  This module provides the pieces that make OpenMP-style
+*shared* data and team synchronisation work across process boundaries:
+
+* :class:`SharedArray` — a numpy array living in ``multiprocessing``
+  POSIX shared memory.  Worksharing chunks executed by worker processes
+  mutate the *same* pages the master reads, so a ``@For`` loop over a
+  shared array behaves exactly as it does under threads — no pickling of
+  array copies, no gather step.
+* :class:`SharedBarrier` — a reusable cyclic barrier built on a
+  ``multiprocessing`` condition variable, API-compatible with
+  :class:`repro.runtime.barrier.CyclicBarrier` (``wait``/``abort``/``reset``).
+* :class:`SyncArena` — a pre-allocated pool of shared claim counters.
+  Dynamic/guided loop schedules need a cross-member claim counter, but loops
+  are only *encountered* after worker processes have been created, when new
+  ``multiprocessing`` primitives can no longer be shared.  The arena is
+  allocated before the workers exist; because region bodies are SPMD, the
+  *n*-th workshared loop encountered by each member maps to the same arena
+  slot on every member (the same trick the thread runtime uses for its
+  shared-slot keys).
+* :class:`ProcessDynamicState` / :class:`ProcessGuidedState` — process-safe
+  drop-ins for the thread schedulers' shared loop state, built on arena slots.
+
+Everything here also works under the serial and thread backends (shared
+memory is just memory), which is what lets the conformance test suite assert
+identical construct behaviour across all three backends.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.runtime.barrier import BrokenBarrierError
+
+#: start method used for every process-backend primitive.  Workers must
+#: inherit the parent's address space (closures and woven classes cannot be
+#: pickled), which only ``fork`` provides; the backend falls back to threads
+#: on platforms without it.
+FORK_METHOD = "fork"
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return FORK_METHOD in multiprocessing.get_all_start_methods()
+
+
+def _mp_context():
+    return multiprocessing.get_context(FORK_METHOD)
+
+
+# ---------------------------------------------------------------------------
+# Shared arrays
+# ---------------------------------------------------------------------------
+
+
+class SharedArray:
+    """A numpy array backed by ``multiprocessing.shared_memory``.
+
+    Behaves like an ndarray for the operations kernels use (indexing, slice
+    assignment, ufuncs through ``__array__``, attribute delegation for
+    ``sum()``/``shape``/...).  Pickling ships only the segment *name*; the
+    receiving process re-attaches to the same physical pages, so bound
+    methods of kernels holding shared arrays can be sent to a persistent
+    worker pool without copying the data.
+
+    The creating process owns the segment and unlinks it in :meth:`close`
+    (also registered with ``atexit`` as a safety net); attached processes
+    merely detach.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape: tuple, dtype: np.dtype, *, owner: bool) -> None:
+        self._shm = shm
+        self._shape = tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._closed = False
+        self.np: np.ndarray = np.ndarray(self._shape, dtype=self._dtype, buffer=shm.buf)
+        if owner:
+            atexit.register(self.close)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, shape: "int | tuple", dtype: Any = np.float64) -> "SharedArray":
+        """Allocate a zero-filled shared array."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        dtype = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size, name=_segment_name())
+        array = cls(shm, shape, dtype, owner=True)
+        array.np.fill(0)
+        return array
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """Copy ``source`` into a fresh shared array of the same shape/dtype."""
+        array = cls.zeros(source.shape, source.dtype)
+        array.np[...] = source
+        return array
+
+    # -- pickling: attach by name -------------------------------------------
+
+    def __reduce__(self):
+        return (_attach_shared_array, (self._shm.name, self._shape, self._dtype.str))
+
+    # -- ndarray-ish surface -------------------------------------------------
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.np.astype(dtype) if dtype is not None else self.np
+
+    def __getitem__(self, key):
+        return self.np[key]
+
+    def __setitem__(self, key, value) -> None:
+        self.np[key] = value
+
+    def __len__(self) -> int:
+        return len(self.np)
+
+    def __getattr__(self, name):
+        # Delegate everything numpy-ish (sum, shape, dtype, fill, ...) to the
+        # underlying view.  Only called for attributes not found on self.
+        return getattr(object.__getattribute__(self, "np"), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SharedArray(name={self._shm.name!r}, shape={self._shape}, dtype={self._dtype})"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Name of the backing shared-memory segment."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Detach from the segment; the owner also unlinks it."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the view before closing the mmap underneath it.
+        self.np = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - double unlink
+            pass
+        if self._owner:
+            try:
+                atexit.unregister(self.close)
+            except Exception:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _segment_name() -> str:
+    return f"aomp_{os.getpid()}_{secrets.token_hex(4)}"
+
+
+def _attach_shared_array(name: str, shape: tuple, dtype_str: str) -> SharedArray:
+    """Re-attach to an existing segment (pickle support for worker processes).
+
+    Attaching registers the segment with the resource tracker (CPython
+    < 3.13), and the duplicate register/unregister traffic from several
+    workers attaching the same segment confuses the tracker at shutdown.
+    Lifetime is managed by the creating process alone, so registration is
+    suppressed for the duration of the attach.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register  # type: ignore[assignment]
+    return SharedArray(shm, shape, np.dtype(dtype_str), owner=False)
+
+
+def shared_zeros(shape: "int | tuple", dtype: Any = np.float64) -> SharedArray:
+    """Convenience alias for :meth:`SharedArray.zeros`."""
+    return SharedArray.zeros(shape, dtype)
+
+
+def as_shared(array: "np.ndarray | SharedArray") -> SharedArray:
+    """Return ``array`` as a :class:`SharedArray`, copying if necessary."""
+    if isinstance(array, SharedArray):
+        return array
+    return SharedArray.from_array(np.asarray(array))
+
+
+def is_shared(array: Any) -> bool:
+    """Whether ``array`` is backed by shared memory."""
+    return isinstance(array, SharedArray)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process synchronisation
+# ---------------------------------------------------------------------------
+
+#: Upper bound on how long any member waits in a team barrier before
+#: declaring it broken.  Prevents livelock when a sibling process dies
+#: without reaching the barrier (the stress suite relies on this guard).
+BARRIER_TIMEOUT = 120.0
+
+
+class SharedBarrier:
+    """A reusable cyclic barrier usable from multiple processes.
+
+    Mirrors the :class:`~repro.runtime.barrier.CyclicBarrier` surface used by
+    :class:`~repro.runtime.team.Team` (``wait``, ``abort``, ``reset``,
+    ``parties``).  Built on a ``multiprocessing`` condition plus a small
+    shared state vector so it can be *reset* to a new party count and reused
+    by a persistent worker pool across regions.
+    """
+
+    _COUNT, _GENERATION, _BROKEN, _PARTIES = range(4)
+
+    def __init__(self, parties: int, *, timeout: float = BARRIER_TIMEOUT) -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs at least 1 party, got {parties}")
+        ctx = _mp_context()
+        self._cond = ctx.Condition()
+        self._state = ctx.Array("q", 4, lock=False)
+        self._state[self._PARTIES] = parties
+        self._timeout = timeout
+
+    @property
+    def parties(self) -> int:
+        return int(self._state[self._PARTIES])
+
+    @property
+    def broken(self) -> bool:
+        with self._cond:
+            return bool(self._state[self._BROKEN])
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until all parties arrive; raises :class:`BrokenBarrierError` on abort/timeout."""
+        limit = timeout if timeout is not None else self._timeout
+        state = self._state
+        with self._cond:
+            if state[self._BROKEN]:
+                raise BrokenBarrierError("barrier is broken")
+            generation = state[self._GENERATION]
+            index = state[self._PARTIES] - 1 - state[self._COUNT]
+            state[self._COUNT] += 1
+            if state[self._COUNT] == state[self._PARTIES]:
+                state[self._COUNT] = 0
+                state[self._GENERATION] += 1
+                self._cond.notify_all()
+                return int(index)
+            while state[self._GENERATION] == generation and not state[self._BROKEN]:
+                if not self._cond.wait(limit):
+                    state[self._BROKEN] = 1
+                    self._cond.notify_all()
+                    raise BrokenBarrierError("barrier wait timed out")
+            if state[self._BROKEN]:
+                raise BrokenBarrierError("barrier is broken")
+            return int(index)
+
+    def abort(self) -> None:
+        """Break the barrier, releasing all waiters with an error."""
+        with self._cond:
+            self._state[self._BROKEN] = 1
+            self._cond.notify_all()
+
+    def reset(self, parties: Optional[int] = None) -> None:
+        """Restore the barrier to a fresh state, optionally with a new party count."""
+        with self._cond:
+            state = self._state
+            state[self._COUNT] = 0
+            state[self._GENERATION] += 1
+            state[self._BROKEN] = 0
+            if parties is not None:
+                if parties < 1:
+                    raise ValueError(f"barrier needs at least 1 party, got {parties}")
+                state[self._PARTIES] = parties
+            self._cond.notify_all()
+
+
+class SyncArena:
+    """Pre-allocated pool of shared claim counters for workshared loops.
+
+    Each slot is a ``(tag, next)`` pair guarded by one lock.  A member
+    attaching a slot for loop-ordinal *n* resets the counter the first time
+    that ordinal is seen; because ordinals increase monotonically and loops
+    are barrier-separated, a slot is never concurrently reused for two
+    different loops (adjacent ``nowait`` loops occupy adjacent slots).
+    """
+
+    _TAG, _NEXT = 0, 1
+
+    def __init__(self, capacity: int = 256) -> None:
+        ctx = _mp_context()
+        self.capacity = capacity
+        self._lock = ctx.Lock()
+        self._cells = ctx.Array("q", 2 * capacity, lock=False)
+        self.reset()
+
+    def reset(self) -> None:
+        """Mark every slot unused (called between regions by the pool)."""
+        with self._lock:
+            for i in range(self.capacity):
+                self._cells[2 * i + self._TAG] = -1
+                self._cells[2 * i + self._NEXT] = 0
+
+    def slot(self, ordinal: int) -> "ArenaSlot":
+        """Return the claim slot for loop-ordinal ``ordinal``."""
+        return ArenaSlot(self, ordinal)
+
+    # -- slot operations (called through ArenaSlot) --------------------------
+
+    def _attach(self, ordinal: int) -> None:
+        index = ordinal % self.capacity
+        with self._lock:
+            if self._cells[2 * index + self._TAG] != ordinal:
+                self._cells[2 * index + self._TAG] = ordinal
+                self._cells[2 * index + self._NEXT] = 0
+
+    def _fetch_add(self, ordinal: int, amount: int) -> int:
+        index = ordinal % self.capacity
+        with self._lock:
+            value = self._cells[2 * index + self._NEXT]
+            self._cells[2 * index + self._NEXT] = value + amount
+            return int(value)
+
+    def _fetch_add_guided(self, ordinal: int, total: int, min_chunk: int, num_threads: int) -> "tuple[int, int] | None":
+        index = ordinal % self.capacity
+        with self._lock:
+            begin = int(self._cells[2 * index + self._NEXT])
+            remaining = total - begin
+            if remaining <= 0:
+                return None
+            count = max(min_chunk, remaining // num_threads)
+            count = min(count, remaining)
+            self._cells[2 * index + self._NEXT] = begin + count
+            return begin, count
+
+
+@dataclass
+class ArenaSlot:
+    """Handle to one :class:`SyncArena` cell, bound to a loop ordinal."""
+
+    arena: SyncArena
+    ordinal: int
+
+    def __post_init__(self) -> None:
+        self.arena._attach(self.ordinal)
+
+    def fetch_add(self, amount: int = 1) -> int:
+        """Atomically return the current value and advance it by ``amount``."""
+        return self.arena._fetch_add(self.ordinal, amount)
+
+    def claim_guided(self, total: int, min_chunk: int, num_threads: int) -> "tuple[int, int] | None":
+        """Atomically claim a guided-schedule ``(begin, count)`` block."""
+        return self.arena._fetch_add_guided(self.ordinal, total, min_chunk, num_threads)
+
+
+class ProcessDynamicState:
+    """Process-safe twin of the dynamic scheduler's shared claim counter.
+
+    Duck-types ``_DynamicLoopState`` (``next_chunk()`` returning a chunk
+    index or ``None``), so :meth:`DynamicScheduler.chunks_from` works
+    unchanged on top of it.
+    """
+
+    def __init__(self, slot: ArenaSlot, total_chunks: int) -> None:
+        self._slot = slot
+        self.total_chunks = total_chunks
+
+    def next_chunk(self) -> "int | None":
+        index = self._slot.fetch_add(1)
+        if index >= self.total_chunks:
+            return None
+        return index
+
+
+class ProcessGuidedState:
+    """Process-safe twin of the guided scheduler's shared claim state.
+
+    Duck-types ``_GuidedLoopState`` (``next_range()`` returning
+    ``(begin, count)`` or ``None``).  ``total``/``min_chunk``/``num_threads``
+    are derived identically by every member; only the claim cursor is shared.
+    """
+
+    def __init__(self, slot: ArenaSlot, total: int, min_chunk: int, num_threads: int) -> None:
+        self._slot = slot
+        self.total = total
+        self.min_chunk = min_chunk
+        self.num_threads = max(1, num_threads)
+
+    def next_range(self) -> "tuple[int, int] | None":
+        return self._slot.claim_guided(self.total, self.min_chunk, self.num_threads)
+
+
+@dataclass
+class ProcessSync:
+    """Cross-process synchronisation bundle attached to a process-backed team.
+
+    Created by the process backend *before* workers exist (fork inherits it);
+    the team's barrier and the worksharing loop states are built from it.
+    ``pooled`` records whether the region runs on the persistent worker pool
+    (picklable SPMD body) or on per-region forked workers (arbitrary
+    closures, shipped by address-space inheritance).
+    """
+
+    barrier: SharedBarrier
+    arena: SyncArena
+    pooled: bool = False

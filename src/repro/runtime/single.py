@@ -14,8 +14,19 @@ import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
+from repro.runtime.exceptions import BackendCapabilityError
 from repro.runtime.team import Team
 from repro.runtime.trace import EventKind
+
+
+def _require_shared_heap(team: Team, construct: str) -> None:
+    """Broadcast slots live on the Python heap; process teams cannot share them."""
+    if team.is_process_team:
+        raise BackendCapabilityError(
+            f"{construct}: value broadcast needs a shared Python heap; the process "
+            "backend cannot honour it (weave with threads, or mark the region as "
+            "requiring shared locals to get the automatic fallback)"
+        )
 
 
 class _BroadcastSlot:
@@ -95,6 +106,7 @@ class SingleRegion:
         if context is None or context.team.size == 1:
             return fn()
         team = context.team
+        _require_shared_heap(team, "single")
         slot_key = ("single", self.key, _encounter_key(team, self.key))
         slot: _BroadcastSlot = team.shared_slot(slot_key, _BroadcastSlot)
         if slot.try_claim():
@@ -139,6 +151,7 @@ class MasterRegion:
                 finally:
                     team.record(EventKind.MASTER, key=str(self.key), elapsed=time.perf_counter() - start)
             return None
+        _require_shared_heap(team, "master")
         slot_key = ("master", self.key, _encounter_key(team, self.key))
         slot: _BroadcastSlot = team.shared_slot(slot_key, _BroadcastSlot)
         if context.is_master:

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
 from repro.runtime import context as ctx
-from repro.runtime.backend import Backend, get_backend
+from repro.runtime import shm
+from repro.runtime.backend import Backend, resolve_backend
 from repro.runtime.barrier import CyclicBarrier
 from repro.runtime.config import get_config
 from repro.runtime.exceptions import BrokenTeamError
@@ -49,6 +50,7 @@ class Team:
         name: str | None = None,
         recorder: TraceRecorder | None = None,
         nesting_level: int = 0,
+        process_sync: "shm.ProcessSync | None" = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"team size must be >= 1, got {size}")
@@ -58,9 +60,24 @@ class Team:
         self.recorder = recorder
         self.nesting_level = nesting_level
         self.members = [TeamMember(thread_id=i) for i in range(size)]
-        self._barrier = CyclicBarrier(size)
+        self.process_sync = process_sync
+        self._barrier = process_sync.barrier if process_sync is not None else CyclicBarrier(size)
         self._shared: dict[Hashable, Any] = {}
         self._shared_lock = threading.Lock()
+
+    @property
+    def is_process_team(self) -> bool:
+        """Whether members execute in separate processes (no shared Python heap)."""
+        return self.process_sync is not None
+
+    def proc_loop_slot(self, ordinal: int) -> "shm.ArenaSlot | None":
+        """Cross-process claim slot for the ``ordinal``-th workshared loop.
+
+        ``None`` for in-process teams, which use :meth:`shared_slot` instead.
+        """
+        if self.process_sync is None:
+            return None
+        return self.process_sync.arena.slot(ordinal)
 
     # -- synchronisation ----------------------------------------------------
 
@@ -129,9 +146,10 @@ def parallel_region(
     body: Callable[[], Any],
     *,
     num_threads: int | None = None,
-    backend: Backend | None = None,
+    backend: "Backend | str | None" = None,
     recorder: TraceRecorder | None = None,
     name: str | None = None,
+    requires_shared_locals: bool = False,
 ) -> Any:
     """Execute ``body`` as a parallel region and return the master's result.
 
@@ -149,23 +167,34 @@ def parallel_region(
     num_threads:
         Team size; defaults to the global configuration.
     backend:
-        Execution backend; defaults to the globally configured backend
-        (real threads).
+        Execution backend — an instance, a registered backend name
+        (``"serial"`` | ``"threads"`` | ``"processes"``) or ``None`` for the
+        globally configured backend.
     recorder:
         Trace recorder; defaults to the globally installed recorder (if any)
         when tracing is enabled.
     name:
         Human-readable region name used in traces.
+    requires_shared_locals:
+        Declares that the region body uses constructs needing a shared Python
+        heap (single/master broadcast, ordered, critical sections,
+        reductions).  Backends lacking that capability (processes) then fall
+        back to their in-process fallback backend.  Set automatically by the
+        weaver from the aspects woven alongside a parallel-region aspect.
     """
     parent = ctx.current_context()
     nesting_level = parent.nesting_level + 1 if parent is not None else 0
     size = _resolve_num_threads(num_threads, nesting_level)
-    backend = backend if backend is not None else get_backend()
-    # A serial backend runs members one after another, which cannot satisfy
+    backend = resolve_backend(backend)
+    # A backend without blocking sync (serial, or any registered sequential
+    # backend) runs members one after another, which cannot satisfy
     # multi-party barriers; clamp to a team of one (sequential semantics)
     # unless the backend explicitly opts into multi-member serial execution.
-    if getattr(backend, "name", "") == "serial" and not getattr(backend, "allow_multi", False):
+    if not backend.supports_blocking_sync and not getattr(backend, "allow_multi", False):
         size = 1
+    backend = backend.resolve_for_region(
+        size=size, nesting_level=nesting_level, requires_shared_locals=requires_shared_locals
+    )
     config = get_config()
     if recorder is None and config.tracing:
         recorder = get_global_recorder()
@@ -177,45 +206,50 @@ def parallel_region(
         name=name,
         recorder=recorder,
         nesting_level=nesting_level,
+        process_sync=backend.create_process_sync(size, body),
     )
-
-    if recorder is not None:
-        recorder.record(EventKind.REGION_BEGIN, region_id, ctx.get_thread_id(), name=team.name, size=size)
-
-    def run_member(thread_id: int) -> Any:
-        member = team.members[thread_id]
-        frame = ctx.ExecutionContext(
-            team=team,
-            thread_id=thread_id,
-            nesting_level=nesting_level,
-            parent=parent if thread_id == 0 else None,
-        )
-        ctx.push_context(frame)
-        start = time.perf_counter()
-        try:
-            member.result = body()
-            return member.result
-        except BaseException as exc:
-            member.exception = exc
-            team.abort()
-            raise
-        finally:
-            elapsed = time.perf_counter() - start
-            if recorder is not None:
-                recorder.record(
-                    EventKind.PHASE_WORK,
-                    region_id,
-                    thread_id,
-                    elapsed=elapsed,
-                    label="region_body",
-                )
-            ctx.pop_context()
-
+    # From here on the backend may hold per-region resources (the process
+    # backend's pool lock); every exit path below must reach finish_region.
     try:
-        result = backend.run_team(team, run_member)
-    finally:
         if recorder is not None:
-            recorder.record(EventKind.REGION_END, region_id, ctx.get_thread_id(), name=team.name)
+            recorder.record(EventKind.REGION_BEGIN, region_id, ctx.get_thread_id(), name=team.name, size=size)
+
+        def run_member(thread_id: int) -> Any:
+            member = team.members[thread_id]
+            frame = ctx.ExecutionContext(
+                team=team,
+                thread_id=thread_id,
+                nesting_level=nesting_level,
+                parent=parent if thread_id == 0 else None,
+            )
+            ctx.push_context(frame)
+            start = time.perf_counter()
+            try:
+                member.result = body()
+                return member.result
+            except BaseException as exc:
+                member.exception = exc
+                team.abort()
+                raise
+            finally:
+                elapsed = time.perf_counter() - start
+                if recorder is not None:
+                    recorder.record(
+                        EventKind.PHASE_WORK,
+                        region_id,
+                        thread_id,
+                        elapsed=elapsed,
+                        label="region_body",
+                    )
+                ctx.pop_context()
+
+        try:
+            result = backend.run_team(team, run_member, body)
+        finally:
+            if recorder is not None:
+                recorder.record(EventKind.REGION_END, region_id, ctx.get_thread_id(), name=team.name)
+    finally:
+        backend.finish_region(team)
 
     failures = [m for m in team.members if m.exception is not None]
     if failures:

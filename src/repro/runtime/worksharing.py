@@ -24,7 +24,9 @@ import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
+from repro.runtime.exceptions import BackendCapabilityError
 from repro.runtime.ordered import OrderedRegion, install_ordered_region
+from repro.runtime.shm import ProcessDynamicState, ProcessGuidedState
 from repro.runtime.scheduler import (
     DynamicScheduler,
     GuidedScheduler,
@@ -51,6 +53,18 @@ def _loop_encounter_key(loop_name: str) -> Hashable:
     occurrence = counters.get(loop_name, 0)
     counters[loop_name] = occurrence + 1
     return ("for", loop_name, occurrence)
+
+
+def _loop_ordinal(context: ctx.ExecutionContext) -> int:
+    """Monotone per-member counter of workshared loops in this region.
+
+    SPMD execution makes the counter identical on every member, so it can
+    index the team's pre-allocated cross-process claim arena (process teams
+    cannot create new shared state after their workers exist).
+    """
+    ordinal = context.scratch.get("loop_ordinal", 0)
+    context.scratch["loop_ordinal"] = ordinal + 1
+    return ordinal
 
 
 def run_for(
@@ -108,6 +122,17 @@ def run_for(
 
     team = context.team
     scheduler = make_scheduler(schedule, chunk=chunk)
+    # Claimed unconditionally so the ordinal stays aligned across members and
+    # across schedule kinds (the body is SPMD: every member sees the same
+    # loops in the same order).
+    ordinal = _loop_ordinal(context)
+
+    if ordered and team.is_process_team:
+        raise BackendCapabilityError(
+            f"loop {name!r}: ordered execution needs a shared Python heap; "
+            "the process backend cannot honour it (weave with threads, or mark "
+            "the region as requiring shared locals to get the automatic fallback)"
+        )
 
     ordered_region: OrderedRegion | None = None
     previous_ordered: OrderedRegion | None = None
@@ -119,15 +144,24 @@ def run_for(
     result: Any = None
     try:
         if isinstance(scheduler, GuidedScheduler):
-            loop_key = _loop_encounter_key(name)
-            state = team.shared_slot(
-                loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
-            )
+            if (slot := team.proc_loop_slot(ordinal)) is not None:
+                total = LoopChunk(start, end, step).count
+                state = ProcessGuidedState(slot, total, scheduler.min_chunk, team.size)
+            else:
+                loop_key = _loop_encounter_key(name)
+                state = team.shared_slot(
+                    loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
+                )
             for piece in scheduler.chunks_from_guided(state, start, end, step):
                 result = _run_chunk(body, piece, args, kwargs, team, name, weight)
         elif isinstance(scheduler, DynamicScheduler):
-            loop_key = _loop_encounter_key(name)
-            state = team.shared_slot(loop_key, lambda: scheduler.new_state(start, end, step))
+            if (slot := team.proc_loop_slot(ordinal)) is not None:
+                total = LoopChunk(start, end, step).count
+                total_chunks = (total + scheduler.chunk - 1) // scheduler.chunk
+                state = ProcessDynamicState(slot, total_chunks)
+            else:
+                loop_key = _loop_encounter_key(name)
+                state = team.shared_slot(loop_key, lambda: scheduler.new_state(start, end, step))
             for piece in scheduler.chunks_from(state, start, end, step):
                 result = _run_chunk(body, piece, args, kwargs, team, name, weight)
         else:

@@ -330,3 +330,138 @@ class TestJoinPoint:
             assert Greeter().greet("ignored") == "hello copied"
         finally:
             weaver.unweave_all()
+
+
+class TestBackendCapabilityAggregation:
+    """weave_all tells parallel-region aspects when sibling aspects need a
+    shared Python heap, so process backends fall back to threads."""
+
+    def test_shared_locals_flag_propagates_to_parallel_region(self):
+        from repro.core.aspects.execution import SingleAspect
+        from repro.core.aspects.parallel_region import ParallelRegion
+
+        pr = ParallelRegion(call("Greeter.greet"), threads=2)
+        single = SingleAspect(call("Greeter.shout"))
+        weaver = Weaver()
+        weaver.weave_all([single, pr], Greeter)
+        try:
+            assert pr.region_requires_shared_locals is True
+        finally:
+            weaver.unweave_all()
+
+    def test_flag_stays_clear_without_shared_locals_aspects(self):
+        from repro.core.aspects.parallel_region import ParallelRegion
+        from repro.core.aspects.worksharing import ForStatic
+
+        pr = ParallelRegion(call("Greeter.greet"), threads=2)
+        loop = ForStatic(call("Greeter.shout"))
+        weaver = Weaver()
+        weaver.weave_all([loop, pr], Greeter)
+        try:
+            assert pr.region_requires_shared_locals is False
+        finally:
+            weaver.unweave_all()
+
+    def test_composite_aspects_are_flattened_for_capability_checks(self):
+        from repro.core.aspects.base import CompositeAspect
+        from repro.core.aspects.execution import MasterAspect
+        from repro.core.aspects.parallel_region import ParallelRegion
+
+        pr = ParallelRegion(call("Greeter.greet"), threads=2)
+        bundle = CompositeAspect([MasterAspect(call("Greeter.shout")), pr])
+        weaver = Weaver()
+        weaver.weave_all([bundle], Greeter)
+        try:
+            assert pr.region_requires_shared_locals is True
+        finally:
+            weaver.unweave_all()
+
+    def test_woven_single_on_process_backend_runs_on_thread_fallback(self):
+        """End to end: a program woven with PR + Single executes correctly on
+        the process backend because the weaver routed it to threads."""
+        import warnings
+
+        from repro.core.aspects.execution import SingleAspect
+        from repro.core.aspects.parallel_region import ParallelRegion
+        from repro.runtime.backend import ProcessBackend
+
+        class Program:
+            def __init__(self):
+                self.audit = []
+
+            def setup(self):
+                self.audit.append("setup")
+                return "configured"
+
+            def main(self):
+                return self.setup()
+
+        pr = ParallelRegion(call("Program.main"), threads=3, backend=ProcessBackend())
+        single = SingleAspect(call("Program.setup"))
+        weaver = Weaver()
+        weaver.weave_all([single, pr], Program)
+        try:
+            program = Program()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert program.main() == "configured"
+            # Exactly one member executed setup, and its mutation is visible
+            # to the parent — proof the region ran in-process (threads).
+            assert program.audit == ["setup"]
+        finally:
+            weaver.unweave_all()
+
+    def test_unmarked_woven_target_falls_back_on_process_backend(self):
+        """A woven program whose state is ordinary heap data (not marked
+        process_safe) must not lose worker writes on the process backend:
+        the region aspect routes it to the thread fallback."""
+        import threading
+        import warnings
+
+        from repro.core.aspects.parallel_region import ParallelRegion
+        from repro.core.aspects.worksharing import ForStatic
+        from repro.runtime.backend import ProcessBackend
+
+        class Accumulator:
+            def __init__(self):
+                self.parts = []
+                self._lock = threading.Lock()
+
+            def accumulate(self, start, end, step):
+                with self._lock:
+                    self.parts.append(sum(range(start, end, step)))
+
+            def main(self):
+                self.accumulate(0, 100, 1)
+                return sum(self.parts)
+
+        weaver = Weaver()
+        weaver.weave_all(
+            [
+                ForStatic(call("Accumulator.accumulate")),
+                ParallelRegion(call("Accumulator.main"), threads=4, backend=ProcessBackend()),
+            ],
+            Accumulator,
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert Accumulator().main() == sum(range(100))
+        finally:
+            weaver.unweave_all()
+
+    def test_reweave_with_process_safe_set_clears_stale_flag(self):
+        from repro.core.aspects.execution import SingleAspect
+        from repro.core.aspects.parallel_region import ParallelRegion
+        from repro.core.aspects.worksharing import ForStatic
+
+        pr = ParallelRegion(call("Greeter.greet"), threads=2)
+        weaver = Weaver()
+        weaver.weave_all([SingleAspect(call("Greeter.shout")), pr], Greeter)
+        weaver.unweave_all()
+        assert pr.region_requires_shared_locals is True
+        weaver.weave_all([ForStatic(call("Greeter.shout")), pr], Greeter)
+        try:
+            assert pr.region_requires_shared_locals is False
+        finally:
+            weaver.unweave_all()

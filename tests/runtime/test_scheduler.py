@@ -72,6 +72,24 @@ class TestSchedule:
         with pytest.raises(SchedulingError):
             Schedule.parse("round-robin")
 
+    def test_parse_unknown_lists_valid_names(self):
+        """The error must name every valid schedule so the fix is self-evident."""
+        with pytest.raises(SchedulingError) as excinfo:
+            Schedule.parse("round-robin")
+        message = str(excinfo.value)
+        assert "'round-robin'" in message
+        for member in Schedule:
+            assert member.value in message
+        assert "staticblock" in message  # aliases are listed too
+
+    def test_parse_non_string_rejected_with_valid_names(self):
+        with pytest.raises(SchedulingError) as excinfo:
+            Schedule.parse(42)
+        message = str(excinfo.value)
+        assert "int" in message
+        for member in Schedule:
+            assert member.value in message
+
     def test_factory_returns_right_types(self):
         assert isinstance(make_scheduler("staticBlock"), StaticBlockScheduler)
         assert isinstance(make_scheduler("staticCyclic"), StaticCyclicScheduler)

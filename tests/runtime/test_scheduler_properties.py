@@ -1,0 +1,146 @@
+"""Property-based scheduler tests.
+
+For randomly generated ``(start, end, step, num_threads, chunk)`` tuples,
+every schedule must partition ``range(start, end, step)`` into chunks that
+are *disjoint* (no iteration assigned twice) and *exhaustive* (no iteration
+dropped) — the invariant every backend relies on.  A seeded ``random.Random``
+keeps the cases reproducible without external property-testing dependencies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.scheduler import (
+    DynamicScheduler,
+    GuidedScheduler,
+    Schedule,
+    StaticBlockScheduler,
+    StaticCyclicScheduler,
+    make_scheduler,
+)
+from repro.runtime.shm import ProcessDynamicState, ProcessGuidedState, SyncArena
+
+CASES = 150
+
+
+def _random_cases(seed: int):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        start = rng.randint(-50, 50)
+        step = rng.choice([-7, -3, -2, -1, 1, 2, 3, 5, 8])
+        span = rng.randint(0, 120)
+        end = start + (span if step > 0 else -span)
+        num_threads = rng.randint(1, 9)
+        chunk = rng.randint(1, 10)
+        yield start, end, step, num_threads, chunk
+
+
+def _expected(start, end, step):
+    return sorted(range(start, end, step))
+
+
+def _assert_disjoint_exhaustive(per_thread_chunks, start, end, step, label):
+    seen: list[int] = []
+    for chunks in per_thread_chunks:
+        for piece in chunks:
+            indices = list(piece.indices())
+            assert len(indices) == piece.count, f"{label}: count mismatch on {piece}"
+            seen.extend(indices)
+    assert sorted(seen) == _expected(start, end, step), (
+        f"{label}: partition of range({start}, {end}, {step}) not disjoint+exhaustive"
+    )
+
+
+@pytest.mark.parametrize("schedule", [Schedule.STATIC_BLOCK, Schedule.STATIC_CYCLIC])
+def test_static_schedules_partition_any_range(schedule):
+    for start, end, step, num_threads, chunk in _random_cases(seed=20260729):
+        scheduler = make_scheduler(schedule, chunk=chunk)
+        per_thread = [
+            list(scheduler.chunks_for(t, num_threads, start, end, step)) for t in range(num_threads)
+        ]
+        _assert_disjoint_exhaustive(per_thread, start, end, step, f"{schedule.value}[chunk={chunk}]")
+
+
+def test_dynamic_schedule_partitions_under_interleaved_claims():
+    """Simulate team members draining one shared claim state round-robin."""
+    for start, end, step, num_threads, chunk in _random_cases(seed=1357):
+        scheduler = DynamicScheduler(chunk=chunk)
+        state = scheduler.new_state(start, end, step)
+        iterators = [scheduler.chunks_from(state, start, end, step) for _ in range(num_threads)]
+        per_thread = [[] for _ in range(num_threads)]
+        live = set(range(num_threads))
+        while live:
+            for t in sorted(live):
+                piece = next(iterators[t], None)
+                if piece is None:
+                    live.discard(t)
+                else:
+                    per_thread[t].append(piece)
+        _assert_disjoint_exhaustive(per_thread, start, end, step, f"dynamic[chunk={chunk}]")
+
+
+def test_guided_schedule_partitions_under_interleaved_claims():
+    for start, end, step, num_threads, chunk in _random_cases(seed=2468):
+        scheduler = GuidedScheduler(min_chunk=chunk)
+        state = scheduler.new_guided_state(start, end, step, num_threads)
+        iterators = [scheduler.chunks_from_guided(state, start, end, step) for _ in range(num_threads)]
+        per_thread = [[] for _ in range(num_threads)]
+        live = set(range(num_threads))
+        while live:
+            for t in sorted(live):
+                piece = next(iterators[t], None)
+                if piece is None:
+                    live.discard(t)
+                else:
+                    per_thread[t].append(piece)
+        _assert_disjoint_exhaustive(per_thread, start, end, step, f"guided[min_chunk={chunk}]")
+
+
+def test_process_states_partition_like_thread_states():
+    """The cross-process claim states must produce the same partitions as the
+    in-process ones for identical claim sequences."""
+    arena = SyncArena(capacity=512)
+    ordinal = 0
+    for start, end, step, num_threads, chunk in _random_cases(seed=97531):
+        scheduler = DynamicScheduler(chunk=chunk)
+        total = len(range(start, end, step))
+        total_chunks = (total + chunk - 1) // chunk
+        state = ProcessDynamicState(arena.slot(ordinal), total_chunks)
+        pieces = list(scheduler.chunks_from(state, start, end, step))
+        _assert_disjoint_exhaustive([pieces], start, end, step, f"proc-dynamic[chunk={chunk}]")
+
+        guided = GuidedScheduler(min_chunk=chunk)
+        guided_state = ProcessGuidedState(arena.slot(ordinal + 1), total, chunk, num_threads)
+        pieces = list(guided.chunks_from_guided(guided_state, start, end, step))
+        _assert_disjoint_exhaustive([pieces], start, end, step, f"proc-guided[min_chunk={chunk}]")
+        ordinal += 2
+
+
+def test_static_block_is_contiguous_and_balanced():
+    for start, end, step, num_threads, _ in _random_cases(seed=8642):
+        scheduler = StaticBlockScheduler()
+        sizes = []
+        cursor = start
+        for t in range(num_threads):
+            chunks = list(scheduler.chunks_for(t, num_threads, start, end, step))
+            assert len(chunks) <= 1
+            count = chunks[0].count if chunks else 0
+            sizes.append(count)
+            if chunks:
+                assert chunks[0].start == cursor  # blocks are contiguous and ordered
+                cursor = chunks[0].end
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1  # balanced to within one iteration
+
+
+def test_cyclic_stride_matches_team_size():
+    for start, end, step, num_threads, chunk in _random_cases(seed=11223):
+        scheduler = StaticCyclicScheduler(chunk=chunk)
+        for t in range(num_threads):
+            blocks = list(scheduler.chunks_for(t, num_threads, start, end, step))
+            for first, second in zip(blocks, blocks[1:]):
+                logical_gap = (second.start - first.start) // step
+                assert logical_gap == num_threads * chunk

@@ -1,0 +1,185 @@
+"""Tests for the shared-memory primitives behind the process backend."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.barrier import BrokenBarrierError
+from repro.runtime.shm import (
+    ProcessDynamicState,
+    ProcessGuidedState,
+    SharedArray,
+    SharedBarrier,
+    SyncArena,
+    as_shared,
+    fork_available,
+    is_shared,
+    shared_zeros,
+)
+
+
+class TestSharedArray:
+    def test_zeros_shape_dtype(self):
+        with shared_zeros((3, 4), np.int64) as arr:
+            assert arr.shape == (3, 4)
+            assert arr.dtype == np.int64
+            assert arr.np.sum() == 0
+
+    def test_from_array_copies_data(self):
+        source = np.arange(10, dtype=np.float64)
+        with SharedArray.from_array(source) as arr:
+            assert np.array_equal(arr.np, source)
+            source[0] = 99  # the copy is independent of the source...
+            assert arr[0] == 0.0
+
+    def test_ndarray_like_surface(self):
+        with shared_zeros((4, 4)) as arr:
+            arr[1, 1:3] = 5.0
+            assert arr[1].tolist() == [0.0, 5.0, 5.0, 0.0]
+            assert float(arr.sum()) == 10.0
+            assert np.allclose(np.asarray(arr)[1, 1:3], 5.0)
+            assert len(arr) == 4
+
+    def test_as_shared_passthrough_and_is_shared(self):
+        with shared_zeros(4) as arr:
+            assert as_shared(arr) is arr
+            assert is_shared(arr)
+        assert not is_shared(np.zeros(4))
+
+    def test_pickle_reattaches_same_memory(self):
+        with shared_zeros(8, np.int64) as arr:
+            clone = pickle.loads(pickle.dumps(arr))
+            try:
+                clone[3] = 42
+                assert arr[3] == 42  # same physical pages
+            finally:
+                clone.close()
+
+    def test_close_is_idempotent(self):
+        arr = shared_zeros(4)
+        arr.close()
+        arr.close()
+
+
+class TestSharedBarrier:
+    def test_wait_releases_all_parties(self):
+        barrier = SharedBarrier(3)
+        released = []
+        lock = threading.Lock()
+
+        def party():
+            barrier.wait()
+            with lock:
+                released.append(1)
+
+        threads = [threading.Thread(target=party) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(released) == 3
+
+    def test_reusable_across_rounds(self):
+        barrier = SharedBarrier(2)
+        rounds = []
+
+        def party():
+            for r in range(3):
+                barrier.wait()
+                rounds.append(r)
+
+        threads = [threading.Thread(target=party) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(rounds) == [0, 0, 1, 1, 2, 2]
+
+    def test_abort_breaks_waiters(self):
+        barrier = SharedBarrier(2)
+        errors = []
+
+        def party():
+            try:
+                barrier.wait()
+            except BrokenBarrierError:
+                errors.append(1)
+
+        thread = threading.Thread(target=party)
+        thread.start()
+        barrier.abort()
+        thread.join(timeout=10)
+        assert errors == [1]
+        with pytest.raises(BrokenBarrierError):
+            barrier.wait()
+
+    def test_reset_restores_and_changes_parties(self):
+        barrier = SharedBarrier(4)
+        barrier.abort()
+        barrier.reset(1)
+        assert barrier.parties == 1 and not barrier.broken
+        barrier.wait()  # single party: returns immediately
+
+    def test_timeout_marks_broken(self):
+        barrier = SharedBarrier(2, timeout=0.05)
+        with pytest.raises(BrokenBarrierError):
+            barrier.wait()
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            SharedBarrier(0)
+        with pytest.raises(ValueError):
+            SharedBarrier(2).reset(0)
+
+
+class TestSyncArena:
+    def test_fetch_add_is_cumulative(self):
+        arena = SyncArena(capacity=8)
+        slot = arena.slot(0)
+        assert [slot.fetch_add() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_slots_are_independent(self):
+        arena = SyncArena(capacity=8)
+        a, b = arena.slot(0), arena.slot(1)
+        a.fetch_add()
+        a.fetch_add()
+        assert b.fetch_add() == 0
+
+    def test_new_ordinal_resets_recycled_cell(self):
+        arena = SyncArena(capacity=4)
+        old = arena.slot(1)
+        old.fetch_add()
+        old.fetch_add()
+        recycled = arena.slot(5)  # 5 % 4 == 1: same cell, new loop
+        assert recycled.fetch_add() == 0
+
+    def test_dynamic_state_exhausts_exactly(self):
+        arena = SyncArena(capacity=4)
+        state = ProcessDynamicState(arena.slot(0), total_chunks=3)
+        claims = [state.next_chunk() for _ in range(5)]
+        assert claims == [0, 1, 2, None, None]
+
+    def test_guided_state_covers_range_with_decaying_chunks(self):
+        arena = SyncArena(capacity=4)
+        state = ProcessGuidedState(arena.slot(0), total=100, min_chunk=2, num_threads=4)
+        claims = []
+        while (claim := state.next_range()) is not None:
+            claims.append(claim)
+        # Exhaustive and disjoint:
+        covered = sorted(i for begin, count in claims for i in range(begin, begin + count))
+        assert covered == list(range(100))
+        # Decaying chunk sizes, bounded below by min_chunk (except the tail,
+        # which takes whatever remains — same as the in-process scheduler):
+        sizes = [count for _, count in claims]
+        assert sizes[0] == 25 and min(sizes[:-1]) >= 2
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_fork_available_reports_platform_truth():
+    import multiprocessing
+
+    assert fork_available() == ("fork" in multiprocessing.get_all_start_methods())

@@ -1,0 +1,145 @@
+"""Stress tests for schedulers and barriers under contention.
+
+Many threads, tiny chunks, repeated barrier rounds — the conditions that
+surface livelock and lost-claim regressions.  Every test runs under a
+watchdog (`_guarded`): if the runtime livelocks, the test fails with a
+timeout instead of hanging the suite.  Marked ``stress``; excluded from the
+default (tier-1) run and executed by ``scripts/test.sh``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import numpy as np
+import pytest
+
+from repro.runtime import context as ctx
+from repro.runtime import shm
+from repro.runtime.team import parallel_region
+from repro.runtime.worksharing import run_for
+
+pytestmark = pytest.mark.stress
+
+#: wall-clock budget per stress scenario (seconds); generous compared to the
+#: expected runtime (<2s each) but far below the shm barrier's own timeout.
+WATCHDOG = 60.0
+
+
+def _guarded(fn, timeout: float = WATCHDOG):
+    """Run ``fn`` on a worker thread; fail the test if it does not finish."""
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(fn)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:  # pragma: no cover - only on livelock
+            pytest.fail(f"stress scenario did not finish within {timeout}s (livelock?)")
+
+
+@pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+@pytest.mark.parametrize("num_threads", [8, 16])
+def test_claim_storm_tiny_chunks(schedule, num_threads):
+    """Tiny chunks + many threads: maximal contention on the claim counter."""
+    total = 2000
+    counts = shm.shared_zeros(total, np.int64)
+    try:
+
+        def loop(start, end, step):
+            for i in range(start, end, step):
+                counts[i] += 1
+
+        def body():
+            run_for(loop, 0, total, 1, schedule=schedule, chunk=1)
+
+        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        assert counts.np.tolist() == [1] * total
+    finally:
+        counts.close()
+
+
+@pytest.mark.parametrize("num_threads", [8])
+def test_repeated_loops_share_one_region(num_threads):
+    """Many consecutive workshared loops reuse team state (encounter keys,
+    claim slots) without cross-talk."""
+    rounds, width = 40, 64
+    counts = shm.shared_zeros(width, np.int64)
+    try:
+
+        def loop(start, end, step):
+            for i in range(start, end, step):
+                counts[i] += 1
+
+        def body():
+            for r in range(rounds):
+                schedule = ("dynamic", "guided", "staticCyclic", "staticBlock")[r % 4]
+                run_for(loop, 0, width, 1, schedule=schedule, chunk=2)
+
+        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        assert counts.np.tolist() == [rounds] * width
+    finally:
+        counts.close()
+
+
+def test_barrier_storm():
+    """Hundreds of consecutive barrier rounds must neither deadlock nor skew."""
+    rounds, num_threads = 200, 8
+    progress = shm.shared_zeros(num_threads, np.int64)
+    try:
+
+        def body():
+            team = ctx.current_team()
+            tid = ctx.get_thread_id()
+            for r in range(rounds):
+                progress[tid] = r
+                team.barrier()
+                # After each round's barrier every member is at round r.
+                assert int(progress.np.min()) >= r
+                team.barrier()
+
+        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        assert progress.np.tolist() == [rounds - 1] * num_threads
+    finally:
+        progress.close()
+
+
+def test_process_backend_claim_storm():
+    """Cross-process dynamic claims under contention: every iteration exactly once."""
+    total = 600
+    counts = shm.shared_zeros(total, np.int64)
+    try:
+
+        def loop(start, end, step):
+            for i in range(start, end, step):
+                counts[i] += 1
+
+        def body():
+            run_for(loop, 0, total, 1, schedule="dynamic", chunk=2)
+            run_for(loop, 0, total, 1, schedule="guided", chunk=1)
+
+        _guarded(lambda: parallel_region(body, num_threads=4, backend="processes"))
+        assert counts.np.tolist() == [2] * total
+    finally:
+        counts.close()
+
+
+def test_process_backend_repeated_regions_stay_healthy():
+    """Back-to-back process regions (fresh fork each) leave no broken state."""
+    counts = shm.shared_zeros(8, np.int64)
+    try:
+
+        def loop(start, end, step):
+            for i in range(start, end, step):
+                counts[i] += 1
+
+        def body():
+            run_for(loop, 0, 8, 1, schedule="staticBlock")
+
+        def many():
+            for _ in range(10):
+                parallel_region(body, num_threads=3, backend="processes")
+
+        _guarded(many)
+        assert counts.np.tolist() == [10] * 8
+    finally:
+        counts.close()

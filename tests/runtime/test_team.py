@@ -4,14 +4,27 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.runtime import context as ctx
-from repro.runtime.backend import SerialBackend, ThreadBackend, get_backend, set_backend
+from repro.runtime import shm
+from repro.runtime.backend import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_by_name,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.runtime.config import config_override, set_num_threads
 from repro.runtime.exceptions import BrokenTeamError
 from repro.runtime.team import Team, parallel_region
 from repro.runtime.trace import EventKind, TraceRecorder
+
+#: every backend the conformance suite asserts identical behaviour on
+CONFORMANCE_BACKENDS = ("serial", "threads", "processes")
 
 
 class TestParallelRegion:
@@ -190,6 +203,156 @@ class TestBackends:
     def test_thread_backend_daemon_flag(self):
         backend = ThreadBackend(daemon=False)
         assert backend.daemon is False
+
+
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+class TestRegionConformance:
+    """Every backend must produce the same observable region behaviour.
+
+    Observations go through shared memory or the master's return value:
+    both survive a process boundary, so one assertion body serves all
+    three backends (the paper's sequential-semantics claim extended to the
+    backend axis).
+    """
+
+    def test_master_result_returned(self, backend_name):
+        def body():
+            return ctx.get_thread_id() * 10 + 7
+
+        assert parallel_region(body, num_threads=4, backend=backend_name) == 7
+
+    def test_all_members_execute_body(self, backend_name):
+        with shm.SharedArray.zeros(4, np.int64) as seen:
+
+            def body():
+                seen[ctx.get_thread_id()] = 1
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            expected = 1 if backend_name == "serial" else 4  # serial clamps to a team of 1
+            assert int(seen.np.sum()) == expected
+
+    def test_member_exception_becomes_broken_team(self, backend_name):
+        def body():
+            if ctx.get_thread_id() == max(0, ctx.get_num_team_threads() - 1):
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=3, backend=backend_name)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_barrier_separates_phases(self, backend_name):
+        """After the barrier, every member observes every other member's phase-1 write."""
+        with shm.SharedArray.zeros(4, np.int64) as stamps:
+
+            def body():
+                team = ctx.current_team()
+                stamps[ctx.get_thread_id()] = 1
+                team.barrier()
+                assert int(stamps.np[: team.size].sum()) == team.size
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+
+    def test_nested_region_runs_correctly(self, backend_name):
+        """Nested regions degrade gracefully on every backend (processes fall back to threads)."""
+        with shm.SharedArray.zeros(2, np.int64) as marks:
+
+            def outer():
+                outer_tid = ctx.get_thread_id()
+
+                def inner():
+                    # Each outer member stamps its own cell: no cross-process
+                    # read-modify-write, so no cross-process lock needed.
+                    if ctx.get_thread_id() == 0:
+                        marks[outer_tid] += 1
+
+                parallel_region(inner, num_threads=2)
+
+            parallel_region(outer, num_threads=2, backend=backend_name)
+            expected = 1 if backend_name == "serial" else 2  # one inner region per outer member
+            assert int(marks.np.sum()) == expected
+
+    def test_member_results_shipped_to_parent(self, backend_name):
+        """Non-master return values are recorded on the team for every backend."""
+        captured = {}
+
+        def body():
+            return ctx.get_thread_id() * 2
+
+        # Observe the team object the region used by wrapping run_team once.
+        backend = resolve_backend(backend_name)
+        original_run_team = backend.run_team
+
+        def spy(team, run_member, body_fn=None):
+            captured["team"] = team
+            return original_run_team(team, run_member, body_fn)
+
+        backend.run_team = spy  # type: ignore[method-assign]
+        try:
+            parallel_region(body, num_threads=3, backend=backend)
+        finally:
+            backend.run_team = original_run_team  # type: ignore[method-assign]
+        team = captured["team"]
+        expected = {0: 0} if backend_name == "serial" else {0: 0, 1: 2, 2: 4}
+        assert {m.thread_id: m.result for m in team.members} == expected
+
+
+class TestProcessBackendStrategy:
+    """Capability-driven fallbacks specific to the process backend."""
+
+    def test_requires_shared_locals_falls_back_to_threads(self):
+        """A region declaring shared-locals constructs runs on threads: plain
+        Python list mutations are visible to the parent afterwards, which is
+        only possible in a shared address space."""
+        seen = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                seen.append(ctx.get_thread_id())
+
+        with pytest.warns(RuntimeWarning, match="shared Python heap"):
+            parallel_region(
+                body, num_threads=4, backend=ProcessBackend(), requires_shared_locals=True
+            )
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_fork_workers_do_not_share_python_heap(self):
+        """Without shared memory, worker mutations stay in the worker process."""
+        seen = []
+
+        def body():
+            seen.append(ctx.get_thread_id())
+
+        parallel_region(body, num_threads=4, backend="processes")
+        assert seen == [0]  # only the master (runs inline in the parent)
+
+    def test_capability_flags(self):
+        processes = backend_by_name("processes")
+        assert processes.is_process_based and not processes.supports_shared_locals
+        threads = backend_by_name("threads")
+        assert not threads.is_process_based and threads.supports_shared_locals
+
+    def test_single_thread_region_stays_inline(self):
+        def body():
+            return (ctx.get_thread_id(), threading.get_ident())
+
+        tid, os_id = parallel_region(body, num_threads=1, backend="processes")
+        assert tid == 0 and os_id == threading.get_ident()
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ValueError, match="valid backends"):
+            parallel_region(lambda: None, num_threads=2, backend="gpu")
+
+    def test_backend_resolution_from_config(self):
+        previous = set_backend(None)  # drop the test fixture's explicit override
+        try:
+            with config_override(backend="serial"):
+                assert get_backend().name == "serial"
+            with config_override(backend="processes"):
+                assert get_backend().name == "processes"
+        finally:
+            set_backend(previous)
 
 
 class TestTeamObject:

@@ -4,13 +4,18 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.runtime import context as ctx
-from repro.runtime.exceptions import SchedulingError
+from repro.runtime import shm
+from repro.runtime.exceptions import BackendCapabilityError, SchedulingError
+from repro.runtime.single import MasterRegion, SingleRegion
 from repro.runtime.team import parallel_region
 from repro.runtime.trace import EventKind, TraceRecorder
 from repro.runtime.worksharing import run_for, static_partition
+
+CONFORMANCE_BACKENDS = ("serial", "threads", "processes")
 
 
 def make_accumulating_loop(results, lock):
@@ -197,6 +202,191 @@ def test_zero_step_rejected():
 
     with pytest.raises(Exception):
         parallel_region(body, num_threads=2)
+
+
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+class TestWorksharingConformance:
+    """Every schedule must partition identically-observably on every backend.
+
+    Coverage counters live in shared memory, so the assertions are the same
+    whether members are the calling thread (serial), OS threads, or worker
+    processes: each iteration executed exactly once, loop results identical.
+    """
+
+    @pytest.mark.parametrize("schedule", ["staticBlock", "staticCyclic", "dynamic", "guided"])
+    def test_every_iteration_executed_exactly_once(self, backend_name, schedule):
+        with shm.SharedArray.zeros(101, np.int64) as counts:
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    counts[i] += 1
+
+            def body():
+                run_for(loop, 0, 101, 1, schedule=schedule, chunk=3)
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            assert counts.np.tolist() == [1] * 101
+
+    @pytest.mark.parametrize("rng", [(1, 30, 3), (10, 0, -2), (5, 5, 1), (0, 7, 10)])
+    def test_strided_and_degenerate_ranges(self, backend_name, rng):
+        start, end, step = rng
+        expected = sorted(range(start, end, step))
+        with shm.SharedArray.zeros(64, np.int64) as counts:
+
+            def loop(s, e, st):
+                for i in range(s, e, st):
+                    counts[i] += 1
+
+            def body():
+                run_for(loop, start, end, step, schedule="staticBlock")
+
+            parallel_region(body, num_threads=3, backend=backend_name)
+            hit = sorted(int(i) for i in np.nonzero(counts.np)[0])
+            assert hit == expected
+            assert counts.np.max() <= 1
+
+    def test_static_block_ownership_matches_partition(self, backend_name):
+        """Static assignment is a function of (thread_id, team size) only —
+        identical for threads and processes; serial owns everything (team of 1)."""
+        n = 12
+        with shm.SharedArray.zeros(n, np.int64) as owner:
+            owner.np[:] = -1
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    owner[i] = ctx.get_thread_id()
+
+            def body():
+                run_for(loop, 0, n, 1, schedule="staticBlock")
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            if backend_name == "serial":
+                assert owner.np.tolist() == [0] * n
+            else:
+                assert owner.np.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+    def test_cyclic_ownership_matches_partition(self, backend_name):
+        n = 9
+        with shm.SharedArray.zeros(n, np.int64) as owner:
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    owner[i] = ctx.get_thread_id()
+
+            def body():
+                run_for(loop, 0, n, 1, schedule="staticCyclic")
+
+            parallel_region(body, num_threads=3, backend=backend_name)
+            if backend_name == "serial":
+                assert owner.np.tolist() == [0] * n
+            else:
+                assert owner.np.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_consecutive_loops_are_barrier_separated(self, backend_name):
+        """The second loop reads what the first produced: needs the implicit barrier."""
+        n = 24
+        with shm.SharedArray.zeros(n, np.int64) as first, shm.SharedArray.zeros(n, np.int64) as second:
+
+            def produce(start, end, step):
+                for i in range(start, end, step):
+                    first[i] = i + 1
+
+            def consume(start, end, step):
+                total = int(first.np.sum())  # must observe every produce write
+                for i in range(start, end, step):
+                    second[i] = total
+
+            def body():
+                run_for(produce, 0, n, 1, schedule="staticCyclic")
+                run_for(consume, 0, n, 1, schedule="staticBlock")
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            expected_total = sum(range(1, n + 1))
+            assert second.np.tolist() == [expected_total] * n
+
+    def test_loop_result_returned_to_master(self, backend_name):
+        def loop(start, end, step):
+            return sum(range(start, end, step))
+
+        def body():
+            return run_for(loop, 0, 10, 1, schedule="staticBlock")
+
+        result = parallel_region(body, num_threads=2, backend=backend_name)
+        # The master's last chunk: full range for serial, first half otherwise.
+        assert result == (sum(range(10)) if backend_name == "serial" else sum(range(5)))
+
+    def test_dynamic_chunk_sizes_respected(self, backend_name):
+        """Chunk boundaries are identical across backends (claim order is not)."""
+        spans = shm.SharedArray.zeros(64, np.int64)
+        try:
+
+            def loop(start, end, step):
+                spans[start] = end - start
+
+            def body():
+                run_for(loop, 0, 64, 1, schedule="dynamic", chunk=5)
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            recorded = {int(i): int(spans[i]) for i in np.nonzero(spans.np)[0]}
+            if backend_name == "serial":
+                # Sequential semantics: a team of one executes the untouched range.
+                assert recorded == {0: 64}
+            else:
+                assert recorded == {i: min(5, 64 - i) for i in range(0, 64, 5)}
+        finally:
+            spans.close()
+
+
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+def test_single_and_master_conform_or_fail_loudly(backend_name):
+    """single/master broadcast needs a shared heap: identical values on
+    serial/threads, a BackendCapabilityError surfaced as the BrokenTeamError
+    cause on raw process teams (the weaver's fallback avoids this for woven
+    programs)."""
+    def body():
+        single_value = SingleRegion(key="probe").run(lambda: 41)
+        master_value = MasterRegion(key="probe").run(lambda: ctx.get_thread_id() + 100)
+        return single_value, master_value
+
+    if backend_name == "processes":
+        from repro.runtime.exceptions import BrokenTeamError
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=3, backend=backend_name)
+        assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
+    else:
+        assert parallel_region(body, num_threads=3, backend=backend_name) == (41, 100)
+
+
+def test_critical_rejected_on_process_team():
+    """In-process locks can't span a process team; critical_call fails loudly
+    instead of silently losing mutual exclusion."""
+    from repro.runtime.critical import critical_call
+    from repro.runtime.exceptions import BrokenTeamError
+
+    def body():
+        return critical_call(lambda: 1, key="probe")
+
+    with pytest.raises(BrokenTeamError) as excinfo:
+        parallel_region(body, num_threads=2, backend="processes")
+    assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
+    # Outside a region (and on thread teams) it still works.
+    assert critical_call(lambda: 2, key="probe") == 2
+    assert parallel_region(body, num_threads=2, backend="threads") == 1
+
+
+def test_ordered_loop_rejected_on_process_team():
+    from repro.runtime.exceptions import BrokenTeamError
+
+    def loop(start, end, step):
+        pass
+
+    def body():
+        run_for(loop, 0, 8, 1, ordered=True)
+
+    with pytest.raises(BrokenTeamError) as excinfo:
+        parallel_region(body, num_threads=2, backend="processes")
+    assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
 
 
 def test_multiple_loops_in_one_region():
