@@ -1,0 +1,345 @@
+"""Per-construct runtime overhead benchmark — the repo's perf baseline.
+
+The paper's central claim is that aspect-woven parallel constructs can match
+hand-parallelised code, which makes the runtime's *dispatch overhead* the
+reproduction's figure of merit.  This benchmark measures, with tracing
+disabled, what each construct costs **on top of** a hand-written baseline:
+
+* ``woven_call``       — calling a woven-but-sequential method vs a plain call;
+* ``chunk_dispatch.*`` — per-chunk cost of a workshared loop under each
+  schedule (``static_block``, ``static_cyclic``, ``dynamic``, ``guided``)
+  vs calling the loop body directly the same number of times;
+* ``barrier``          — one team barrier round (2 threads);
+* ``critical``         — one uncontended named critical section;
+* ``region_spawn``     — entering+leaving an empty 2-thread parallel region.
+
+The chunk-dispatch harness pushes an :class:`ExecutionContext` for a 2-member
+team and runs ``run_for`` with ``nowait=True`` on the calling thread only:
+member 0 claims its chunks (for dynamic/guided: *every* chunk, as the other
+member never runs) deterministically, free of thread-scheduling noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_overhead.py                # table
+    PYTHONPATH=src python benchmarks/bench_overhead.py --json        # JSON to stdout
+    PYTHONPATH=src python benchmarks/bench_overhead.py --quick \
+        --output BENCH_overhead.json                                 # CI mode
+
+``--output`` writes ``{"baseline": ..., "current": ...}``: the fresh run
+becomes ``current``; a ``baseline`` section already present in the output
+file is preserved (that section holds the pre-optimisation numbers this PR
+measured, the trajectory anchor for future PRs).  ``--rebaseline`` replaces
+it with the fresh run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core import MethodAspect, Weaver, call
+from repro.runtime import context as ctx
+from repro.runtime.config import config_override
+from repro.runtime.critical import critical_call
+from repro.runtime.team import Team, parallel_region
+from repro.runtime.worksharing import run_for
+
+SCHEMA_VERSION = 1
+
+SCHEDULES = ("static_block", "static_cyclic", "dynamic", "guided")
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    """Run ``fn`` (returning elapsed seconds) ``repeats`` times, keep the minimum."""
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+# ---------------------------------------------------------------------------
+# woven call
+# ---------------------------------------------------------------------------
+
+
+class _Probe:
+    def poke(self) -> int:
+        return 1
+
+
+def measure_woven_call(samples: int, repeats: int) -> dict[str, float]:
+    """Plain method call vs the same method behind a pass-through aspect."""
+    obj = _Probe()
+
+    def plain() -> float:
+        poke = obj.poke
+        start = time.perf_counter()
+        for _ in range(samples):
+            poke()
+        return time.perf_counter() - start
+
+    baseline = _best_of(repeats, plain)
+
+    weaver = Weaver()
+    weaver.weave(MethodAspect(call("_Probe.poke")), _Probe)
+    try:
+        woven = _best_of(repeats, plain)
+    finally:
+        weaver.unweave_all()
+
+    return {
+        "samples": samples,
+        "baseline_seconds_per_call": baseline / samples,
+        "woven_seconds_per_call": woven / samples,
+        "overhead_seconds_per_call": max(0.0, (woven - baseline) / samples),
+    }
+
+
+# ---------------------------------------------------------------------------
+# per-chunk dispatch
+# ---------------------------------------------------------------------------
+
+
+class _CountingBody:
+    """Loop body that only counts invocations (one call per dispatched chunk)."""
+
+    __slots__ = ("calls",)
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __call__(self, start: int, end: int, step: int) -> None:
+        self.calls += 1
+
+
+def _run_for_on_fake_team(
+    schedule: str, iterations: int, chunk: int
+) -> tuple[float, int]:
+    """Execute ``run_for`` as member 0 of a 2-member team; return (elapsed, chunks)."""
+    team = Team(2, name="bench-overhead")
+    frame = ctx.ExecutionContext(team=team, thread_id=0, nesting_level=0)
+    body = _CountingBody()
+    ctx.push_context(frame)
+    try:
+        start = time.perf_counter()
+        run_for(body, 0, iterations, 1, schedule=schedule, chunk=chunk, nowait=True)
+        elapsed = time.perf_counter() - start
+    finally:
+        ctx.pop_context()
+    return elapsed, body.calls
+
+
+def measure_chunk_dispatch(iterations: int, repeats: int) -> dict[str, dict[str, float]]:
+    """Per-chunk dispatch overhead per schedule, against direct body calls."""
+    results: dict[str, dict[str, float]] = {}
+    for schedule in SCHEDULES:
+        best: float | None = None
+        chunks = 0
+        for _ in range(max(1, repeats)):
+            elapsed, chunks = _run_for_on_fake_team(schedule, iterations, chunk=1)
+            best = elapsed if best is None else min(best, elapsed)
+        assert best is not None and chunks > 0
+
+        # Hand-written baseline: call the body directly the same number of times.
+        body = _CountingBody()
+
+        def bare(calls: int = chunks, body: _CountingBody = body) -> float:
+            start = time.perf_counter()
+            for i in range(calls):
+                body(i, i + 1, 1)
+            return time.perf_counter() - start
+
+        baseline = _best_of(repeats, bare)
+        results[schedule] = {
+            "iterations": iterations,
+            "chunks": chunks,
+            "seconds_total": best,
+            "baseline_seconds_total": baseline,
+            "overhead_seconds_per_chunk": max(0.0, (best - baseline) / chunks),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# barrier / critical / region spawn
+# ---------------------------------------------------------------------------
+
+
+def measure_barrier(rounds: int, repeats: int) -> dict[str, float]:
+    """One barrier round of a 2-thread team (threads backend)."""
+
+    def once() -> float:
+        def body() -> None:
+            team = ctx.current_team()
+            for _ in range(rounds):
+                team.barrier()
+
+        start = time.perf_counter()
+        parallel_region(body, num_threads=2, backend="threads", name="bench-barrier")
+        return time.perf_counter() - start
+
+    best = _best_of(repeats, once)
+    return {"rounds": rounds, "seconds_per_barrier": best / rounds}
+
+
+def measure_critical(samples: int, repeats: int) -> dict[str, float]:
+    """One uncontended named critical section (lock registry + bookkeeping)."""
+
+    def once() -> float:
+        noop = lambda: None  # noqa: E731
+        start = time.perf_counter()
+        for _ in range(samples):
+            critical_call(noop, key="bench-critical")
+        return time.perf_counter() - start
+
+    best = _best_of(repeats, once)
+    return {"samples": samples, "seconds_per_call": best / samples}
+
+
+def measure_region_spawn(regions: int, repeats: int) -> dict[str, float]:
+    """Spawn+join of an empty 2-thread parallel region."""
+
+    def noop() -> None:
+        return None
+
+    def once() -> float:
+        start = time.perf_counter()
+        for _ in range(regions):
+            parallel_region(noop, num_threads=2, backend="threads", name="bench-region")
+        return time.perf_counter() - start
+
+    best = _best_of(repeats, once)
+    return {"regions": regions, "seconds_per_region": best / regions}
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+#: measurement sizes per mode: (call samples, loop iterations, barrier
+#: rounds, regions, repeats).  All fixed — runs are deterministic in shape.
+MODES = {
+    "full": (100_000, 20_000, 1_000, 200, 5),
+    "quick": (20_000, 4_000, 200, 40, 2),
+    "smoke": (2_000, 400, 20, 5, 1),  # schema/plumbing check only
+}
+
+
+def run_suite(*, mode: str = "full") -> dict[str, Any]:
+    """Run every measurement with tracing disabled; return the metrics payload."""
+    call_samples, iters, rounds, regions, repeats = MODES[mode]
+
+    with config_override(tracing=False):
+        metrics = {
+            "woven_call": measure_woven_call(call_samples, repeats),
+            "chunk_dispatch": measure_chunk_dispatch(iters, repeats),
+            "barrier": measure_barrier(rounds, repeats),
+            "critical": measure_critical(call_samples // 4, repeats),
+            "region_spawn": measure_region_spawn(regions, repeats),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_overhead.py",
+        "mode": mode,
+        "python": platform.python_version(),
+        "tracing": False,
+        "metrics": metrics,
+    }
+
+
+def _ratio(baseline: float, current: float) -> float:
+    # Overheads are clamped at 0.0, so noise can produce an exact zero;
+    # flooring both sides at timer resolution keeps ratios finite (JSON has
+    # no standard Infinity) without distorting any measurable value.
+    floor = 1e-9
+    return max(baseline, floor) / max(current, floor)
+
+
+def compare(baseline: dict[str, Any], current: dict[str, Any]) -> dict[str, float]:
+    """Baseline/current speedup ratios for the headline per-construct numbers."""
+    ratios: dict[str, float] = {}
+    b, c = baseline["metrics"], current["metrics"]
+    ratios["woven_call_overhead"] = _ratio(
+        b["woven_call"]["overhead_seconds_per_call"], c["woven_call"]["overhead_seconds_per_call"]
+    )
+    for schedule in SCHEDULES:
+        ratios[f"chunk_dispatch.{schedule}"] = _ratio(
+            b["chunk_dispatch"][schedule]["overhead_seconds_per_chunk"],
+            c["chunk_dispatch"][schedule]["overhead_seconds_per_chunk"],
+        )
+    ratios["barrier"] = _ratio(b["barrier"]["seconds_per_barrier"], c["barrier"]["seconds_per_barrier"])
+    ratios["critical"] = _ratio(b["critical"]["seconds_per_call"], c["critical"]["seconds_per_call"])
+    ratios["region_spawn"] = _ratio(
+        b["region_spawn"]["seconds_per_region"], c["region_spawn"]["seconds_per_region"]
+    )
+    return ratios
+
+
+def _format_table(payload: dict[str, Any]) -> str:
+    m = payload["metrics"]
+    lines = [
+        f"Per-construct overhead — mode={payload['mode']}, tracing off, Python {payload['python']}",
+        f"{'construct':<28} {'overhead':>14}",
+        f"{'woven call':<28} {m['woven_call']['overhead_seconds_per_call'] * 1e6:>11.3f} us",
+    ]
+    for schedule in SCHEDULES:
+        row = m["chunk_dispatch"][schedule]
+        lines.append(
+            f"{'chunk ' + schedule:<28} {row['overhead_seconds_per_chunk'] * 1e6:>11.3f} us"
+            f"   ({row['chunks']} chunks)"
+        )
+    lines.append(f"{'barrier (2 threads)':<28} {m['barrier']['seconds_per_barrier'] * 1e6:>11.3f} us")
+    lines.append(f"{'critical (uncontended)':<28} {m['critical']['seconds_per_call'] * 1e6:>11.3f} us")
+    lines.append(f"{'region spawn (2 threads)':<28} {m['region_spawn']['seconds_per_region'] * 1e6:>11.3f} us")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true", help="fixed small repetitions (CI mode)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="minimal sizes: checks the harness runs, numbers are noise"
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON to stdout")
+    parser.add_argument("--output", type=Path, default=None, help="write/update a BENCH_overhead.json file")
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="with --output: replace the stored baseline section with this run",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else ("quick" if args.quick else "full")
+    current = run_suite(mode=mode)
+
+    if args.output is not None:
+        baseline = None
+        if args.output.exists() and not args.rebaseline:
+            try:
+                existing = json.loads(args.output.read_text())
+                baseline = existing.get("baseline")
+            except (json.JSONDecodeError, OSError):
+                baseline = None
+        if baseline is None:
+            baseline = current
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "baseline": baseline,
+            "current": current,
+            "speedup_vs_baseline": compare(baseline, current),
+        }
+        args.output.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(current, indent=2))
+    else:
+        print(_format_table(current))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Benchmark entry point: refresh the per-construct overhead baseline.
+#
+#   scripts/bench.sh                # quick deterministic run, updates BENCH_overhead.json
+#   scripts/bench.sh --full         # full-size run (slower, tighter numbers)
+#   scripts/bench.sh --rebaseline   # also replace the stored pre-PR baseline
+#
+# The run rewrites the "current" section of BENCH_overhead.json and keeps
+# the committed "baseline" section (the pre-optimisation measurements) so the
+# speedup_vs_baseline ratios track the perf trajectory across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+MODE="--quick"
+EXTRA=()
+for arg in "$@"; do
+  case "$arg" in
+    --full) MODE="" ;;
+    *) EXTRA+=("$arg") ;;
+  esac
+done
+
+# ${EXTRA[@]+...} keeps `set -u` happy on bash < 4.4 when EXTRA is empty.
+python benchmarks/bench_overhead.py ${MODE} --output BENCH_overhead.json ${EXTRA[@]+"${EXTRA[@]}"}

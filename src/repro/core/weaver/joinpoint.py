@@ -6,11 +6,15 @@ program (i.e., a joinpoint in AOP terminology)" — the join point model is
 advice needs: the intercepted callable, its target object (for bound
 methods), the actual arguments, and a ``proceed`` operation that invokes the
 next advice in the chain (or, at the innermost level, the original method).
+
+One join point is allocated per woven call, so the class is built for cheap
+construction: ``__slots__`` storage, a hand-written ``__init__`` (no
+dataclass machinery) and a lazily materialised ``extras`` dict.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 
@@ -49,7 +53,6 @@ class MethodDescriptor:
         return f"MethodDescriptor({self.qualified_name})"
 
 
-@dataclass
 class JoinPoint:
     """A single intercepted method execution.
 
@@ -58,13 +61,34 @@ class JoinPoint:
     static methods).
     """
 
-    descriptor: MethodDescriptor
-    target: Any
-    args: tuple
-    kwargs: Mapping[str, Any]
-    _proceed: Callable[..., Any]
-    #: scratch area advice can use to pass information along the chain
-    extras: dict = field(default_factory=dict)
+    __slots__ = ("descriptor", "target", "args", "kwargs", "_proceed", "_extras")
+
+    def __init__(
+        self,
+        descriptor: MethodDescriptor,
+        target: Any = None,
+        args: tuple = (),
+        kwargs: Mapping[str, Any] | None = None,
+        _proceed: Callable[..., Any] | None = None,
+        extras: dict | None = None,
+    ) -> None:
+        self.descriptor = descriptor
+        self.target = target
+        self.args = args
+        self.kwargs = kwargs if kwargs is not None else {}
+        self._proceed = _proceed
+        self._extras = extras
+
+    @property
+    def extras(self) -> dict:
+        """Scratch area advice can use to pass information along the chain.
+
+        Materialised on first access — most join points never carry extras.
+        """
+        extras = self._extras
+        if extras is None:
+            extras = self._extras = {}
+        return extras
 
     @property
     def name(self) -> str:
@@ -87,10 +111,15 @@ class JoinPoint:
         call_args = args if args else self.args
         if _kwargs is not None:
             call_kwargs = dict(_kwargs)
-        else:
+            if kw_overrides:
+                call_kwargs.update(kw_overrides)
+        elif kw_overrides:
             call_kwargs = dict(self.kwargs)
-        if kw_overrides:
             call_kwargs.update(kw_overrides)
+        else:
+            # The ``**`` unpacking at the call site copies; no defensive copy
+            # is needed for the no-override fast path.
+            call_kwargs = self.kwargs
         if self.target is not None:
             return self._proceed(self.target, *call_args, **call_kwargs)
         return self._proceed(*call_args, **call_kwargs)
@@ -103,5 +132,8 @@ class JoinPoint:
             args=args if args else self.args,
             kwargs=kwargs if kwargs else dict(self.kwargs),
             _proceed=self._proceed,
-            extras=dict(self.extras),
+            extras=dict(self._extras) if self._extras else None,
         )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"JoinPoint({self.qualified_name}, args={self.args!r}, kwargs={self.kwargs!r})"

@@ -313,24 +313,28 @@ class Weaver:
 
 
 def _make_wrapper(aspect: MethodAspect, descriptor: MethodDescriptor, previous: Callable[..., Any], *, is_method: bool) -> Callable[..., Any]:
-    """Build the wrapper installed in place of the current attribute."""
+    """Build the wrapper installed in place of the current attribute.
 
-    @functools.wraps(descriptor.func)
-    def wrapper(*call_args: Any, **call_kwargs: Any) -> Any:
-        if is_method:
+    One wrapper call per woven method execution is the weaving hot path, so
+    the method/function split is resolved here (at weave time), the advice
+    entry point is pre-bound, and the argument tuple/kwargs dict produced by
+    the call machinery is handed to the join point without copying.
+    """
+    around = aspect.around
+
+    if is_method:
+
+        @functools.wraps(descriptor.func)
+        def wrapper(*call_args: Any, **call_kwargs: Any) -> Any:
             if not call_args:
                 raise TypeError(f"{descriptor.qualified_name}() missing 'self'")
-            target, args = call_args[0], call_args[1:]
-        else:
-            target, args = None, call_args
-        joinpoint = JoinPoint(
-            descriptor=descriptor,
-            target=target,
-            args=tuple(args),
-            kwargs=dict(call_kwargs),
-            _proceed=previous,
-        )
-        return aspect.around(joinpoint)
+            return around(JoinPoint(descriptor, call_args[0], call_args[1:], call_kwargs, previous))
+
+    else:
+
+        @functools.wraps(descriptor.func)
+        def wrapper(*call_args: Any, **call_kwargs: Any) -> Any:
+            return around(JoinPoint(descriptor, None, call_args, call_kwargs, previous))
 
     setattr(wrapper, _WOVEN_MARKER, aspect)
     setattr(wrapper, _ORIGINAL_MARKER, descriptor.func)
@@ -339,17 +343,11 @@ def _make_wrapper(aspect: MethodAspect, descriptor: MethodDescriptor, previous: 
 
 def _make_instance_wrapper(aspect: MethodAspect, descriptor: MethodDescriptor, class_func: Callable[..., Any], instance: Any) -> Callable[..., Any]:
     """Build a bound wrapper installed as an instance attribute (per-object weaving)."""
+    around = aspect.around
 
     @functools.wraps(descriptor.func)
     def wrapper(*call_args: Any, **call_kwargs: Any) -> Any:
-        joinpoint = JoinPoint(
-            descriptor=descriptor,
-            target=instance,
-            args=tuple(call_args),
-            kwargs=dict(call_kwargs),
-            _proceed=class_func,
-        )
-        return aspect.around(joinpoint)
+        return around(JoinPoint(descriptor, instance, call_args, call_kwargs, class_func))
 
     setattr(wrapper, _WOVEN_MARKER, aspect)
     setattr(wrapper, _ORIGINAL_MARKER, descriptor.func)

@@ -75,7 +75,7 @@ class LockPerParticleAspect(MethodAspect):
         guard = global_locks.get(self.guard_key)
         with guard:
             result = joinpoint.proceed()
-        if context is not None:
+        if context is not None and context.team.tracing:
             context.team.record(
                 EventKind.LOCK_ACQUIRE,
                 key="per-particle",
@@ -97,7 +97,7 @@ class LockPerParticleAspect(MethodAspect):
         with energy_lock:
             kernel.energy = kernel.energy + np.array([potential, virial])
             acquisitions += 1
-        if context is not None:
+        if context is not None and context.team.tracing:
             context.team.record(EventKind.LOCK_ACQUIRE, key="per-particle", count=acquisitions)
 
 

@@ -51,15 +51,16 @@ class RowBlockFor(ForWorkSharing):
         team = context.team
         bounds = kernel.row_block_bounds(team.size)
         start, end = bounds[context.thread_id]
-        team.record(
-            EventKind.CHUNK,
-            loop=joinpoint.qualified_name,
-            start=int(start),
-            end=int(end),
-            step=1,
-            count=int(end - start),
-            weight=None,
-        )
+        if team.tracing:
+            team.record(
+                EventKind.CHUNK,
+                loop=joinpoint.qualified_name,
+                start=int(start),
+                end=int(end),
+                step=1,
+                count=int(end - start),
+                weight=None,
+            )
         result = joinpoint.proceed(int(start), int(end), 1)
         team.barrier(label="for:rowblock")
         return result

@@ -17,6 +17,9 @@ from typing import Callable, Mapping
 
 WeightFn = Callable[[int], float]
 
+#: sentinel distinguishing "never resolved" from a resolved default (None).
+_UNRESOLVED = object()
+
 
 def uniform_weight(_: int) -> float:
     """Weight function for loops whose iterations all cost the same."""
@@ -49,13 +52,24 @@ class LoopCost:
     #: fraction of the loop's time that is memory-bandwidth-bound (0..1);
     #: consumed by MachineModel.effective_parallelism.
     memory_bound_fraction: float = 0.0
+    #: memoised weight sums per chunk range — the makespan model replays the
+    #: same chunk boundaries once per modelled machine configuration, and the
+    #: O(iterations) weight summation dominated replay time for large traces.
+    #: init=False: dataclasses.replace()-style copies must not share the memo
+    #: (a copy with a different weight_fn would serve stale sums).
+    _weight_sums: dict = field(init=False, default_factory=dict, repr=False, compare=False)
 
     def chunk_cost(self, start: int, end: int, step: int, recorded_weight: float | None = None) -> float:
         """Cost (seconds) of executing iterations ``range(start, end, step)``."""
         if recorded_weight is not None:
             units = recorded_weight
         else:
-            units = float(sum(self.weight_fn(i) for i in range(start, end, step)))
+            key = (start, end, step)
+            units = self._weight_sums.get(key)
+            if units is None:
+                units = self._weight_sums[key] = float(
+                    sum(self.weight_fn(i) for i in range(start, end, step))
+                )
         return units * self.seconds_per_unit
 
 
@@ -96,20 +110,40 @@ class CostModel:
     reduction_cost_per_element: float = 4.0e-9
     reduction_elements: float = 0.0
     replicated_seconds: float = 0.0
+    #: memoised ``loop_cost`` resolutions (queried name -> matching ``loops``
+    #: key, or None for the default) — the suffix-matching fallback is a scan
+    #: over every registered loop, paid once per name instead of once per
+    #: replayed CHUNK event.  The memo stores *keys*, not LoopCost objects
+    #: (so replacing a value under an existing key takes effect immediately),
+    #: and is cleared whenever the *key set* of ``loops`` changes (so adding,
+    #: removing or renaming loops re-resolves every name).
+    _resolved: dict = field(init=False, default_factory=dict, repr=False, compare=False)
+    _resolved_for: tuple = field(init=False, default=(), repr=False, compare=False)
 
     def loop_cost(self, loop_name: str) -> LoopCost:
         """Return the cost description for ``loop_name`` (matching by suffix too)."""
+        keys = tuple(self.loops)
+        if keys != self._resolved_for:
+            self._resolved.clear()
+            self._resolved_for = keys
+        key = self._resolved.get(loop_name, _UNRESOLVED)
+        if key is _UNRESOLVED:
+            key = self._resolve_loop_key(loop_name)
+            self._resolved[loop_name] = key
+        return self.loops[key] if key is not None else self.default_loop
+
+    def _resolve_loop_key(self, loop_name: str) -> "str | None":
         if loop_name in self.loops:
-            return self.loops[loop_name]
+            return loop_name
         # Qualified names ("MolDyn.compute_forces") should match entries
         # registered under the bare method name and vice versa.
         short = loop_name.rsplit(".", 1)[-1]
         if short in self.loops:
-            return self.loops[short]
-        for key, value in self.loops.items():
+            return short
+        for key in self.loops:
             if key.rsplit(".", 1)[-1] == short:
-                return value
-        return self.default_loop
+                return key
+        return None
 
     def with_loop(self, name: str, cost: LoopCost) -> "CostModel":
         """Return a copy of the model with one loop cost added/replaced."""

@@ -59,6 +59,7 @@ from repro.runtime.scheduler import (
     Schedule,
     StaticBlockScheduler,
     StaticCyclicScheduler,
+    cached_partition,
     make_scheduler,
 )
 from repro.runtime.worksharing import run_for, static_partition
@@ -85,10 +86,12 @@ from repro.runtime.tasks import (
 from repro.runtime.ordered import OrderedRegion, current_ordered_region, install_ordered_region, ordered_call
 from repro.runtime.single import MasterRegion, SingleRegion
 from repro.runtime.trace import (
+    NO_REGION,
     EventKind,
     TraceEvent,
     TraceRecorder,
     get_global_recorder,
+    global_tracing_active,
     merge_traces,
     set_global_recorder,
 )
@@ -163,6 +166,7 @@ __all__ = [
     "DynamicScheduler",
     "GuidedScheduler",
     "make_scheduler",
+    "cached_partition",
     "run_for",
     "static_partition",
     # thread-local / reductions
@@ -195,6 +199,8 @@ __all__ = [
     "EventKind",
     "get_global_recorder",
     "set_global_recorder",
+    "global_tracing_active",
+    "NO_REGION",
     "merge_traces",
     # errors
     "AOmpError",

@@ -10,6 +10,19 @@ ablation benchmark).
 Schedulers are deliberately independent from threading: given a loop range and
 ``(thread_id, num_threads)`` they produce :class:`LoopChunk` objects.  The
 aspects/threaded code execute those chunks; the trace layer records them.
+
+Hot-path design (this module sits under every workshared loop):
+
+* :func:`make_scheduler` memoises scheduler instances per
+  ``(schedule, chunk)`` — schedulers are stateless, per-execution claim state
+  lives in the ``new_state``/``new_guided_state`` objects;
+* :func:`cached_partition` memoises *static* partitions per
+  ``(schedule, chunk, team_size, start, end, step)`` so repeated executions
+  of the same loop (every sweep of an iterative kernel) reuse the plan;
+* dynamic/guided claim states hand out **batches** of chunks per lock
+  round-trip (:meth:`_DynamicLoopState.next_chunks`,
+  :meth:`_GuidedLoopState.next_ranges`), with a tail fallback that shrinks
+  claims near the end of the range to preserve load balance.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Iterator
 
 from repro.runtime.exceptions import SchedulingError
@@ -41,28 +55,42 @@ class Schedule(str, Enum):
                 f"valid names: {', '.join(member.value for member in cls)}"
             )
         normalised = value.strip().lower().replace("-", "_")
-        aliases = {
-            "staticblock": cls.STATIC_BLOCK,
-            "static": cls.STATIC_BLOCK,
-            "block": cls.STATIC_BLOCK,
-            "static_block": cls.STATIC_BLOCK,
-            "staticcyclic": cls.STATIC_CYCLIC,
-            "cyclic": cls.STATIC_CYCLIC,
-            "static_cyclic": cls.STATIC_CYCLIC,
-            "dynamic": cls.DYNAMIC,
-            "guided": cls.GUIDED,
-        }
         try:
-            return aliases[normalised]
+            return _SCHEDULE_ALIASES[normalised]
         except KeyError as exc:
             raise SchedulingError(
                 f"unknown schedule {value!r}; valid names: "
                 f"{', '.join(member.value for member in cls)} "
-                f"(also accepted: {', '.join(sorted(set(aliases) - {m.value for m in cls}))})"
+                f"(also accepted: {', '.join(sorted(set(_SCHEDULE_ALIASES) - {m.value for m in cls}))})"
             ) from exc
 
 
-@dataclass(frozen=True)
+#: Alias table for :meth:`Schedule.parse`, built once at import time (parse
+#: runs once per loop execution; rebuilding the dict there was pure waste).
+_SCHEDULE_ALIASES: dict[str, Schedule] = {
+    "staticblock": Schedule.STATIC_BLOCK,
+    "static": Schedule.STATIC_BLOCK,
+    "block": Schedule.STATIC_BLOCK,
+    "static_block": Schedule.STATIC_BLOCK,
+    "staticcyclic": Schedule.STATIC_CYCLIC,
+    "cyclic": Schedule.STATIC_CYCLIC,
+    "static_cyclic": Schedule.STATIC_CYCLIC,
+    "dynamic": Schedule.DYNAMIC,
+    "guided": Schedule.GUIDED,
+}
+
+
+#: Default number of chunks claimed per dynamic/guided lock round-trip.
+#: Batching trades a bounded amount of scheduling freedom for lock traffic:
+#: mid-loop, a claimer may sit on up to ``batch - 1`` chunks another thread
+#: could have stolen, so per-claim imbalance is bounded by ``batch`` chunks;
+#: near the tail the claim-cap decay shrinks claims back towards one chunk,
+#: where balance matters most.  Construct ``DynamicScheduler``/
+#: ``GuidedScheduler`` directly with ``batch=1`` for strict one-chunk claims.
+DEFAULT_CLAIM_BATCH = 16
+
+
+@dataclass(frozen=True, slots=True)
 class LoopChunk:
     """A contiguous (in the strided sense) sub-range assigned to one thread.
 
@@ -108,6 +136,17 @@ class LoopScheduler:
 
     #: schedule identifier; overridden by subclasses
     schedule: Schedule
+
+    def __setattr__(self, name: str, value) -> None:
+        # Instances handed out by make_scheduler are shared process-wide;
+        # a caller mutating chunk/batch on one would silently reconfigure
+        # every loop using that (schedule, chunk) key.
+        if getattr(self, "_shared_frozen", False):
+            raise AttributeError(
+                f"cannot set {name!r}: scheduler instances returned by make_scheduler are "
+                "shared and immutable; construct the scheduler class directly to customise one"
+            )
+        object.__setattr__(self, name, value)
 
     def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
         """Yield the chunks that ``thread_id`` (of ``num_threads``) must execute."""
@@ -188,19 +227,35 @@ class StaticCyclicScheduler(LoopScheduler):
 class _DynamicLoopState:
     """Shared iteration counter for one execution of a dynamic loop."""
 
-    def __init__(self, total_chunks: int) -> None:
+    __slots__ = ("total_chunks", "num_threads", "_next", "_lock")
+
+    def __init__(self, total_chunks: int, num_threads: int = 1) -> None:
         self.total_chunks = total_chunks
+        self.num_threads = max(1, num_threads)
         self._next = 0
         self._lock = threading.Lock()
 
     def next_chunk(self) -> int | None:
         """Atomically claim the next chunk index, or ``None`` when exhausted."""
+        claim = self.next_chunks(1)
+        return None if claim is None else claim[0]
+
+    def next_chunks(self, limit: int = 1) -> "tuple[int, int] | None":
+        """Atomically claim up to ``limit`` consecutive chunk indices.
+
+        Returns ``(first_index, count)`` or ``None`` when exhausted.  Near the
+        tail the claim shrinks to a fraction of the remaining chunks (at
+        least one), so one claimer can never strip the counter bare while
+        other consumers of the same state still want work.
+        """
         with self._lock:
-            if self._next >= self.total_chunks:
+            remaining = self.total_chunks - self._next
+            if remaining <= 0:
                 return None
-            index = self._next
-            self._next += 1
-            return index
+            count = claim_cap(remaining, self.num_threads, limit)
+            first = self._next
+            self._next = first + count
+            return first, count
 
 
 class DynamicScheduler(LoopScheduler):
@@ -210,33 +265,48 @@ class DynamicScheduler(LoopScheduler):
     ``chunk`` logical iterations from a shared counter (``getTask()``) until
     the loop is exhausted.  The shared state must be created once per loop
     execution with :meth:`new_state` and passed to :meth:`chunks_from`.
+    Claims are batched (:data:`DEFAULT_CLAIM_BATCH` chunk indices per lock
+    round-trip) — chunk *boundaries* are unchanged, only the lock traffic is.
     """
 
     schedule = Schedule.DYNAMIC
 
-    def __init__(self, chunk: int = 1) -> None:
+    def __init__(self, chunk: int = 1, *, batch: int | None = None) -> None:
         if chunk < 1:
             raise SchedulingError("chunk must be >= 1")
+        if batch is not None and batch < 1:
+            raise SchedulingError("claim batch must be >= 1")
         self.chunk = chunk
+        self.batch = batch if batch is not None else DEFAULT_CLAIM_BATCH
 
-    def new_state(self, start: int, end: int, step: int) -> _DynamicLoopState:
+    def new_state(self, start: int, end: int, step: int, num_threads: int = 1) -> _DynamicLoopState:
         """Create the shared claim counter for one loop execution."""
         total = _validate(start, end, step)
         total_chunks = (total + self.chunk - 1) // self.chunk
-        return _DynamicLoopState(total_chunks)
+        return _DynamicLoopState(total_chunks, num_threads)
 
-    def chunks_from(self, state: _DynamicLoopState, start: int, end: int, step: int) -> Iterator[LoopChunk]:
-        """Yield chunks claimed by the calling thread from ``state``."""
+    def chunks_from(self, state, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Yield chunks claimed by the calling thread from ``state``.
+
+        ``state`` is anything with ``next_chunks(limit)`` —
+        :class:`_DynamicLoopState` or the process arena's
+        :class:`~repro.runtime.shm.ProcessDynamicState`.
+        """
         total = _validate(start, end, step)
+        chunk = self.chunk
+        batch = self.batch
         while True:
-            index = state.next_chunk()
-            if index is None:
+            claim = state.next_chunks(batch)
+            if claim is None:
                 return
-            begin = index * self.chunk
-            count = min(self.chunk, total - begin)
-            chunk_start = start + begin * step
-            chunk_end = chunk_start + count * step
-            yield LoopChunk(chunk_start, chunk_end, step)
+            first, count = claim
+            for index in range(first, first + count):
+                begin = index * chunk
+                size = total - begin
+                if size > chunk:
+                    size = chunk
+                chunk_start = start + begin * step
+                yield LoopChunk(chunk_start, chunk_start + size * step, step)
 
     def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
         """Single-threaded fallback: the calling thread claims every chunk.
@@ -258,13 +328,14 @@ class GuidedScheduler(DynamicScheduler):
     Each claim takes ``max(min_chunk, remaining / num_threads)`` iterations,
     reducing scheduling overhead at the start while keeping good load balance
     at the tail.  Extension over the paper's three schedules, used by the
-    scheduling ablation benchmark.
+    scheduling ablation benchmark.  In the ``min_chunk`` tail several blocks
+    are claimed per lock round-trip (block boundaries are unchanged).
     """
 
     schedule = Schedule.GUIDED
 
-    def __init__(self, min_chunk: int = 1) -> None:
-        super().__init__(chunk=min_chunk)
+    def __init__(self, min_chunk: int = 1, *, batch: int | None = None) -> None:
+        super().__init__(chunk=min_chunk, batch=batch)
         self.min_chunk = min_chunk
 
     def new_guided_state(self, start: int, end: int, step: int, num_threads: int) -> "_GuidedLoopState":
@@ -272,24 +343,96 @@ class GuidedScheduler(DynamicScheduler):
         total = _validate(start, end, step)
         return _GuidedLoopState(total, self.min_chunk, max(1, num_threads))
 
-    def chunks_from_guided(self, state: "_GuidedLoopState", start: int, end: int, step: int) -> Iterator[LoopChunk]:
-        """Yield chunks claimed by the calling thread from guided ``state``."""
+    def chunks_from_guided(self, state, start: int, end: int, step: int) -> Iterator[LoopChunk]:
+        """Yield chunks claimed by the calling thread from guided ``state``.
+
+        ``state`` is anything with ``next_ranges(limit)`` —
+        :class:`_GuidedLoopState` or the process arena's
+        :class:`~repro.runtime.shm.ProcessGuidedState`.
+        """
+        batch = self.batch
         while True:
-            claim = state.next_range()
-            if claim is None:
+            blocks = state.next_ranges(batch)
+            if not blocks:
                 return
-            begin, count = claim
-            chunk_start = start + begin * step
-            chunk_end = chunk_start + count * step
-            yield LoopChunk(chunk_start, chunk_end, step)
+            for begin, count in blocks:
+                chunk_start = start + begin * step
+                yield LoopChunk(chunk_start, chunk_start + count * step, step)
 
     def chunks_for(self, thread_id: int, num_threads: int, start: int, end: int, step: int) -> Iterator[LoopChunk]:
         state = self.new_guided_state(start, end, step, num_threads)
         yield from self.chunks_from_guided(state, start, end, step)
 
 
+def guided_claim(next_: int, total: int, min_chunk: int, num_threads: int) -> tuple[int, int]:
+    """One guided claim at cursor ``next_``: returns ``(begin, count)``.
+
+    Shared by the in-process state and the shm arena so block boundaries are
+    bit-identical across backends.
+    """
+    remaining = total - next_
+    count = remaining // num_threads
+    if count < min_chunk:
+        count = min_chunk
+    if count > remaining:
+        count = remaining
+    return next_, count
+
+
+def claim_cap(remaining: int, num_threads: int, limit: int) -> int:
+    """Units one batched claim may take: the shared tail-fallback policy.
+
+    At most a fraction of the ``remaining`` units (and never more than
+    ``limit``), at least one — so one claimer can never strip a shared
+    counter bare while other consumers still want work.  Shared by the
+    in-process states and the shm arena so claims are identical on every
+    backend.
+    """
+    cap = remaining // (num_threads if num_threads > 2 else 2)
+    if cap > limit:
+        cap = limit
+    elif cap < 1:
+        cap = 1
+    return cap
+
+
+def guided_batch_cap(remaining: int, min_chunk: int, num_threads: int, limit: int) -> int:
+    """Blocks one guided batch may claim: :func:`claim_cap` over the
+    remaining ``min_chunk``-sized tail blocks."""
+    return claim_cap(remaining // max(1, min_chunk), num_threads, limit)
+
+
+def guided_claim_batch(
+    cursor: int, total: int, min_chunk: int, num_threads: int, limit: int
+) -> "tuple[list[tuple[int, int]], int]":
+    """One guided batched claim: ``(blocks, new_cursor)`` from ``cursor``.
+
+    The single shared implementation of the batched guided claim loop —
+    callers (:class:`_GuidedLoopState` and the shm arena) only supply cursor
+    storage and locking, so thread- and process-backend block boundaries can
+    never drift apart.  Block boundaries follow the standard guided decay;
+    batching only kicks in once the decay has bottomed out at ``min_chunk``
+    (a larger block is plenty of work for one round-trip already), and
+    :func:`guided_batch_cap` keeps one batch from claiming more than a
+    fraction of the remaining tail blocks.
+    """
+    cap = guided_batch_cap(total - cursor, min_chunk, num_threads, limit)
+    blocks: list[tuple[int, int]] = []
+    for _ in range(cap):
+        if cursor >= total:
+            break
+        begin, count = guided_claim(cursor, total, min_chunk, num_threads)
+        blocks.append((begin, count))
+        cursor = begin + count
+        if count > min_chunk:
+            break
+    return blocks, cursor
+
+
 class _GuidedLoopState:
     """Shared claim state for guided scheduling."""
+
+    __slots__ = ("total", "min_chunk", "num_threads", "_next", "_lock")
 
     def __init__(self, total: int, min_chunk: int, num_threads: int) -> None:
         self.total = total
@@ -300,26 +443,106 @@ class _GuidedLoopState:
 
     def next_range(self) -> tuple[int, int] | None:
         """Atomically claim the next (begin, count) block, or ``None`` when done."""
+        blocks = self.next_ranges(1)
+        return None if blocks is None else blocks[0]
+
+    def next_ranges(self, limit: int = 1) -> "list[tuple[int, int]] | None":
+        """Atomically claim up to ``limit`` blocks in one lock round-trip.
+
+        Blocks follow the standard guided decay; batching only kicks in once
+        the decay has bottomed out at ``min_chunk`` (a larger block is plenty
+        of work for one round-trip already), so the produced block boundaries
+        are identical to unbatched claiming.  As with the dynamic state, a
+        batch never claims more than a fraction of the remaining tail blocks,
+        so one claimer cannot strip the counter bare while other consumers
+        still want work.
+        """
         with self._lock:
-            remaining = self.total - self._next
-            if remaining <= 0:
-                return None
-            count = max(self.min_chunk, remaining // self.num_threads)
-            count = min(count, remaining)
-            begin = self._next
-            self._next += count
-            return begin, count
+            blocks, self._next = guided_claim_batch(
+                self._next, self.total, self.min_chunk, self.num_threads, limit
+            )
+            return blocks or None
+
+
+@lru_cache(maxsize=64)
+def _scheduler_instance(schedule: Schedule, chunk: int) -> LoopScheduler:
+    if schedule is Schedule.STATIC_BLOCK:
+        instance: LoopScheduler = StaticBlockScheduler()
+    elif schedule is Schedule.STATIC_CYCLIC:
+        instance = StaticCyclicScheduler(chunk=chunk)
+    elif schedule is Schedule.DYNAMIC:
+        instance = DynamicScheduler(chunk=chunk)
+    elif schedule is Schedule.GUIDED:
+        instance = GuidedScheduler(min_chunk=chunk)
+    else:
+        raise SchedulingError(f"unhandled schedule {schedule!r}")  # pragma: no cover
+    object.__setattr__(instance, "_shared_frozen", True)
+    return instance
 
 
 def make_scheduler(schedule: "str | Schedule", chunk: int = 1) -> LoopScheduler:
-    """Factory returning a scheduler instance for ``schedule``."""
+    """Factory returning the (memoised) scheduler instance for ``schedule``.
+
+    Schedulers hold no per-execution state — dynamic/guided claim cursors live
+    in the objects returned by ``new_state``/``new_guided_state`` — so one
+    instance per ``(schedule, chunk)`` is shared by all loops and teams.
+    """
+    if chunk < 1:
+        raise SchedulingError("chunk must be >= 1")
+    return _scheduler_instance(Schedule.parse(schedule), chunk)
+
+
+#: Plans whose total chunk count exceeds this are built on demand and never
+#: stored in the LRU: a fine-grained cyclic loop over millions of iterations
+#: would otherwise pin millions of LoopChunk objects until eviction.
+PARTITION_CACHE_MAX_CHUNKS = 4096
+
+
+def partition_chunk_count(schedule: Schedule, chunk: int, num_threads: int, total: int) -> int:
+    """Number of chunks a static plan would materialise (cache-size guard)."""
+    if chunk < 1:
+        raise SchedulingError("chunk must be >= 1")
+    if schedule is Schedule.STATIC_BLOCK:
+        return min(num_threads, total)
+    return (total + chunk - 1) // chunk
+
+
+# maxsize 64 bounds the cache's *aggregate* footprint too: worst case
+# 64 plans x PARTITION_CACHE_MAX_CHUNKS chunks.  Real workloads re-run a
+# handful of loop shapes, so a small LRU still gets near-perfect hit rates.
+@lru_cache(maxsize=64)
+def _partition_cache(
+    schedule: Schedule, chunk: int, num_threads: int, start: int, end: int, step: int
+) -> tuple[tuple[LoopChunk, ...], ...]:
+    scheduler = _scheduler_instance(schedule, chunk)
+    return tuple(tuple(chunks) for chunks in scheduler.partition(num_threads, start, end, step))
+
+
+def cached_partition(
+    num_threads: int,
+    start: int,
+    end: int,
+    step: int,
+    *,
+    schedule: "str | Schedule" = Schedule.STATIC_BLOCK,
+    chunk: int = 1,
+) -> tuple[tuple[LoopChunk, ...], ...]:
+    """Memoised per-thread chunk plan for a *static* schedule.
+
+    Keyed by ``(schedule, chunk, num_threads, start, end, step)`` and shared
+    by :func:`repro.runtime.worksharing.run_for` and
+    :func:`repro.runtime.worksharing.static_partition` (which the threaded
+    baselines and analytic callers use), so an iterative kernel re-running
+    the same loop every sweep pays for the partition arithmetic once.  Returns immutable tuples — callers
+    must not mutate the plan.  Plans larger than
+    :data:`PARTITION_CACHE_MAX_CHUNKS` chunks are built fresh each call
+    instead of pinned in the LRU (``run_for`` streams such loops instead).
+    """
     parsed = Schedule.parse(schedule)
-    if parsed is Schedule.STATIC_BLOCK:
-        return StaticBlockScheduler()
-    if parsed is Schedule.STATIC_CYCLIC:
-        return StaticCyclicScheduler(chunk=chunk)
-    if parsed is Schedule.DYNAMIC:
-        return DynamicScheduler(chunk=chunk)
-    if parsed is Schedule.GUIDED:
-        return GuidedScheduler(min_chunk=chunk)
-    raise SchedulingError(f"unhandled schedule {schedule!r}")  # pragma: no cover
+    if parsed not in (Schedule.STATIC_BLOCK, Schedule.STATIC_CYCLIC):
+        raise SchedulingError(f"schedule {parsed.value!r} has no static partition")
+    total = _validate(start, end, step)
+    if partition_chunk_count(parsed, chunk, num_threads, total) > PARTITION_CACHE_MAX_CHUNKS:
+        scheduler = _scheduler_instance(parsed, chunk)
+        return tuple(tuple(chunks) for chunks in scheduler.partition(num_threads, start, end, step))
+    return _partition_cache(parsed, chunk, num_threads, start, end, step)

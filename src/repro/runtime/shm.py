@@ -41,6 +41,7 @@ from typing import Any, Iterable, Optional
 import numpy as np
 
 from repro.runtime.barrier import BrokenBarrierError
+from repro.runtime.scheduler import claim_cap, guided_claim_batch
 
 #: start method used for every process-backend primitive.  Workers must
 #: inherit the parent's address space (closures and woven classes cannot be
@@ -338,17 +339,45 @@ class SyncArena:
             self._cells[2 * index + self._NEXT] = value + amount
             return int(value)
 
-    def _fetch_add_guided(self, ordinal: int, total: int, min_chunk: int, num_threads: int) -> "tuple[int, int] | None":
+    def _claim_batch(
+        self, ordinal: int, limit: int, num_threads: int, total_chunks: int
+    ) -> "tuple[int, int] | None":
+        """Claim up to ``limit`` consecutive chunk indices in one round-trip.
+
+        Same batching/tail policy as the in-process
+        ``_DynamicLoopState.next_chunks``: near the tail the claim shrinks to
+        a fraction of the remaining chunks (at least one) to preserve load
+        balance.
+        """
         index = ordinal % self.capacity
         with self._lock:
-            begin = int(self._cells[2 * index + self._NEXT])
-            remaining = total - begin
+            first = int(self._cells[2 * index + self._NEXT])
+            remaining = total_chunks - first
             if remaining <= 0:
                 return None
-            count = max(min_chunk, remaining // num_threads)
-            count = min(count, remaining)
-            self._cells[2 * index + self._NEXT] = begin + count
-            return begin, count
+            count = claim_cap(remaining, num_threads, limit)
+            self._cells[2 * index + self._NEXT] = first + count
+            return first, count
+
+    def _fetch_add_guided(self, ordinal: int, total: int, min_chunk: int, num_threads: int) -> "tuple[int, int] | None":
+        blocks = self._claim_guided_batch(ordinal, total, min_chunk, num_threads, 1)
+        return None if blocks is None else blocks[0]
+
+    def _claim_guided_batch(
+        self, ordinal: int, total: int, min_chunk: int, num_threads: int, limit: int
+    ) -> "list[tuple[int, int]] | None":
+        """Claim up to ``limit`` guided blocks in one arena round-trip.
+
+        Delegates to the scheduler's shared ``guided_claim_batch`` policy —
+        only the cursor storage and locking live here — so claims are
+        identical to the thread backend's by construction.
+        """
+        index = ordinal % self.capacity
+        with self._lock:
+            cursor = int(self._cells[2 * index + self._NEXT])
+            blocks, cursor = guided_claim_batch(cursor, total, min_chunk, num_threads, limit)
+            self._cells[2 * index + self._NEXT] = cursor
+            return blocks or None
 
 
 @dataclass
@@ -365,37 +394,54 @@ class ArenaSlot:
         """Atomically return the current value and advance it by ``amount``."""
         return self.arena._fetch_add(self.ordinal, amount)
 
+    def claim_batch(self, limit: int, num_threads: int, total_chunks: int) -> "tuple[int, int] | None":
+        """Atomically claim up to ``limit`` chunk indices: ``(first, count)``."""
+        return self.arena._claim_batch(self.ordinal, limit, num_threads, total_chunks)
+
     def claim_guided(self, total: int, min_chunk: int, num_threads: int) -> "tuple[int, int] | None":
         """Atomically claim a guided-schedule ``(begin, count)`` block."""
         return self.arena._fetch_add_guided(self.ordinal, total, min_chunk, num_threads)
+
+    def claim_guided_batch(
+        self, total: int, min_chunk: int, num_threads: int, limit: int
+    ) -> "list[tuple[int, int]] | None":
+        """Atomically claim up to ``limit`` guided blocks in one round-trip."""
+        return self.arena._claim_guided_batch(self.ordinal, total, min_chunk, num_threads, limit)
 
 
 class ProcessDynamicState:
     """Process-safe twin of the dynamic scheduler's shared claim counter.
 
-    Duck-types ``_DynamicLoopState`` (``next_chunk()`` returning a chunk
-    index or ``None``), so :meth:`DynamicScheduler.chunks_from` works
-    unchanged on top of it.
+    Duck-types ``_DynamicLoopState`` (``next_chunks(limit)`` returning
+    ``(first_index, count)`` or ``None``), so
+    :meth:`DynamicScheduler.chunks_from` works unchanged on top of it.
     """
 
-    def __init__(self, slot: ArenaSlot, total_chunks: int) -> None:
+    __slots__ = ("_slot", "total_chunks", "num_threads")
+
+    def __init__(self, slot: ArenaSlot, total_chunks: int, num_threads: int = 1) -> None:
         self._slot = slot
         self.total_chunks = total_chunks
+        self.num_threads = max(1, num_threads)
 
     def next_chunk(self) -> "int | None":
-        index = self._slot.fetch_add(1)
-        if index >= self.total_chunks:
-            return None
-        return index
+        claim = self.next_chunks(1)
+        return None if claim is None else claim[0]
+
+    def next_chunks(self, limit: int = 1) -> "tuple[int, int] | None":
+        return self._slot.claim_batch(limit, self.num_threads, self.total_chunks)
 
 
 class ProcessGuidedState:
     """Process-safe twin of the guided scheduler's shared claim state.
 
-    Duck-types ``_GuidedLoopState`` (``next_range()`` returning
-    ``(begin, count)`` or ``None``).  ``total``/``min_chunk``/``num_threads``
-    are derived identically by every member; only the claim cursor is shared.
+    Duck-types ``_GuidedLoopState`` (``next_ranges(limit)`` returning a list
+    of ``(begin, count)`` blocks or ``None``).  ``total``/``min_chunk``/
+    ``num_threads`` are derived identically by every member; only the claim
+    cursor is shared.
     """
+
+    __slots__ = ("_slot", "total", "min_chunk", "num_threads")
 
     def __init__(self, slot: ArenaSlot, total: int, min_chunk: int, num_threads: int) -> None:
         self._slot = slot
@@ -404,7 +450,11 @@ class ProcessGuidedState:
         self.num_threads = max(1, num_threads)
 
     def next_range(self) -> "tuple[int, int] | None":
-        return self._slot.claim_guided(self.total, self.min_chunk, self.num_threads)
+        blocks = self.next_ranges(1)
+        return None if blocks is None else blocks[0]
+
+    def next_ranges(self, limit: int = 1) -> "list[tuple[int, int]] | None":
+        return self._slot.claim_guided_batch(self.total, self.min_chunk, self.num_threads, limit)
 
 
 @dataclass

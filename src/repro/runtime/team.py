@@ -58,6 +58,9 @@ class Team:
         self.name = name or f"region-{region_id}"
         self.region_id = region_id
         self.recorder = recorder
+        #: cheap hot-path predicate: constructs check this single attribute
+        #: before building any trace payload (see Team.record / run_for).
+        self.tracing = recorder is not None
         self.nesting_level = nesting_level
         self.members = [TeamMember(thread_id=i) for i in range(size)]
         self.process_sync = process_sync
@@ -87,7 +90,7 @@ class Team:
         Records a ``BARRIER`` trace event per member (the perf model uses
         barriers to delimit phases).
         """
-        if self.recorder is not None:
+        if self.tracing:
             self.recorder.record(
                 EventKind.BARRIER,
                 self.region_id,
@@ -124,8 +127,13 @@ class Team:
     # -- tracing helpers -----------------------------------------------------
 
     def record(self, kind: EventKind, **data: Any) -> None:
-        """Record a trace event attributed to the calling member, if tracing."""
-        if self.recorder is not None:
+        """Record a trace event attributed to the calling member, if tracing.
+
+        Callers that build a non-trivial payload should guard it with the
+        :attr:`tracing` flag themselves so the payload construction is also
+        skipped when tracing is off.
+        """
+        if self.tracing:
             self.recorder.record(kind, self.region_id, ctx.get_thread_id(), **data)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

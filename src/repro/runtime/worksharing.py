@@ -16,6 +16,13 @@ The executor also:
 
 Outside a parallel region the full range is executed directly — the paper's
 sequential-semantics guarantee.
+
+Hot-path design: per-chunk dispatch is the cost the paper's claim lives or
+dies by, so the executor splits into a *traced* path (timestamps + one
+``CHUNK`` event per chunk) and an *untraced* path that does nothing per chunk
+beyond the claim and the body call.  Static plans come from the memoised
+:func:`~repro.runtime.scheduler.cached_partition`; dynamic/guided claims are
+batched (several chunks per lock or arena round-trip).
 """
 
 from __future__ import annotations
@@ -24,20 +31,21 @@ import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
+from repro.runtime.config import get_config
 from repro.runtime.exceptions import BackendCapabilityError
 from repro.runtime.ordered import OrderedRegion, install_ordered_region
 from repro.runtime.shm import ProcessDynamicState, ProcessGuidedState
 from repro.runtime.scheduler import (
+    PARTITION_CACHE_MAX_CHUNKS,
     DynamicScheduler,
     GuidedScheduler,
     LoopChunk,
-    LoopScheduler,
     Schedule,
-    StaticBlockScheduler,
-    StaticCyclicScheduler,
+    cached_partition,
     make_scheduler,
+    partition_chunk_count,
 )
-from repro.runtime.trace import EventKind
+from repro.runtime.trace import EventKind, NO_REGION, TraceRecorder, get_global_recorder, global_tracing_active
 
 
 def _loop_encounter_key(loop_name: str) -> Hashable:
@@ -108,20 +116,13 @@ def run_for(
     methods are normally ``void``, mirroring the paper).
     """
     context = ctx.current_context()
-    name = loop_name or getattr(body, "__name__", "<loop>")
 
     if context is None or context.team.size == 1:
-        # Sequential semantics: run the untouched range.
-        began = time.perf_counter()
-        result = body(start, end, step, *args, **kwargs)
-        team = context.team if context is not None else None
-        if team is not None:
-            full = LoopChunk(start, end, step)
-            _record_chunk(team, name, full, weight, elapsed=time.perf_counter() - began)
-        return result
+        return _run_sequential(body, start, end, step, args, kwargs, context, loop_name, weight)
 
     team = context.team
-    scheduler = make_scheduler(schedule, chunk=chunk)
+    name = loop_name or getattr(body, "__name__", "<loop>")
+    parsed = Schedule.parse(schedule)
     # Claimed unconditionally so the ordinal stays aligned across members and
     # across schedule kinds (the body is SPMD: every member sees the same
     # loops in the same order).
@@ -143,7 +144,8 @@ def run_for(
 
     result: Any = None
     try:
-        if isinstance(scheduler, GuidedScheduler):
+        if parsed is Schedule.GUIDED:
+            scheduler = make_scheduler(parsed, chunk=chunk)
             if (slot := team.proc_loop_slot(ordinal)) is not None:
                 total = LoopChunk(start, end, step).count
                 state = ProcessGuidedState(slot, total, scheduler.min_chunk, team.size)
@@ -152,21 +154,29 @@ def run_for(
                 state = team.shared_slot(
                     loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
                 )
-            for piece in scheduler.chunks_from_guided(state, start, end, step):
-                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
-        elif isinstance(scheduler, DynamicScheduler):
+            result = _run_guided(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
+        elif parsed is Schedule.DYNAMIC:
+            scheduler = make_scheduler(parsed, chunk=chunk)
             if (slot := team.proc_loop_slot(ordinal)) is not None:
                 total = LoopChunk(start, end, step).count
                 total_chunks = (total + scheduler.chunk - 1) // scheduler.chunk
-                state = ProcessDynamicState(slot, total_chunks)
+                state = ProcessDynamicState(slot, total_chunks, team.size)
             else:
                 loop_key = _loop_encounter_key(name)
-                state = team.shared_slot(loop_key, lambda: scheduler.new_state(start, end, step))
-            for piece in scheduler.chunks_from(state, start, end, step):
-                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
+                state = team.shared_slot(
+                    loop_key, lambda: scheduler.new_state(start, end, step, team.size)
+                )
+            result = _run_dynamic(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
         else:
-            for piece in scheduler.chunks_for(context.thread_id, team.size, start, end, step):
-                result = _run_chunk(body, piece, args, kwargs, team, name, weight)
+            result = _run_chunk_list(
+                body,
+                _static_chunks(parsed, chunk, team.size, context.thread_id, start, end, step),
+                args,
+                kwargs,
+                team,
+                name,
+                weight,
+            )
     finally:
         if ordered:
             install_ordered_region(previous_ordered)
@@ -176,7 +186,157 @@ def run_for(
     return result
 
 
-def _run_chunk(
+# ---------------------------------------------------------------------------
+# execution paths
+# ---------------------------------------------------------------------------
+
+
+def _run_sequential(
+    body: Callable[..., Any],
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    kwargs: dict,
+    context: "ctx.ExecutionContext | None",
+    loop_name: str | None,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """Sequential semantics: run the untouched range (team of one / no team).
+
+    With a recorder attached (the team's, or — outside any region — the
+    process-global one, honouring the global tracing switch) the execution is
+    recorded as a single full-range chunk; without one the body is invoked
+    with no per-call bookkeeping at all.
+    """
+    recorder: TraceRecorder | None = None
+    region_id = NO_REGION
+    thread_id = 0
+    if context is not None:
+        team = context.team
+        if team.tracing:
+            recorder = team.recorder
+            region_id = team.region_id
+            thread_id = context.thread_id
+    elif global_tracing_active() and get_config().tracing:
+        recorder = get_global_recorder()
+
+    if recorder is None:
+        return body(start, end, step, *args, **kwargs)
+
+    name = loop_name or getattr(body, "__name__", "<loop>")
+    began = time.perf_counter()
+    result = body(start, end, step, *args, **kwargs)
+    elapsed = time.perf_counter() - began
+    _record_chunk(recorder, region_id, thread_id, name, LoopChunk(start, end, step), weight, elapsed)
+    return result
+
+
+def _static_chunks(
+    parsed: Schedule, chunk: int, team_size: int, thread_id: int, start: int, end: int, step: int
+):
+    """This member's chunks for a static schedule: cached plan or stream.
+
+    Small plans come from the shared :func:`cached_partition` memo; plans too
+    large to pin (fine-grained cyclic over a huge range) are streamed from the
+    scheduler generator instead of being materialised for the whole team.
+    """
+    total = LoopChunk(start, end, step).count
+    if partition_chunk_count(parsed, chunk, team_size, total) > PARTITION_CACHE_MAX_CHUNKS:
+        return make_scheduler(parsed, chunk).chunks_for(thread_id, team_size, start, end, step)
+    return cached_partition(team_size, start, end, step, schedule=parsed, chunk=chunk)[thread_id]
+
+
+def _run_chunk_list(
+    body: Callable[..., Any],
+    pieces,
+    args: tuple,
+    kwargs: dict,
+    team,
+    name: str,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """Execute this member's chunks (materialised plan or streamed generator)."""
+    result: Any = None
+    if not team.tracing:
+        for piece in pieces:
+            result = body(piece.start, piece.end, piece.step, *args, **kwargs)
+        return result
+    for piece in pieces:
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+    return result
+
+
+def _run_dynamic(
+    body: Callable[..., Any],
+    scheduler: DynamicScheduler,
+    state,
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    kwargs: dict,
+    team,
+    name: str,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """Claim batched chunk indices and run them; per-chunk cost is the goal.
+
+    The untraced loop touches only integers: one ``next_chunks`` round-trip
+    per batch, then pure arithmetic and the body call per chunk.
+    """
+    total = LoopChunk(start, end, step).count
+    size = scheduler.chunk
+    batch = scheduler.batch
+    result: Any = None
+    if not team.tracing:
+        while True:
+            claim = state.next_chunks(batch)
+            if claim is None:
+                return result
+            first, count = claim
+            for index in range(first, first + count):
+                begin = index * size
+                span = total - begin
+                if span > size:
+                    span = size
+                chunk_start = start + begin * step
+                result = body(chunk_start, chunk_start + span * step, step, *args, **kwargs)
+    for piece in scheduler.chunks_from(state, start, end, step):
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+    return result
+
+
+def _run_guided(
+    body: Callable[..., Any],
+    scheduler: GuidedScheduler,
+    state,
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    kwargs: dict,
+    team,
+    name: str,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """Claim batched guided blocks and run them."""
+    batch = scheduler.batch
+    result: Any = None
+    if not team.tracing:
+        while True:
+            blocks = state.next_ranges(batch)
+            if not blocks:
+                return result
+            for begin, count in blocks:
+                chunk_start = start + begin * step
+                result = body(chunk_start, chunk_start + count * step, step, *args, **kwargs)
+    for piece in scheduler.chunks_from_guided(state, start, end, step):
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+    return result
+
+
+def _run_traced_chunk(
     body: Callable[..., Any],
     piece: LoopChunk,
     args: tuple,
@@ -185,23 +345,38 @@ def _run_chunk(
     name: str,
     weight: Callable[[int], float] | None,
 ) -> Any:
-    if piece.is_empty():
-        return None
-    start = time.perf_counter()
+    """Timed body invocation recording one ``CHUNK`` event."""
+    began = time.perf_counter()
     try:
         return body(piece.start, piece.end, piece.step, *args, **kwargs)
     finally:
-        _record_chunk(team, name, piece, weight, elapsed=time.perf_counter() - start)
+        _record_chunk(
+            team.recorder,
+            team.region_id,
+            ctx.get_thread_id(),
+            name,
+            piece,
+            weight,
+            time.perf_counter() - began,
+        )
 
 
 def _record_chunk(
-    team, name: str, piece: LoopChunk, weight: Callable[[int], float] | None, elapsed: float | None = None
+    recorder: TraceRecorder,
+    region_id: int,
+    thread_id: int,
+    name: str,
+    piece: LoopChunk,
+    weight: Callable[[int], float] | None,
+    elapsed: float | None = None,
 ) -> None:
     total_weight: float | None = None
     if weight is not None:
         total_weight = float(sum(weight(i) for i in piece.indices()))
-    team.record(
+    recorder.record(
         EventKind.CHUNK,
+        region_id,
+        thread_id,
         loop=name,
         start=piece.start,
         end=piece.end,
@@ -225,9 +400,12 @@ def static_partition(
 
     Convenience wrapper used by the hand-written threaded baselines and by
     the performance model's analytic mode (large problem sizes that are not
-    actually executed).
+    actually executed).  Backed by the shared
+    :func:`~repro.runtime.scheduler.cached_partition` memo; the returned
+    lists are fresh copies the caller may mutate.
     """
-    scheduler: LoopScheduler = make_scheduler(schedule, chunk=chunk)
-    if isinstance(scheduler, (StaticBlockScheduler, StaticCyclicScheduler)):
-        return scheduler.partition(num_threads, start, end, step)
-    raise ValueError(f"schedule {schedule!r} has no static partition")
+    parsed = Schedule.parse(schedule)
+    if parsed not in (Schedule.STATIC_BLOCK, Schedule.STATIC_CYCLIC):
+        raise ValueError(f"schedule {schedule!r} has no static partition")
+    plan = cached_partition(num_threads, start, end, step, schedule=parsed, chunk=chunk)
+    return [list(chunks) for chunks in plan]

@@ -82,6 +82,54 @@ class TestCostModel:
         extended = model.with_loop("x", LoopCost(seconds_per_unit=1.0))
         assert "x" in extended.loops and "x" not in model.loops
 
+    def test_loop_registered_after_first_lookup_takes_effect(self):
+        """The loop_cost memo must not pin a default-loop fallback forever."""
+        model = CostModel()
+        assert model.loop_cost("MolDyn.compute_forces") is model.default_loop
+        model.loops["compute_forces"] = LoopCost(seconds_per_unit=5.0)
+        assert model.loop_cost("MolDyn.compute_forces").seconds_per_unit == 5.0
+
+    def test_in_place_replacement_and_same_size_key_swap(self):
+        model = CostModel(loops={"x": LoopCost(seconds_per_unit=1.0)})
+        assert model.loop_cost("A.x").seconds_per_unit == 1.0
+        # Value replacement under the same key takes effect...
+        model.loops["x"] = LoopCost(seconds_per_unit=9.0)
+        assert model.loop_cost("A.x").seconds_per_unit == 9.0
+        # ...and a same-size key swap falls back instead of raising KeyError.
+        del model.loops["x"]
+        model.loops["y"] = LoopCost(seconds_per_unit=3.0)
+        assert model.loop_cost("A.x") is model.default_loop
+        assert model.loop_cost("B.y").seconds_per_unit == 3.0
+
+    def test_same_size_key_swap_supersedes_suffix_match(self):
+        """A key-set change must re-resolve names even when len() is unchanged."""
+        model = CostModel(loops={"A.foo": LoopCost(seconds_per_unit=1.0), "x": LoopCost(seconds_per_unit=2.0)})
+        assert model.loop_cost("foo").seconds_per_unit == 1.0  # suffix match memoised
+        model.loops.pop("x")
+        model.loops["foo"] = LoopCost(seconds_per_unit=3.0)  # exact match appears, same size
+        assert model.loop_cost("foo").seconds_per_unit == 3.0
+
+    def test_replace_copies_do_not_share_memos(self):
+        import dataclasses
+
+        cost = LoopCost(seconds_per_unit=1.0)
+        assert cost.chunk_cost(0, 10, 1) == pytest.approx(10.0)
+        heavier = dataclasses.replace(cost, weight_fn=lambda i: 2.0)
+        assert heavier.chunk_cost(0, 10, 1) == pytest.approx(20.0)
+
+    def test_repeated_chunk_cost_is_memoised_per_range(self):
+        calls = []
+
+        def weight(i):
+            calls.append(i)
+            return 1.0
+
+        cost = LoopCost(seconds_per_unit=2.0, weight_fn=weight)
+        assert cost.chunk_cost(0, 10, 1) == pytest.approx(20.0)
+        first_pass = len(calls)
+        assert cost.chunk_cost(0, 10, 1) == pytest.approx(20.0)
+        assert len(calls) == first_pass  # second replay hits the memo
+
 
 class TestPhaseDuration:
     def test_balanced_work_scales_with_cores(self):

@@ -185,6 +185,73 @@ def test_loop_return_value_last_chunk():
     assert result == sum(range(10))
 
 
+@pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+def test_untraced_and_traced_paths_execute_identical_chunk_boundaries(schedule):
+    """run_for's untraced inline dispatch must mirror the schedulers exactly.
+
+    The untraced fast path re-derives chunk bounds with inline arithmetic
+    instead of the scheduler generators; this pins the two implementations
+    to each other so a policy change in one cannot silently drift.
+    """
+    from repro.runtime.team import Team
+
+    def boundaries(tracing: bool) -> list[tuple[int, int, int]]:
+        seen: list[tuple[int, int, int]] = []
+
+        def loop(start, end, step):
+            seen.append((start, end, step))
+
+        recorder = TraceRecorder() if tracing else None
+        team = Team(2, recorder=recorder)
+        frame = ctx.ExecutionContext(team=team, thread_id=0, nesting_level=0)
+        ctx.push_context(frame)
+        try:
+            # Single consumer on a 2-member team: member 0 claims every chunk
+            # deterministically (the other member never runs).
+            run_for(loop, 3, 120, 2, schedule=schedule, chunk=3, nowait=True)
+        finally:
+            ctx.pop_context()
+        return seen
+
+    assert boundaries(tracing=False) == boundaries(tracing=True)
+
+
+def test_sequential_run_for_records_to_global_recorder(recorder):
+    """Outside any region, an installed global recorder still sees the chunk.
+
+    Regression: the ``context is None`` branch used to consult only
+    ``context.team`` and silently skipped recording.
+    """
+    from repro.runtime.trace import NO_REGION
+
+    def loop(start, end, step):
+        pass
+
+    run_for(loop, 0, 8, 1, loop_name="outside", weight=lambda i: 2.0)
+
+    chunks = recorder.events(EventKind.CHUNK)
+    assert len(chunks) == 1
+    event = chunks[0]
+    assert event.region == NO_REGION
+    assert event.data["loop"] == "outside"
+    assert (event.data["start"], event.data["end"], event.data["step"]) == (0, 8, 1)
+    assert event.data["count"] == 8
+    assert event.data["weight"] == 16.0
+    assert event.data["elapsed"] is not None
+
+
+def test_sequential_run_for_honours_tracing_config(recorder):
+    """The global tracing switch gates the sequential recording path too."""
+    from repro.runtime.config import config_override
+
+    def loop(start, end, step):
+        pass
+
+    with config_override(tracing=False):
+        run_for(loop, 0, 8, 1, loop_name="silent")
+    assert recorder.events(EventKind.CHUNK) == []
+
+
 def test_static_partition_helper():
     parts = static_partition(4, 0, 16, 1, schedule="staticBlock")
     assert len(parts) == 4
