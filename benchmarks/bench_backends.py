@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import sys
 import time
 from dataclasses import asdict, dataclass
 

@@ -299,10 +299,14 @@ def _format_table(payload: dict[str, Any]) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--quick", action="store_true", help="fixed small repetitions (CI mode)")
     parser.add_argument(
-        "--smoke", action="store_true", help="minimal sizes: checks the harness runs, numbers are noise"
+        "--mode",
+        choices=sorted(MODES),
+        default=None,
+        help="measurement sizes: full (default), quick (CI), smoke (plumbing check)",
     )
+    parser.add_argument("--quick", action="store_true", help="alias for --mode quick")
+    parser.add_argument("--smoke", action="store_true", help="alias for --mode smoke")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON to stdout")
     parser.add_argument("--output", type=Path, default=None, help="write/update a BENCH_overhead.json file")
     parser.add_argument(
@@ -312,7 +316,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    mode = "smoke" if args.smoke else ("quick" if args.quick else "full")
+    mode = args.mode or ("smoke" if args.smoke else ("quick" if args.quick else "full"))
     current = run_suite(mode=mode)
 
     if args.output is not None:

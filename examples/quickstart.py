@@ -19,7 +19,7 @@ import threading
 from repro.core import ForStatic, ParallelRegion, Weaver, call
 from repro.core import annotations as aomp
 from repro.core.annotation_weaver import weave_annotations
-from repro.runtime import get_num_team_threads, get_thread_id
+from repro.runtime import get_num_team_threads
 
 
 # --------------------------------------------------------------------------

@@ -22,5 +22,14 @@ for arg in "$@"; do
   esac
 done
 
+# Regression gate FIRST, against the still-committed reference — running it
+# after the refresh below would compare fresh numbers against numbers written
+# seconds earlier and could never catch a regression (see check_bench.py for
+# the tolerance policy).
+python scripts/check_bench.py --mode smoke
+
 # ${EXTRA[@]+...} keeps `set -u` happy on bash < 4.4 when EXTRA is empty.
 python benchmarks/bench_overhead.py ${MODE} --output BENCH_overhead.json ${EXTRA[@]+"${EXTRA[@]}"}
+
+# Task-runtime overhead companion (spawn/steal/taskloop dispatch).
+python benchmarks/bench_tasks.py --mode quick

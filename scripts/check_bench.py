@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh run vs the committed BENCH_overhead.json.
+
+Runs the per-construct overhead suite (``benchmarks/bench_overhead.py``) in a
+fast mode and compares each headline metric against the committed reference,
+exiting non-zero when a construct regressed.  Called from CI's benchmark job
+and from ``scripts/bench.sh``.
+
+A metric counts as regressed only when **both** hold:
+
+* ``fresh > reference * tolerance``   (default 2x — CI machines vary), and
+* ``fresh > reference + floor``       (mode-dependent default; smoke-mode
+  measurements resolve single-digit microseconds at best, so sub-microsecond
+  reference values would otherwise flag pure timer noise).
+
+This deliberately catches order-of-magnitude regressions (reintroducing a
+per-event lock, un-batching scheduler claims, quadratic bookkeeping) while
+staying green across hardware generations and noisy shared runners.  The
+suite is run several times and the per-metric minimum is kept, which
+removes most cold-start noise; finer-grained gating is available by running
+``--mode quick``/``--mode full`` with a smaller ``--floor-us``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench.py --mode smoke
+    PYTHONPATH=src python scripts/check_bench.py --mode quick --tolerance 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import bench_overhead  # noqa: E402  (path set up above)
+
+#: default absolute-increase floor (seconds) per measurement mode: what one
+#: best-of-N timing in that mode can actually resolve.
+DEFAULT_FLOORS = {"smoke": 50e-6, "quick": 10e-6, "full": 5e-6}
+
+#: (metric label, path into the metrics payload) for every gated number.
+GATED_METRICS = [
+    ("woven_call", ("woven_call", "overhead_seconds_per_call")),
+    ("chunk_dispatch.static_block", ("chunk_dispatch", "static_block", "overhead_seconds_per_chunk")),
+    ("chunk_dispatch.static_cyclic", ("chunk_dispatch", "static_cyclic", "overhead_seconds_per_chunk")),
+    ("chunk_dispatch.dynamic", ("chunk_dispatch", "dynamic", "overhead_seconds_per_chunk")),
+    ("chunk_dispatch.guided", ("chunk_dispatch", "guided", "overhead_seconds_per_chunk")),
+    ("barrier", ("barrier", "seconds_per_barrier")),
+    ("critical", ("critical", "seconds_per_call")),
+    ("region_spawn", ("region_spawn", "seconds_per_region")),
+]
+
+
+def _lookup(metrics: dict, path: tuple) -> float:
+    node = metrics
+    for key in path:
+        node = node[key]
+    return float(node)
+
+
+def _reference_metrics(document: dict) -> dict:
+    """The committed reference: the file's ``current`` section (the state the
+    repo claims), falling back to ``baseline`` for minimal documents."""
+    section = document.get("current") or document.get("baseline") or document
+    return section["metrics"]
+
+
+def run_gate(
+    baseline_path: Path,
+    *,
+    mode: str = "smoke",
+    tolerance: float = 2.0,
+    floor_seconds: float | None = None,
+    runs: int = 3,
+) -> int:
+    if floor_seconds is None:
+        floor_seconds = DEFAULT_FLOORS[mode]
+    document = json.loads(baseline_path.read_text())
+    reference = _reference_metrics(document)
+
+    fresh_runs = [bench_overhead.run_suite(mode=mode)["metrics"] for _ in range(max(1, runs))]
+
+    failures: list[str] = []
+    print(f"benchmark gate: mode={mode}, tolerance={tolerance}x, floor={floor_seconds * 1e6:.0f}us, runs={runs}")
+    print(f"{'metric':<30} {'reference':>12} {'fresh':>12}  verdict")
+    for label, path in GATED_METRICS:
+        ref = _lookup(reference, path)
+        fresh = min(_lookup(metrics, path) for metrics in fresh_runs)
+        regressed = fresh > ref * tolerance and fresh > ref + floor_seconds
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{label:<30} {ref * 1e6:>10.3f}us {fresh * 1e6:>10.3f}us  {verdict}")
+        if regressed:
+            failures.append(label)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} construct(s) regressed past the gate: {', '.join(failures)}")
+        return 1
+    print("\nOK: no construct regressed past the gate")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_overhead.json",
+        help="committed reference document (default: BENCH_overhead.json)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=sorted(bench_overhead.MODES),
+        default="smoke",
+        help="measurement size of the fresh run (default: smoke)",
+    )
+    parser.add_argument("--tolerance", type=float, default=2.0, help="allowed slowdown factor (default: 2.0)")
+    parser.add_argument(
+        "--floor-us",
+        type=float,
+        default=None,
+        help="minimum absolute increase (microseconds) before a ratio counts "
+        "(default: per-mode — smoke 50, quick 10, full 5)",
+    )
+    parser.add_argument("--runs", type=int, default=3, help="fresh runs to take the per-metric minimum over")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"error: reference file {args.baseline} not found", file=sys.stderr)
+        return 2
+    return run_gate(
+        args.baseline,
+        mode=args.mode,
+        tolerance=args.tolerance,
+        floor_seconds=args.floor_us * 1e-6 if args.floor_us is not None else None,
+        runs=args.runs,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

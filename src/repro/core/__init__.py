@@ -40,6 +40,8 @@ from repro.core.aspects import (
     ReduceAspect,
     SingleAspect,
     TaskAspect,
+    TaskLoop,
+    TaskLoopAspect,
     TaskWaitAspect,
     ThreadLocalFieldAspect,
     WriterAspect,
@@ -87,6 +89,8 @@ __all__ = [
     "SingleAspect",
     "MasterAspect",
     "TaskAspect",
+    "TaskLoopAspect",
+    "TaskLoop",
     "TaskWaitAspect",
     "FutureTaskAspect",
     "FutureResultAspect",

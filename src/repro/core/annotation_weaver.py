@@ -27,6 +27,7 @@ from repro.core.aspects.execution import (
     MasterAspect,
     SingleAspect,
     TaskAspect,
+    TaskLoopAspect,
     TaskWaitAspect,
 )
 from repro.core.aspects.parallel_region import ParallelRegion
@@ -54,6 +55,7 @@ _PRIORITY = {
     "reader": 2,
     "writer": 3,
     "for": 4,
+    "taskloop": 4,  # same nesting slot as "for" — the two are exclusive on one method
     "single": 5,
     "master": 6,
     "reduce": 7,
@@ -172,6 +174,15 @@ class AnnotationWeavingSession:
                 chunk=params.get("chunk", 1),
                 nowait=params.get("nowait", False),
                 ordered=params.get("ordered", False),
+                weight=weight,
+            )
+        if key == "taskloop":
+            weight = params.get("weight") or self.loop_weights.get(func.__name__)
+            return TaskLoopAspect(
+                pointcut,
+                grainsize=params.get("grainsize"),
+                num_tasks=params.get("num_tasks"),
+                nowait=params.get("nowait", False),
                 weight=weight,
             )
         if key == "ordered":

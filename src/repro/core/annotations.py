@@ -96,6 +96,26 @@ def for_loop(
     return _decorator("for", **params)
 
 
+def taskloop(
+    func: F | None = None,
+    *,
+    grainsize: int | None = None,
+    num_tasks: int | None = None,
+    nowait: bool = False,
+    weight: Callable[[int], float] | None = None,
+) -> Any:
+    """``@TaskLoop`` — the for method's range is tiled into stealable tasks.
+
+    Extension beyond the paper's Table 1 (OpenMP's ``taskloop`` construct):
+    like :func:`for_loop`, but idle team members steal tiles from busy ones,
+    balancing irregular iteration costs dynamically.
+    """
+    params = {"grainsize": grainsize, "num_tasks": num_tasks, "nowait": nowait, "weight": weight}
+    if func is not None:
+        return _annotate(func, "taskloop", params)
+    return _decorator("taskloop", **params)
+
+
 def ordered(func: F | None = None, *, index_arg: int = 0) -> Any:
     """``@Ordered`` — executions happen in sequential iteration order within a for method."""
     if func is not None:
@@ -218,6 +238,7 @@ def reduce_fields(func: F | None = None, *, field: str | None = None, reducer: A
 METHOD_ANNOTATIONS = (
     "parallel",
     "for",
+    "taskloop",
     "ordered",
     "critical",
     "barrier_before",

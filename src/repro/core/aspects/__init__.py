@@ -17,6 +17,8 @@ from repro.core.aspects.execution import (
     MasterAspect,
     SingleAspect,
     TaskAspect,
+    TaskLoop,
+    TaskLoopAspect,
     TaskWaitAspect,
 )
 from repro.core.aspects.data import ReduceAspect, ThreadLocalFieldAspect, ThreadLocalFieldDescriptor
@@ -43,6 +45,8 @@ __all__ = [
     "SingleAspect",
     "MasterAspect",
     "TaskAspect",
+    "TaskLoopAspect",
+    "TaskLoop",
     "TaskWaitAspect",
     "FutureTaskAspect",
     "FutureResultAspect",

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.core.weaver.joinpoint import JoinPoint
-from repro.core.weaver.pointcut import NothingPointcut, Pointcut
+from repro.core.weaver.pointcut import Pointcut
 from repro.runtime.exceptions import WeavingError
 
 

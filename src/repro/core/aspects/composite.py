@@ -9,7 +9,7 @@ outermost advice.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.core.aspects.base import CompositeAspect
 from repro.core.aspects.parallel_region import ParallelRegion

@@ -1,14 +1,22 @@
-"""Execution-shaping aspects: single, master, tasks and future tasks."""
+"""Execution-shaping aspects: single, master, tasks, taskloops and future tasks."""
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Callable, Iterable
 
 from repro.core.aspects.base import MethodAspect
 from repro.core.weaver.joinpoint import JoinPoint
 from repro.core.weaver.pointcut import Pointcut
+from repro.runtime.exceptions import SchedulingError
 from repro.runtime.single import MasterRegion, SingleRegion
-from repro.runtime.tasks import FutureResult, spawn_future, spawn_task, task_wait
+from repro.runtime.tasks import (
+    FutureResult,
+    TaskHandle,
+    run_taskloop,
+    spawn_future,
+    spawn_task,
+    task_wait,
+)
 
 
 class SingleAspect(MethodAspect):
@@ -59,13 +67,108 @@ class TaskAspect(MethodAspect):
     Tasks are joined either through the handle, through a method advised by
     :class:`TaskWaitAspect`, or by an explicit
     :func:`repro.runtime.tasks.task_wait`.
+
+    ``depends`` orders the spawned task after other tasks (the runtime's
+    dependency edges): a static iterable of
+    :class:`~repro.runtime.tasks.TaskHandle`/:class:`~repro.runtime.tasks.FutureResult`
+    objects, or a callable ``(joinpoint) -> iterable`` evaluated at each
+    spawn (e.g. pulling handles off the target object, mirroring how the
+    paper's case-specific aspects capture context from the join point).
     """
 
     abstraction = "TASK"
     requires_shared_locals = True  # task handles/results live on the spawning heap
 
+    def __init__(
+        self,
+        pointcut: Pointcut | None = None,
+        *,
+        depends: "Iterable[TaskHandle | FutureResult] | Callable[[JoinPoint], Iterable] | None" = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(pointcut, name=name)
+        self.depends = depends
+
+    def _resolve_depends(self, joinpoint: JoinPoint) -> "Iterable[TaskHandle | FutureResult] | None":
+        depends = self.depends
+        if depends is None:
+            return None
+        if callable(depends):
+            return depends(joinpoint)
+        return depends
+
     def around(self, joinpoint: JoinPoint) -> Any:
-        return spawn_task(joinpoint.proceed, name=joinpoint.qualified_name)
+        return spawn_task(
+            joinpoint.proceed,
+            name=joinpoint.qualified_name,
+            depends=self._resolve_depends(joinpoint),
+        )
+
+
+class TaskLoopAspect(MethodAspect):
+    """``@TaskLoop`` — execute a for method as tiled, stealable tasks.
+
+    The work-stealing twin of the ``@For`` work-sharing aspect (an extension
+    beyond the paper's Table 1, mirroring OpenMP's ``taskloop``): the matched
+    method must expose ``(start, end, step)`` as its first three parameters;
+    its iteration space is tiled into chunks of ``grainsize`` iterations (or
+    into ``num_tasks`` tiles) that the whole team executes cooperatively,
+    idle members stealing tiles from busy ones.  Use it instead of ``@For``
+    when iteration costs are irregular and unpredictable, where any static
+    distribution load-imbalances.
+    """
+
+    abstraction = "TASKLOOP"
+
+    def __init__(
+        self,
+        pointcut: Pointcut | None = None,
+        *,
+        grainsize: int | None = None,
+        num_tasks: int | None = None,
+        nowait: bool = False,
+        weight: Callable[[int], float] | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(pointcut, name=name)
+        self.grainsize = grainsize
+        self.num_tasks = num_tasks
+        self.nowait = nowait
+        self.weight = weight
+
+    def around(self, joinpoint: JoinPoint) -> Any:
+        if len(joinpoint.args) < 3:
+            raise SchedulingError(
+                f"{joinpoint.qualified_name} is not a for method: it must expose "
+                f"(start, end, step) as its first three parameters, got {len(joinpoint.args)} args"
+            )
+        start, end, step, *rest = joinpoint.args
+
+        def body(tile_start: int, tile_end: int, tile_step: int, *extra: Any, **kwargs: Any) -> Any:
+            return joinpoint.proceed(tile_start, tile_end, tile_step, *extra, **kwargs)
+
+        return run_taskloop(
+            body,
+            int(start),
+            int(end),
+            int(step),
+            *rest,
+            grainsize=self.grainsize,
+            num_tasks=self.num_tasks,
+            loop_name=joinpoint.qualified_name,
+            nowait=self.nowait,
+            weight=self.weight,
+            **dict(joinpoint.kwargs),
+        )
+
+    def describe(self) -> str:
+        base = super().describe()
+        clause = f"grainsize={self.grainsize}" if self.grainsize else f"num_tasks={self.num_tasks or 'auto'}"
+        return f"{base}({clause})"
+
+
+#: Convenience alias mirroring the ``For``/``ForCyclic`` naming style.
+TaskLoop = TaskLoopAspect
 
 
 class TaskWaitAspect(MethodAspect):

@@ -49,7 +49,7 @@ def values_match(left: Any, right: Any, tolerance: float = 1e-8) -> bool:
     if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
         if len(left) != len(right):
             return False
-        return all(values_match(l, r, tolerance) for l, r in zip(left, right))
+        return all(values_match(lhs, rhs, tolerance) for lhs, rhs in zip(left, right))
     if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
         return bool(np.allclose(left, right, rtol=tolerance, atol=tolerance))
     if isinstance(left, float) or isinstance(right, float):

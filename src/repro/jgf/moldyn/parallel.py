@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.moldyn.kernel import MolDyn, fcc_particle_count
-from repro.jgf.moldyn.variants import STRATEGIES, build_aspects, run_variant
+from repro.jgf.moldyn.variants import run_variant
 from repro.runtime.trace import TraceRecorder
 
 #: Problem sizes (particle counts, fcc lattices).  JGF size A is 2048 particles;

@@ -1,6 +1,25 @@
 """JGF MonteCarlo benchmark (financial Monte Carlo simulation)."""
 
 from repro.jgf.montecarlo.kernel import MonteCarloPaths
-from repro.jgf.montecarlo.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+from repro.jgf.montecarlo.parallel import (
+    INFO,
+    SIZES,
+    build_aspects,
+    build_taskloop_aspects,
+    run_aomp,
+    run_aomp_taskloop,
+    run_sequential,
+    run_threaded,
+)
 
-__all__ = ["MonteCarloPaths", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]
+__all__ = [
+    "MonteCarloPaths",
+    "INFO",
+    "SIZES",
+    "build_aspects",
+    "build_taskloop_aspects",
+    "run_aomp",
+    "run_aomp_taskloop",
+    "run_sequential",
+    "run_threaded",
+]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import ForCyclic, ParallelRegion, Weaver, call
+from repro.core import ForCyclic, ParallelRegion, TaskLoop, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.montecarlo.kernel import MonteCarloPaths
 from repro.runtime.trace import TraceRecorder
@@ -64,3 +64,38 @@ def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceR
     finally:
         weaver.unweave_all()
     return BenchmarkResult("MonteCarlo", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)
+
+
+def build_taskloop_aspects(
+    num_threads: int, recorder: TraceRecorder | None = None, grainsize: int | None = None
+) -> list:
+    """Work-stealing variant: the sample sweep becomes a taskloop.
+
+    Monte Carlo path simulations are nominally uniform, but wall-clock cost
+    per run varies with the drawn path (and with whatever else the machine
+    is doing); stealable tiles absorb both without re-tuning a schedule.
+    """
+    return [
+        TaskLoop(call("MonteCarloPaths.run_samples"), grainsize=grainsize),
+        ParallelRegion(call("MonteCarloPaths.run"), threads=num_threads, recorder=recorder),
+    ]
+
+
+def run_aomp_taskloop(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    grainsize: int | None = None,
+) -> BenchmarkResult:
+    """AOmp taskloop style: stealable sample tiles on the unchanged kernel."""
+    n = resolve_size(SIZES, size)
+    kernel = MonteCarloPaths(n)
+    weaver = Weaver()
+    weaver.weave_all(build_taskloop_aspects(num_threads, recorder, grainsize), MonteCarloPaths)
+    try:
+        value, elapsed = timed(kernel.run)
+    finally:
+        weaver.unweave_all()
+    return BenchmarkResult(
+        "MonteCarlo", "aomp-taskloop", size, value, elapsed, num_threads=num_threads, recorder=recorder
+    )

@@ -1,6 +1,26 @@
 """JGF RayTracer benchmark (sphere-scene renderer)."""
 
 from repro.jgf.raytracer.kernel import RayTracer, Scene
-from repro.jgf.raytracer.parallel import INFO, SIZES, build_aspects, run_aomp, run_sequential, run_threaded
+from repro.jgf.raytracer.parallel import (
+    INFO,
+    SIZES,
+    build_aspects,
+    build_taskloop_aspects,
+    run_aomp,
+    run_aomp_taskloop,
+    run_sequential,
+    run_threaded,
+)
 
-__all__ = ["RayTracer", "Scene", "INFO", "SIZES", "build_aspects", "run_aomp", "run_sequential", "run_threaded"]
+__all__ = [
+    "RayTracer",
+    "Scene",
+    "INFO",
+    "SIZES",
+    "build_aspects",
+    "build_taskloop_aspects",
+    "run_aomp",
+    "run_aomp_taskloop",
+    "run_sequential",
+    "run_threaded",
+]

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
-from repro.core import ForCyclic, ParallelRegion, ReduceAspect, ThreadLocalFieldAspect, Weaver, call
+from repro.core import ForCyclic, ParallelRegion, ReduceAspect, TaskLoop, ThreadLocalFieldAspect, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.raytracer.kernel import RayTracer
 from repro.runtime.threadlocal import SumReducer
@@ -85,3 +83,49 @@ def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceR
     finally:
         weaver.unweave_all()
     return BenchmarkResult("RayTracer", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)
+
+
+def build_taskloop_aspects(
+    num_threads: int, recorder: TraceRecorder | None = None, grainsize: int | None = None
+) -> list:
+    """Work-stealing variant: the scanline loop becomes a taskloop.
+
+    Scanlines crossing the sphere cluster cost far more than background
+    lines — the canonical irregular workload.  The cyclic distribution of
+    :func:`build_aspects` balances that statically by interleaving; the
+    taskloop balances it dynamically by letting idle members steal the
+    expensive tiles, which also survives *unpredictable* imbalance (e.g.
+    one slow core) that no static schedule can anticipate.
+    """
+    checksum_field = ThreadLocalFieldAspect("checksum", classes=[RayTracer], copy_value=float)
+    return [
+        checksum_field,
+        TaskLoop(call("RayTracer.render_rows"), grainsize=grainsize),
+        ReduceAspect(
+            call("RayTracer.render_rows"),
+            field_aspect=checksum_field,
+            reducer=SumReducer(),
+            include_shared=True,
+        ),
+        ParallelRegion(call("RayTracer.render"), threads=num_threads, recorder=recorder),
+    ]
+
+
+def run_aomp_taskloop(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    grainsize: int | None = None,
+) -> BenchmarkResult:
+    """AOmp taskloop style: stealable scanline tiles on the unchanged kernel."""
+    n = resolve_size(SIZES, size)
+    weaver = Weaver()
+    weaver.weave_all(build_taskloop_aspects(num_threads, recorder, grainsize), RayTracer)
+    try:
+        kernel = RayTracer(n)
+        value, elapsed = timed(kernel.render)
+    finally:
+        weaver.unweave_all()
+    return BenchmarkResult(
+        "RayTracer", "aomp-taskloop", size, value, elapsed, num_threads=num_threads, recorder=recorder
+    )

@@ -96,6 +96,14 @@ class CostModel:
         Default number of elements per reduction, used when a ``REDUCTION``
         trace event does not carry its own ``elements`` field (e.g. the
         MolDyn force-array reduction over 3N doubles).
+    task_spawn_overhead:
+        Cost of creating/seeding one task (``TASK_SPAWN`` events carry a
+        ``count`` for taskloop tile decks).  Parallel-only work: the
+        sequential program spawns nothing.
+    task_steal_overhead:
+        Cost of one successful steal from another member's deque
+        (``TASK_STEAL`` events) — a cross-member cache-line transfer plus
+        claim arbitration, priced higher than a local spawn.
     replicated_seconds:
         Per-region, per-thread replicated (non-work-shared) work, in seconds.
         Most JGF kernels have negligible replicated work; LUFact's pivot
@@ -110,6 +118,8 @@ class CostModel:
     reduction_cost_per_element: float = 4.0e-9
     reduction_elements: float = 0.0
     replicated_seconds: float = 0.0
+    task_spawn_overhead: float = 1.0e-6
+    task_steal_overhead: float = 3.0e-6
     #: memoised ``loop_cost`` resolutions (queried name -> matching ``loops``
     #: key, or None for the default) — the suffix-matching fallback is a scan
     #: over every registered loop, paid once per name instead of once per
@@ -157,6 +167,8 @@ class CostModel:
             reduction_cost_per_element=self.reduction_cost_per_element,
             reduction_elements=self.reduction_elements,
             replicated_seconds=self.replicated_seconds,
+            task_spawn_overhead=self.task_spawn_overhead,
+            task_steal_overhead=self.task_steal_overhead,
         )
 
 

@@ -204,6 +204,26 @@ class MakespanModel:
                 breakdown = phase_for(thread)
                 breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + elapsed
                 sequential_time += elapsed
+            elif event.kind is EventKind.TASK_SPAWN:
+                count = float(event.data.get("count", 1.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = (
+                    breakdown.compute_per_thread.get(thread, 0.0) + cost_model.task_spawn_overhead * count
+                )
+                # Spawning is parallel-only overhead: not added to sequential.
+            elif event.kind is EventKind.TASK_STEAL:
+                count = float(event.data.get("count", 1.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = (
+                    breakdown.compute_per_thread.get(thread, 0.0) + cost_model.task_steal_overhead * count
+                )
+            elif event.kind is EventKind.TASK_COMPLETE:
+                # Explicitly spawned task bodies (taskloop tiles are CHUNK
+                # events instead): the body's work exists sequentially too.
+                elapsed = float(event.data.get("elapsed", 0.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + elapsed
+                sequential_time += elapsed
             elif event.kind is EventKind.REDUCTION:
                 elements = float(event.data.get("elements", 0.0)) or float(cost_model.reduction_elements or 0.0)
                 copies = float(event.data.get("count", num_threads))

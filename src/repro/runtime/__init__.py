@@ -45,6 +45,7 @@ from repro.runtime.shm import (
     SharedArray,
     SharedBarrier,
     SyncArena,
+    TaskStealArena,
     as_shared,
     fork_available,
     is_shared,
@@ -78,6 +79,9 @@ from repro.runtime.tasks import (
     FutureResult,
     TaskHandle,
     TaskPool,
+    WorkStealingDeque,
+    current_pool,
+    run_taskloop,
     spawn_future,
     spawn_task,
     task_wait,
@@ -143,6 +147,7 @@ __all__ = [
     "SharedArray",
     "SharedBarrier",
     "SyncArena",
+    "TaskStealArena",
     "shared_zeros",
     "as_shared",
     "is_shared",
@@ -182,10 +187,13 @@ __all__ = [
     "TaskPool",
     "TaskHandle",
     "FutureResult",
+    "WorkStealingDeque",
+    "current_pool",
     "spawn_task",
     "spawn_future",
     "task_wait",
     "wait_for",
+    "run_taskloop",
     # ordered / single / master
     "OrderedRegion",
     "ordered_call",

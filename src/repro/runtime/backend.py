@@ -256,11 +256,16 @@ class ProcessBackend(Backend):
             pool = self._ensure_pool(size - 1)
             if pool is not None:
                 pool.prepare(size)
-                sync = shm.ProcessSync(pool.barrier, pool.arena, pooled=True)
+                sync = shm.ProcessSync(pool.barrier, pool.arena, pooled=True, steal=pool.steal)
                 sync.body_bytes = body_bytes  # type: ignore[attr-defined]
                 return sync
             self._pool_lock.release()
-        return shm.ProcessSync(shm.SharedBarrier(size), shm.SyncArena(), pooled=False)
+        return shm.ProcessSync(
+            shm.SharedBarrier(size),
+            shm.SyncArena(),
+            pooled=False,
+            steal=shm.TaskStealArena(max_workers=max(size, 2)),
+        )
 
     def finish_region(self, team: "Team") -> None:
         sync = team.process_sync

@@ -74,7 +74,8 @@ class PersistentProcessPool:
         self.workers = workers
         self.barrier = shm.SharedBarrier(1)
         self.arena = shm.SyncArena()
-        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True)
+        self.steal = shm.TaskStealArena()
+        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True, steal=self.steal)
         self._tasks = ctx.SimpleQueue()
         self._results = ctx.SimpleQueue()
         self._tickets = itertools.count(1)
@@ -102,9 +103,10 @@ class PersistentProcessPool:
         )
 
     def prepare(self, team_size: int) -> None:
-        """Reset the shared barrier/arena for a region of ``team_size`` members."""
+        """Reset the shared barrier/arenas for a region of ``team_size`` members."""
         self.barrier.reset(team_size)
         self.arena.reset()
+        self.steal.reset()
 
     def submit_region(self, team, body_bytes: bytes) -> int:
         """Dispatch one task per non-master member; returns the region ticket."""

@@ -379,6 +379,19 @@ def guided_claim(next_: int, total: int, min_chunk: int, num_threads: int) -> tu
     return next_, count
 
 
+def block_counts(total: int, parts: int) -> "list[int]":
+    """Sizes of ``parts`` contiguous blocks covering ``total`` units.
+
+    The first ``total % parts`` blocks get one extra unit.  Shared by the
+    task runtime's in-heap taskloop deck, the shm
+    :class:`~repro.runtime.shm.TaskStealArena` seeding and the taskloop
+    trace payload, so tile ownership is identical on every backend by
+    construction.
+    """
+    per, extra = divmod(total, parts)
+    return [per + (1 if index < extra else 0) for index in range(parts)]
+
+
 def claim_cap(remaining: int, num_threads: int, limit: int) -> int:
     """Units one batched claim may take: the shared tail-fallback policy.
 

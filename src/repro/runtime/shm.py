@@ -22,6 +22,10 @@ backend does not.  This module provides the pieces that make OpenMP-style
   shared-slot keys).
 * :class:`ProcessDynamicState` / :class:`ProcessGuidedState` — process-safe
   drop-ins for the thread schedulers' shared loop state, built on arena slots.
+* :class:`TaskStealArena` — a pre-allocated pool of work-stealing *tile decks*
+  for the task runtime's ``taskloop`` construct (see
+  :mod:`repro.runtime.tasks`).  Like the :class:`SyncArena`, it is allocated
+  before worker processes exist and indexed by the SPMD loop ordinal.
 
 Everything here also works under the serial and thread backends (shared
 memory is just memory), which is what lets the conformance test suite assert
@@ -36,12 +40,12 @@ import os
 import secrets
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.runtime.barrier import BrokenBarrierError
-from repro.runtime.scheduler import claim_cap, guided_claim_batch
+from repro.runtime.scheduler import block_counts, claim_cap, guided_claim_batch
 
 #: start method used for every process-backend primitive.  Workers must
 #: inherit the parent's address space (closures and woven classes cannot be
@@ -183,8 +187,11 @@ def _attach_shared_array(name: str, shape: tuple, dtype_str: str) -> SharedArray
     Lifetime is managed by the creating process alone, so registration is
     suppressed for the duration of the attach.
     """
+    def _suppress_register(*args: Any, **kwargs: Any) -> None:
+        return None
+
     original_register = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    resource_tracker.register = _suppress_register  # type: ignore[assignment]
     try:
         shm = shared_memory.SharedMemory(name=name)
     finally:
@@ -409,6 +416,161 @@ class ArenaSlot:
         return self.arena._claim_guided_batch(self.ordinal, total, min_chunk, num_threads, limit)
 
 
+class TaskStealArena:
+    """Pre-allocated pool of cross-process work-stealing decks for ``taskloop``.
+
+    A *taskloop* tiles an iteration space into ``ntiles`` stealable tasks and
+    gives every team member an initial contiguous block of tile indices.  A
+    member takes tiles from the *head* of its own block (ascending order —
+    cache-friendly) and, once its block is empty, steals from the *tail* of a
+    victim's block (descending order), so owner and thief approach each other
+    and never contend for the same tile.
+
+    Shared-memory layout (one ``int64`` per cell, ``stride = 2 +
+    2 * max_workers`` cells per slot, ``capacity`` slots)::
+
+        slot s, cell 0:          tag        — loop ordinal owning the slot (-1 free)
+        slot s, cell 1:          completed  — tiles finished so far (all members)
+        slot s, cell 2 + 2*w:    head[w]    — next tile the owner ``w`` takes
+        slot s, cell 3 + 2*w:    tail[w]    — one past the last unclaimed tile of ``w``
+
+    Worker ``w``'s remaining tiles are ``range(head[w], tail[w])``; the block
+    is empty when ``head[w] >= tail[w]``.  All cells of a slot are guarded by
+    a single ``multiprocessing`` lock (claims are per *tile*, i.e. per
+    ``grainsize`` iterations, so one lock round-trip amortises over the tile
+    body).  Slots are recycled by loop ordinal exactly like
+    :class:`SyncArena` slots: ordinals increase monotonically per region and
+    taskloops are barrier-separated, so ``ordinal % capacity`` never serves
+    two live loops at once.
+
+    The arena works identically under the serial and thread backends (shared
+    memory is just memory), which is what the cross-backend task conformance
+    suite relies on; in-heap teams normally use the faster
+    ``deque``-per-member pool in :mod:`repro.runtime.tasks` instead.
+    """
+
+    _TAG, _COMPLETED = 0, 1
+    _FIELDS = 2  # per-slot header cells before the per-worker (head, tail) pairs
+
+    def __init__(self, max_workers: int = 64, capacity: int = 64) -> None:
+        if max_workers < 1:
+            raise ValueError(f"arena needs at least 1 worker, got {max_workers}")
+        ctx = _mp_context()
+        self.max_workers = max_workers
+        self.capacity = capacity
+        self._stride = self._FIELDS + 2 * max_workers
+        self._lock = ctx.Lock()
+        self._cells = ctx.Array("q", self._stride * capacity, lock=False)
+        with self._lock:
+            for i in range(capacity):
+                self._cells[i * self._stride + self._TAG] = -1
+
+    def reset(self) -> None:
+        """Mark every slot unused (called between regions by the pool)."""
+        with self._lock:
+            for i in range(self.capacity):
+                self._cells[i * self._stride + self._TAG] = -1
+
+    def slot(self, ordinal: int, num_workers: int, ntiles: int) -> "TaskStealSlot":
+        """Attach (and, first time, seed) the deck for loop-ordinal ``ordinal``."""
+        if num_workers > self.max_workers:
+            raise ValueError(
+                f"taskloop team of {num_workers} exceeds the steal arena's "
+                f"max_workers={self.max_workers}"
+            )
+        return TaskStealSlot(self, ordinal, num_workers, ntiles)
+
+    # -- slot operations (called through TaskStealSlot) ----------------------
+
+    def _attach(self, ordinal: int, num_workers: int, ntiles: int) -> None:
+        """Seed the slot's per-worker blocks on first attach (SPMD: every
+        member computes the identical partition, only the first write wins)."""
+        base = (ordinal % self.capacity) * self._stride
+        cells = self._cells
+        with self._lock:
+            if cells[base + self._TAG] == ordinal:
+                return
+            cells[base + self._TAG] = ordinal
+            cells[base + self._COMPLETED] = 0
+            counts = block_counts(ntiles, num_workers)
+            cursor = 0
+            for w in range(self.max_workers):
+                count = counts[w] if w < num_workers else 0
+                cells[base + self._FIELDS + 2 * w] = cursor
+                cells[base + self._FIELDS + 2 * w + 1] = cursor + count
+                cursor += count
+
+    def _claim_local(self, ordinal: int, worker: int) -> "int | None":
+        base = (ordinal % self.capacity) * self._stride
+        head = base + self._FIELDS + 2 * worker
+        cells = self._cells
+        with self._lock:
+            tile = cells[head]
+            if tile >= cells[head + 1]:
+                return None
+            cells[head] = tile + 1
+            return int(tile)
+
+    def _claim_steal(self, ordinal: int, thief: int, num_workers: int) -> "tuple[int, int] | None":
+        base = (ordinal % self.capacity) * self._stride
+        cells = self._cells
+        with self._lock:
+            for offset in range(1, num_workers):
+                victim = (thief + offset) % num_workers
+                head = base + self._FIELDS + 2 * victim
+                tail = cells[head + 1]
+                if cells[head] < tail:
+                    cells[head + 1] = tail - 1
+                    return victim, int(tail - 1)
+            return None
+
+    def _mark_done(self, ordinal: int, amount: int) -> int:
+        base = (ordinal % self.capacity) * self._stride
+        with self._lock:
+            done = self._cells[base + self._COMPLETED] + amount
+            self._cells[base + self._COMPLETED] = done
+            return int(done)
+
+    def _completed(self, ordinal: int) -> int:
+        base = (ordinal % self.capacity) * self._stride
+        with self._lock:
+            return int(self._cells[base + self._COMPLETED])
+
+
+class TaskStealSlot:
+    """Handle to one :class:`TaskStealArena` deck, bound to a loop ordinal.
+
+    Duck-types the task runtime's in-heap taskloop state (``claim_local`` /
+    ``claim_steal`` / ``mark_done`` / ``finished``), so the ``taskloop``
+    drain loop is backend-agnostic.
+    """
+
+    __slots__ = ("arena", "ordinal", "num_workers", "ntiles")
+
+    def __init__(self, arena: TaskStealArena, ordinal: int, num_workers: int, ntiles: int) -> None:
+        self.arena = arena
+        self.ordinal = ordinal
+        self.num_workers = num_workers
+        self.ntiles = ntiles
+        arena._attach(ordinal, num_workers, ntiles)
+
+    def claim_local(self, worker: int) -> "int | None":
+        """Take the next tile of ``worker``'s own block, or ``None`` if empty."""
+        return self.arena._claim_local(self.ordinal, worker)
+
+    def claim_steal(self, worker: int) -> "tuple[int, int] | None":
+        """Steal a tile from another member's tail: ``(victim, tile)`` or ``None``."""
+        return self.arena._claim_steal(self.ordinal, worker, self.num_workers)
+
+    def mark_done(self, amount: int = 1) -> int:
+        """Count ``amount`` tiles finished; returns the new completed total."""
+        return self.arena._mark_done(self.ordinal, amount)
+
+    def finished(self) -> bool:
+        """Whether every tile of the loop has been executed (by anyone)."""
+        return self.arena._completed(self.ordinal) >= self.ntiles
+
+
 class ProcessDynamicState:
     """Process-safe twin of the dynamic scheduler's shared claim counter.
 
@@ -465,9 +627,12 @@ class ProcessSync:
     the team's barrier and the worksharing loop states are built from it.
     ``pooled`` records whether the region runs on the persistent worker pool
     (picklable SPMD body) or on per-region forked workers (arbitrary
-    closures, shipped by address-space inheritance).
+    closures, shipped by address-space inheritance).  ``steal`` carries the
+    pre-allocated work-stealing deck pool used by ``taskloop`` (``None`` only
+    for legacy constructions; the backend always provides one).
     """
 
     barrier: SharedBarrier
     arena: SyncArena
     pooled: bool = False
+    steal: "TaskStealArena | None" = None

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
 from repro.runtime import context as ctx
 from repro.runtime import shm
+from repro.runtime import tasks
 from repro.runtime.backend import Backend, resolve_backend
 from repro.runtime.barrier import CyclicBarrier
 from repro.runtime.config import get_config
@@ -73,6 +74,11 @@ class Team:
         """Whether members execute in separate processes (no shared Python heap)."""
         return self.process_sync is not None
 
+    @property
+    def broken(self) -> bool:
+        """Whether the team barrier was aborted (some member failed)."""
+        return self._barrier.broken
+
     def proc_loop_slot(self, ordinal: int) -> "shm.ArenaSlot | None":
         """Cross-process claim slot for the ``ordinal``-th workshared loop.
 
@@ -123,6 +129,11 @@ class Team:
         """Remove a shared slot (used once a construct instance is finished)."""
         with self._shared_lock:
             self._shared.pop(key, None)
+
+    def get_slot(self, key: Hashable, default: Any = None) -> Any:
+        """Peek at a shared slot without creating it (unlike :meth:`shared_slot`)."""
+        with self._shared_lock:
+            return self._shared.get(key, default)
 
     # -- tracing helpers -----------------------------------------------------
 
@@ -234,6 +245,11 @@ def parallel_region(
             start = time.perf_counter()
             try:
                 member.result = body()
+                # Implicit end-of-region task scheduling point: every member
+                # helps finish deferred tasks before the region's barrier, so
+                # spawned-but-never-waited tasks still complete (OpenMP
+                # semantics).  No-op when the region spawned no tasks.
+                tasks.drain_team_tasks(team, thread_id)
                 return member.result
             except BaseException as exc:
                 member.exception = exc

@@ -39,6 +39,7 @@ class EventKind(str, Enum):
     MASTER = "master"
     ORDERED = "ordered"
     TASK_SPAWN = "task_spawn"
+    TASK_STEAL = "task_steal"        # a member executed a task stolen from another member's deque
     TASK_COMPLETE = "task_complete"
     PHASE_WORK = "phase_work"        # generic replicated (non-loop) work performed by a member
 

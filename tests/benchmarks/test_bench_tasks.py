@@ -1,0 +1,64 @@
+"""Tier-1 smoke test: the task benchmark runs end-to-end and its JSON is schema-valid."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema_version"] == 1
+    assert payload["generated_by"] == "benchmarks/bench_tasks.py"
+    assert payload["mode"] in ("smoke", "quick", "full")
+    assert payload["tracing"] is False
+    metrics = payload["metrics"]
+
+    spawn = metrics["task_spawn"]
+    assert spawn["tasks"] >= 1
+    assert spawn["overhead_seconds_per_task"] >= 0.0
+
+    loop = metrics["taskloop_dispatch"]
+    # grainsize=1: exactly one task per iteration — the headline metric.
+    assert loop["tasks"] == loop["iterations"]
+    assert loop["overhead_seconds_per_task"] >= 0.0
+
+    claims = metrics["steal_claim"]
+    assert claims["seconds_per_local_claim"] > 0.0
+    assert claims["seconds_per_steal"] > 0.0
+
+    chain = metrics["dependency_chain"]
+    assert chain["length"] >= 2
+    assert chain["seconds_per_task"] > 0.0
+
+
+def test_benchmark_runs_and_emits_schema_valid_json(tmp_path):
+    output = tmp_path / "BENCH_tasks.json"
+    result = subprocess.run(
+        [sys.executable, "benchmarks/bench_tasks.py", "--mode", "smoke", "--json", "--output", str(output)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, f"benchmark failed:\n{result.stderr}"
+    _validate_payload(json.loads(result.stdout))
+    _validate_payload(json.loads(output.read_text()))
+
+
+def test_check_bench_gate_passes_against_committed_reference():
+    """The regression gate must be green on the committed BENCH_overhead.json."""
+    result = subprocess.run(
+        [sys.executable, "scripts/check_bench.py", "--mode", "smoke", "--runs", "2"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, f"gate failed:\n{result.stdout}\n{result.stderr}"
+    assert "no construct regressed" in result.stdout

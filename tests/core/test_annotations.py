@@ -78,8 +78,10 @@ class TestAnnotationMetadata:
 
     def test_method_annotation_inventory_is_complete(self):
         # Paper Table 1 lists 16 abstractions; thread-local-field is a class
-        # annotation, the remaining 15 are method annotations.
-        assert len(ann.METHOD_ANNOTATIONS) == 15
+        # annotation, the remaining 15 are method annotations.  "taskloop" is
+        # this reproduction's extension beyond Table 1 (OpenMP's taskloop).
+        paper_annotations = set(ann.METHOD_ANNOTATIONS) - {"taskloop"}
+        assert len(paper_annotations) == 15
         assert len(ann.CLASS_ANNOTATIONS) == 1
 
 

@@ -17,6 +17,7 @@ from repro.core.aspects.execution import (
     MasterAspect,
     SingleAspect,
     TaskAspect,
+    TaskLoopAspect,
     TaskWaitAspect,
 )
 from repro.core.aspects.parallel_region import ParallelRegion
@@ -370,6 +371,82 @@ class TestExecutionAspects:
         handle = App().work()
         assert isinstance(handle, TaskHandle)
         assert handle.join(timeout=5) == "done"
+
+    def test_task_depends_orders_execution(self, weaver):
+        class App:
+            def __init__(self):
+                self.log = []
+                self.lock = threading.Lock()
+                self.first_handle = None
+
+            def first(self):
+                with self.lock:
+                    self.log.append("first")
+
+            def second(self):
+                with self.lock:
+                    self.log.append("second")
+
+        weaver.weave(TaskAspect(call("App.first")), App)
+        weaver.weave(
+            TaskAspect(call("App.second"), depends=lambda jp: [jp.target.first_handle]),
+            App,
+        )
+        app = App()
+        app.first_handle = app.first()
+        handle = app.second()
+        handle.join(timeout=5)
+        assert app.log == ["first", "second"]
+
+    def test_taskloop_distributes_and_matches_sequential(self, weaver):
+        class App:
+            def __init__(self, n):
+                self.n = n
+                self.values = np.zeros(n)
+                self.members = set()
+                self.lock = threading.Lock()
+
+            def run(self):
+                self.fill(0, self.n, 1)
+                return float(self.values.sum())
+
+            def fill(self, start, end, step):
+                with self.lock:
+                    self.members.add(ctx.get_thread_id())
+                for i in range(start, end, step):
+                    self.values[i] = i * 2.0
+
+        weaver.weave(TaskLoopAspect(call("App.fill"), grainsize=4), App)
+        weaver.weave(ParallelRegion(call("App.run"), threads=3), App)
+        app = App(60)
+        total = app.run()
+        assert total == float(sum(i * 2.0 for i in range(60)))
+        assert app.values.tolist() == [i * 2.0 for i in range(60)]
+        # Tiles executed within the region's team (distribution across
+        # members is timing-dependent and covered by the runtime suite).
+        assert app.members and app.members <= {0, 1, 2}
+
+    def test_taskloop_requires_for_method_signature(self, weaver):
+        class App:
+            def not_a_loop(self):
+                return 1
+
+        weaver.weave(TaskLoopAspect(call("App.not_a_loop"), grainsize=1), App)
+        with pytest.raises(SchedulingError):
+            App().not_a_loop()
+
+    def test_taskloop_sequential_outside_region(self, weaver):
+        class App:
+            def __init__(self):
+                self.calls = []
+
+            def fill(self, start, end, step):
+                self.calls.append((start, end, step))
+
+        weaver.weave(TaskLoopAspect(call("App.fill"), grainsize=2), App)
+        app = App()
+        app.fill(0, 10, 1)
+        assert app.calls == [(0, 10, 1)]  # untouched full range — sequential semantics
 
     def test_future_task_and_future_result(self, weaver):
         class Result:

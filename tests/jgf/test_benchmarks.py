@@ -63,6 +63,55 @@ class TestAllBenchmarks:
         assert recorder.events(EventKind.CHUNK)
 
 
+class TestTaskloopDrivers:
+    """The irregular case studies ported to taskloop (work-stealing tasks)."""
+
+    BENCH_NAMES = ("RayTracer", "MonteCarlo")
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    @pytest.mark.parametrize("backend_name", ("serial", "threads", "processes"))
+    def test_taskloop_matches_sequential_on_every_backend(self, name, backend_name):
+        from repro.runtime.backend import backend_by_name, set_backend
+
+        module = BENCHMARKS[name]
+        sequential = module.run_sequential("tiny")
+        previous = set_backend(backend_by_name(backend_name))
+        try:
+            tasked = module.run_aomp_taskloop("tiny", num_threads=3)
+        finally:
+            set_backend(previous)
+        assert sequential.validates_against(tasked, TOLERANCE)
+        assert tasked.mode == "aomp-taskloop"
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_taskloop_single_thread_matches_sequential(self, name):
+        module = BENCHMARKS[name]
+        sequential = module.run_sequential("tiny")
+        tasked = module.run_aomp_taskloop("tiny", num_threads=1)
+        assert sequential.validates_against(tasked, TOLERANCE)
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_taskloop_records_task_spawns_and_chunks(self, name):
+        module = BENCHMARKS[name]
+        recorder = TraceRecorder()
+        module.run_aomp_taskloop("tiny", num_threads=3, recorder=recorder, grainsize=1)
+        assert recorder.events(EventKind.REGION_BEGIN)
+        assert recorder.events(EventKind.TASK_SPAWN)
+        chunks = recorder.events(EventKind.CHUNK)
+        assert chunks
+        # Every tile appears exactly once across members.
+        starts = sorted(e.data["start"] for e in chunks)
+        assert starts == sorted(set(starts))
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_taskloop_grainsize_controls_tile_count(self, name):
+        module = BENCHMARKS[name]
+        recorder = TraceRecorder()
+        module.run_aomp_taskloop("tiny", num_threads=2, recorder=recorder, grainsize=2)
+        chunks = recorder.events(EventKind.CHUNK)
+        assert all(e.data["count"] <= 2 for e in chunks)
+
+
 class TestSeriesDetails:
     def test_first_coefficients_are_stable(self):
         from repro.jgf.series.kernel import FourierSeries

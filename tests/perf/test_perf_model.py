@@ -6,15 +6,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ParallelRegion, ForStatic, ForCyclic, call, Weaver
+from repro.core import ParallelRegion, ForCyclic, call, Weaver
 from repro.perf.calibrate import calibrate, clear_cache, measure_lock_overhead
-from repro.perf.cost import CostModel, LoopCost, triangular_weight, uniform_weight
+from repro.perf.cost import CostModel, LoopCost, triangular_weight
 from repro.perf.machines import DUAL_XEON_X5650, INTEL_I7, PAPER_MACHINES, MachineModel
 from repro.perf.model import AnalyticPhase, AnalyticScenario, MakespanModel, phase_duration
 from repro.perf.report import SpeedupReport, format_bar_chart, format_table
-from repro.runtime import context as ctx
+from repro.runtime.tasks import run_taskloop
 from repro.runtime.team import parallel_region
-from repro.runtime.trace import TraceRecorder
+from repro.runtime.trace import EventKind, TraceRecorder
 from repro.runtime.worksharing import run_for
 
 
@@ -262,6 +262,66 @@ class TestMakespanFromTraces:
         estimate = MakespanModel(cost_model, machine).estimate(recorder, 4)
         # Reduction adds parallel time but no sequential time -> speedup < cores.
         assert estimate.speedup < 4.0
+
+
+class TestTaskEventsInModel:
+    """TASK_SPAWN/TASK_STEAL/TASK_COMPLETE events are priced by the replay."""
+
+    def _machine(self):
+        return MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)
+
+    def test_spawn_and_steal_overheads_add_compute(self):
+        recorder = TraceRecorder()
+        region = recorder.new_region_id()
+        recorder.record(EventKind.REGION_BEGIN, region, 0, name="r", size=2)
+        recorder.record(EventKind.TASK_SPAWN, region, 0, loop="work", count=10)
+        recorder.record(EventKind.TASK_STEAL, region, 1, loop="work", victim=0)
+        recorder.record(EventKind.REGION_END, region, 0, name="r")
+
+        cost_model = CostModel(task_spawn_overhead=1e-3, task_steal_overhead=5e-3)
+        estimate = MakespanModel(cost_model, self._machine()).estimate(recorder, 2, name="tasks")
+        # Thread 1's single steal (5 ms) dominates thread 0's 10 spawns (10 ms)... both priced.
+        assert estimate.makespan == pytest.approx(10 * 1e-3, rel=0.01)
+        phase = estimate.phases[0]
+        assert phase.compute_per_thread[0] == pytest.approx(10 * 1e-3)
+        assert phase.compute_per_thread[1] == pytest.approx(5e-3)
+        # Overheads are parallel-only: sequential time is unaffected.
+        assert estimate.sequential_time == 0.0
+
+    def test_task_complete_counts_as_work_both_sides(self):
+        recorder = TraceRecorder()
+        region = recorder.new_region_id()
+        recorder.record(EventKind.REGION_BEGIN, region, 0, name="r", size=2)
+        recorder.record(EventKind.TASK_COMPLETE, region, 0, task="t0", elapsed=0.2)
+        recorder.record(EventKind.TASK_COMPLETE, region, 1, task="t1", elapsed=0.2)
+        recorder.record(EventKind.REGION_END, region, 0, name="r")
+
+        estimate = MakespanModel(CostModel(), self._machine()).estimate(recorder, 2, name="tasks")
+        assert estimate.sequential_time == pytest.approx(0.4)
+        assert estimate.makespan == pytest.approx(0.2)
+        assert estimate.speedup == pytest.approx(2.0)
+
+    def test_taskloop_trace_replays_like_a_workshared_loop(self):
+        """An executed taskloop yields CHUNK events the model prices normally."""
+        recorder = TraceRecorder()
+
+        def loop(start, end, step):
+            pass
+
+        def body():
+            run_taskloop(loop, 0, 64, 1, grainsize=2, loop_name="work")
+
+        parallel_region(body, num_threads=4, recorder=recorder)
+        cost_model = CostModel(
+            loops={"work": LoopCost(seconds_per_unit=1e-3)},
+            task_spawn_overhead=0.0,
+            task_steal_overhead=0.0,
+        )
+        estimate = MakespanModel(cost_model, self._machine()).estimate(recorder, 4, name="taskloop")
+        assert estimate.sequential_time == pytest.approx(64 * 1e-3)
+        # Work-stealing balances the uniform tiles across the team; the replay
+        # cannot be worse than fully serialised nor better than perfect.
+        assert 1.0 <= estimate.speedup <= 4.0 + 1e-9
 
 
 class TestAnalyticScenario:

@@ -143,3 +143,65 @@ def test_process_backend_repeated_regions_stay_healthy():
         assert counts.np.tolist() == [10] * 8
     finally:
         counts.close()
+
+
+def test_taskloop_steal_storm_threads():
+    """Fine-grained taskloop under a thread team: every tile exactly once."""
+    from repro.runtime.tasks import run_taskloop
+
+    total = 2000
+    counts = np.zeros(total, dtype=np.int64)
+    import threading
+
+    lock = threading.Lock()
+
+    def tile(start, end, step):
+        with lock:
+            for i in range(start, end, step):
+                counts[i] += 1
+
+    def body():
+        run_taskloop(tile, 0, total, 1, grainsize=1)
+        run_taskloop(tile, 0, total, 1, grainsize=3)
+
+    _guarded(lambda: parallel_region(body, num_threads=6, backend="threads"))
+    assert counts.tolist() == [2] * total
+
+
+def test_taskloop_steal_storm_processes():
+    """Cross-process taskloop steals under contention: every tile exactly once."""
+    from repro.runtime.tasks import run_taskloop
+
+    total = 600
+    counts = shm.shared_zeros(total, np.int64)
+    try:
+
+        def tile(start, end, step):
+            for i in range(start, end, step):
+                counts[i] += 1
+
+        def body():
+            run_taskloop(tile, 0, total, 1, grainsize=2)
+            run_taskloop(tile, 0, total, 1, grainsize=5)
+
+        _guarded(lambda: parallel_region(body, num_threads=4, backend="processes"))
+        assert counts.np.tolist() == [2] * total
+    finally:
+        counts.close()
+
+
+def test_task_spawn_storm_with_dependencies():
+    """Thousands of spawns with dependency chains drain without deadlock."""
+    from repro.runtime.tasks import TaskPool
+
+    def storm():
+        pool = TaskPool(workers=4, name="stress-deps")
+        try:
+            tail = None
+            for i in range(2000):
+                tail = pool.spawn(lambda: None, depends=[tail] if tail and i % 5 == 0 else None)
+            tail.join(timeout=WATCHDOG)
+        finally:
+            pool.shutdown()
+
+    _guarded(storm)

@@ -195,7 +195,6 @@ class TestSingleMaster:
 class TestOrdered:
     def test_ordered_region_enforces_iteration_order(self):
         order = []
-        lock = threading.Lock()
 
         def loop(start, end, step):
             for i in range(start, end, step):

@@ -9,7 +9,7 @@ import pytest
 
 from repro.runtime import context as ctx
 from repro.runtime import shm
-from repro.runtime.exceptions import BackendCapabilityError, SchedulingError
+from repro.runtime.exceptions import BackendCapabilityError
 from repro.runtime.single import MasterRegion, SingleRegion
 from repro.runtime.team import parallel_region
 from repro.runtime.trace import EventKind, TraceRecorder
