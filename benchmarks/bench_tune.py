@@ -1,0 +1,304 @@
+"""Adaptive-scheduling benchmark — ``schedule="auto"`` vs hand-picked schedules.
+
+Companion to ``bench_overhead.py``/``bench_tasks.py`` for the tune subsystem
+(:mod:`repro.tune`).  Three workload shapes, each a work-shared loop whose
+per-iteration cost is a ``time.sleep`` (sleeping releases the GIL, so load
+imbalance shows up in wall time even on one core — exactly the signal the
+tuner optimises):
+
+* ``uniform``    — every iteration costs the same; every schedule is fine and
+  auto must simply not be worse;
+* ``triangular`` — iteration *i* costs ∝ ``n - i`` (the MolDyn/LUFact shape);
+  ``static_block`` front-loads the first member (~1.7× the ideal share) while
+  cyclic/dynamic balance it;
+* ``random``     — a fixed heavy-tailed cost landscape (seeded; the seed is
+  chosen so the contiguous block partition is adversarial: ~1.9× the ideal
+  share) with no single dominant iteration, so claim-based schedules can
+  balance it.
+
+For each workload every *static* candidate from the tuner's own search space
+is measured, then a fresh tuner drives ``schedule="auto"`` until the site
+converges and its steady state is measured.  Targets (evaluated in every
+mode, meaningful in ``full``):
+
+* uniform and triangular: converged auto within 10% of the best static choice;
+* random: auto ≥ 1.5× faster than the worst static choice;
+* tune-cache persistence: a second tuner warmed from ``AOMP_TUNE_CACHE``
+  converges in ≤ 2 invocations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py                 # table
+    PYTHONPATH=src python benchmarks/bench_tune.py --mode smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_tune.py --json          # JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.runtime.config import config_override
+from repro.runtime.team import parallel_region
+from repro.runtime.worksharing import run_for
+from repro.tune import Candidate, LoopTuner, TunerConfig, candidates_for, tuner_override
+
+SCHEMA_VERSION = 1
+THREADS = 4
+
+#: Seed of the ``random`` workload.  Chosen (by scanning seeds) so that the
+#: contiguous block partition of the weights is adversarial — ~1.9× the ideal
+#: per-member share — while no single iteration dominates (the workload stays
+#: balanceable by claim-based schedules).  Fixed: runs are deterministic.
+RANDOM_SEED = 174
+
+#: measurement sizes per mode: (iterations n, total sleep seconds per
+#: invocation, steady-state repeats, max auto invocations).
+MODES = {
+    "full": (64, 0.12, 2, 30),
+    "quick": (64, 0.045, 2, 30),
+    "smoke": (16, 0.006, 1, 30),
+}
+
+
+def _weights(kind: str, n: int) -> list[float]:
+    if kind == "uniform":
+        return [1.0] * n
+    if kind == "triangular":
+        return [float(n - i) for i in range(n)]
+    if kind == "random":
+        rng = random.Random(RANDOM_SEED)
+        return [rng.random() ** 4 * 16 + 0.2 for _ in range(n)]
+    raise ValueError(f"unknown workload {kind!r}")
+
+
+def _make_loop(weights: list[float], scale: float) -> Callable[[int, int, int], None]:
+    def loop(start: int, end: int, step: int) -> None:
+        for i in range(start, end, step):
+            time.sleep(weights[i] * scale)
+
+    return loop
+
+
+def _measure_invocation(loop, n: int, *, schedule, chunk: int = 1, loop_name: str) -> float:
+    """Wall time of one parallel region running the loop once."""
+
+    def body() -> None:
+        run_for(loop, 0, n, 1, schedule=schedule, chunk=chunk, loop_name=loop_name)
+
+    start = time.perf_counter()
+    parallel_region(body, num_threads=THREADS, backend="threads")
+    return time.perf_counter() - start
+
+
+def _static_candidates(n: int) -> list[Candidate]:
+    return [c for c in candidates_for(n, THREADS) if not c.serial]
+
+
+def measure_workload(kind: str, *, n: int, total_sleep: float, repeats: int, max_invocations: int) -> dict[str, Any]:
+    """Measure every static candidate and the converged auto schedule."""
+    weights = _weights(kind, n)
+    scale = total_sleep / sum(weights)
+    loop = _make_loop(weights, scale)
+    loop_name = f"bench_tune.{kind}"
+
+    static: dict[str, float] = {}
+    for candidate in _static_candidates(n):
+        best = min(
+            _measure_invocation(loop, n, schedule=candidate.schedule, chunk=candidate.chunk, loop_name=loop_name)
+            for _ in range(max(1, repeats))
+        )
+        static[candidate.label] = best
+    best_label = min(static, key=static.get)
+    worst_label = max(static, key=static.get)
+
+    # Fresh tuner: drive auto until the site leaves exploration.
+    tuner = LoopTuner(TunerConfig(), cache_path=None)
+    invocations = 0
+    with tuner_override(tuner):
+        for _ in range(max_invocations):
+            invocations += 1
+            _measure_invocation(loop, n, schedule="auto", loop_name=loop_name)
+            sites = tuner.sites()
+            if sites and sites[0].converged and not sites[0].probation:
+                break
+        auto_best = min(
+            _measure_invocation(loop, n, schedule="auto", loop_name=loop_name)
+            for _ in range(max(1, repeats))
+        )
+    site = tuner.sites()[0] if tuner.sites() else None
+    choice = site.choice.label if site is not None and site.choice is not None else None
+
+    return {
+        "iterations": n,
+        "total_sleep_seconds": total_sleep,
+        "static_seconds": static,
+        "best_static": {"schedule": best_label, "seconds": static[best_label]},
+        "worst_static": {"schedule": worst_label, "seconds": static[worst_label]},
+        "auto": {
+            "seconds": auto_best,
+            "converged": bool(site is not None and site.converged),
+            "choice": choice,
+            "invocations_to_converge": invocations,
+        },
+        "auto_vs_best_ratio": auto_best / static[best_label] if static[best_label] > 0 else 1.0,
+        "worst_vs_auto_ratio": static[worst_label] / auto_best if auto_best > 0 else 1.0,
+    }
+
+
+def measure_cache_persistence(*, n: int, total_sleep: float, max_invocations: int, cache_path: Path) -> dict[str, Any]:
+    """Cold tuner converges and persists; a warm tuner reconverges from disk."""
+    weights = _weights("uniform", n)
+    loop = _make_loop(weights, total_sleep / sum(weights))
+    loop_name = "bench_tune.cache"
+
+    def converge(tuner: LoopTuner) -> int:
+        invocations = 0
+        with tuner_override(tuner):
+            for _ in range(max_invocations):
+                invocations += 1
+                _measure_invocation(loop, n, schedule="auto", loop_name=loop_name)
+                sites = tuner.sites()
+                if sites and sites[0].converged and not sites[0].probation:
+                    break
+        return invocations
+
+    cold = converge(LoopTuner(TunerConfig(), cache_path=str(cache_path)))
+    warm = converge(LoopTuner(TunerConfig(), cache_path=str(cache_path)))
+    return {
+        "cache_file_written": cache_path.exists(),
+        "cold_invocations": cold,
+        "warm_invocations": warm,
+    }
+
+
+def run_suite(*, mode: str = "full", cache_path: "Path | None" = None) -> dict[str, Any]:
+    """Run every measurement with tracing disabled; return the metrics payload."""
+    n, total_sleep, repeats, max_invocations = MODES[mode]
+    temp_dir = None
+    if cache_path is None:
+        import tempfile
+
+        temp_dir = tempfile.TemporaryDirectory(prefix="bench_tune_")
+        cache_path = Path(temp_dir.name) / "tune_cache.json"
+
+    try:
+        with config_override(tracing=False, num_threads=THREADS):
+            workloads = {
+                kind: measure_workload(
+                    kind, n=n, total_sleep=total_sleep, repeats=repeats, max_invocations=max_invocations
+                )
+                for kind in ("uniform", "triangular", "random")
+            }
+            cache = measure_cache_persistence(
+                n=n, total_sleep=total_sleep, max_invocations=max_invocations, cache_path=cache_path
+            )
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()
+
+    targets = {
+        "uniform_within_10pct": workloads["uniform"]["auto_vs_best_ratio"] <= 1.10,
+        "triangular_within_10pct": workloads["triangular"]["auto_vs_best_ratio"] <= 1.10,
+        "random_speedup_vs_worst": workloads["random"]["worst_vs_auto_ratio"],
+        "random_target_met": workloads["random"]["worst_vs_auto_ratio"] >= 1.5,
+        "cache_warm_within_2_invocations": cache["warm_invocations"] <= 2,
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_tune.py",
+        "mode": mode,
+        "python": platform.python_version(),
+        "threads": THREADS,
+        "tracing": False,
+        "metrics": {"workloads": workloads, "cache": cache, "targets": targets},
+    }
+
+
+def _format_table(payload: dict[str, Any]) -> str:
+    metrics = payload["metrics"]
+    lines = [
+        f"Adaptive scheduling — mode={payload['mode']}, {payload['threads']} threads, "
+        f"Python {payload['python']}",
+        f"{'workload':<12} {'best static':>22} {'worst static':>22} {'auto (choice)':>28}",
+    ]
+    for kind, entry in metrics["workloads"].items():
+        best, worst, auto = entry["best_static"], entry["worst_static"], entry["auto"]
+        lines.append(
+            f"{kind:<12} "
+            f"{best['seconds'] * 1e3:>9.1f}ms {best['schedule']:>12} "
+            f"{worst['seconds'] * 1e3:>9.1f}ms {worst['schedule']:>12} "
+            f"{auto['seconds'] * 1e3:>9.1f}ms {str(auto['choice']):>14} "
+            f"[{auto['invocations_to_converge']} inv]"
+        )
+    cache = metrics["cache"]
+    lines.append(
+        f"cache: cold converged in {cache['cold_invocations']} invocations, "
+        f"warm in {cache['warm_invocations']}"
+    )
+    targets = metrics["targets"]
+    lines.append(
+        "targets: "
+        + ", ".join(
+            f"{name}={value if not isinstance(value, float) else round(value, 2)}"
+            for name, value in targets.items()
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--mode",
+        choices=sorted(MODES),
+        default="full",
+        help="measurement sizes: full (default), quick (CI), smoke (plumbing check)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON to stdout")
+    parser.add_argument("--output", type=Path, default=None, help="write the payload to a JSON file")
+    parser.add_argument(
+        "--check-targets",
+        action="store_true",
+        help="exit non-zero when an acceptance target fails (use with --mode full)",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_suite(mode=args.mode)
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(current, indent=2))
+    else:
+        print(_format_table(current))
+
+    if args.check_targets:
+        targets = current["metrics"]["targets"]
+        failed = [
+            name
+            for name in (
+                "uniform_within_10pct",
+                "triangular_within_10pct",
+                "random_target_met",
+                "cache_warm_within_2_invocations",
+            )
+            if not targets[name]
+        ]
+        if failed:
+            print(f"FAIL: target(s) not met: {', '.join(failed)}", file=sys.stderr)
+            return 1
+        print("OK: all adaptive-scheduling targets met", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,11 @@
 
 Runs the per-construct overhead suite (``benchmarks/bench_overhead.py``) in a
 fast mode and compares each headline metric against the committed reference,
-exiting non-zero when a construct regressed.  Called from CI's benchmark job
-and from ``scripts/bench.sh``.
+exiting non-zero when a construct regressed.  Also runs the
+adaptive-scheduling benchmark (``benchmarks/bench_tune.py``) in smoke mode as
+a plumbing check (``schedule="auto"`` converges, cache round-trips; disable
+with ``--skip-tune``).  Called from CI's benchmark job and from
+``scripts/bench.sh``.
 
 A metric counts as regressed only when **both** hold:
 
@@ -38,6 +41,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_overhead  # noqa: E402  (path set up above)
+import bench_tune  # noqa: E402
 
 #: default absolute-increase floor (seconds) per measurement mode: what one
 #: best-of-N timing in that mode can actually resolve.
@@ -104,6 +108,44 @@ def run_gate(
     return 0
 
 
+def run_tune_smoke() -> int:
+    """Plumbing check of the adaptive-scheduling benchmark (smoke sizes).
+
+    Verifies that ``schedule="auto"`` explores, converges and round-trips its
+    cache end-to-end; performance *targets* are not gated here (smoke-mode
+    loops are milliseconds and resolve nothing) — they are asserted by
+    ``bench_tune.py --mode full --check-targets``.
+    """
+    payload = bench_tune.run_suite(mode="smoke")
+    metrics = payload["metrics"]
+    problems: list[str] = []
+    if payload.get("schema_version") != bench_tune.SCHEMA_VERSION:
+        problems.append("schema_version mismatch")
+    for kind in ("uniform", "triangular", "random"):
+        workload = metrics["workloads"].get(kind)
+        if not workload:
+            problems.append(f"missing workload {kind}")
+            continue
+        if not workload["auto"]["converged"]:
+            problems.append(f"{kind}: auto never converged")
+        if not workload["auto"]["seconds"] > 0:
+            problems.append(f"{kind}: bogus auto timing")
+    cache = metrics["cache"]
+    if not cache["cache_file_written"]:
+        problems.append("tune cache file was not written")
+    if cache["warm_invocations"] > 2:
+        problems.append(f"warm tuner needed {cache['warm_invocations']} invocations (> 2)")
+
+    if problems:
+        print(f"FAIL: adaptive-scheduling smoke: {'; '.join(problems)}")
+        return 1
+    print(
+        "OK: adaptive-scheduling smoke (auto converged on all workloads, cache warm "
+        f"reconvergence in {cache['warm_invocations']} invocation(s))"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -127,18 +169,27 @@ def main(argv: list[str] | None = None) -> int:
         "(default: per-mode — smoke 50, quick 10, full 5)",
     )
     parser.add_argument("--runs", type=int, default=3, help="fresh runs to take the per-metric minimum over")
+    parser.add_argument(
+        "--skip-tune",
+        action="store_true",
+        help="skip the adaptive-scheduling smoke check (bench_tune.py plumbing)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
         print(f"error: reference file {args.baseline} not found", file=sys.stderr)
         return 2
-    return run_gate(
+    status = run_gate(
         args.baseline,
         mode=args.mode,
         tolerance=args.tolerance,
         floor_seconds=args.floor_us * 1e-6 if args.floor_us is not None else None,
         runs=args.runs,
     )
+    if args.skip_tune:
+        return status
+    print()
+    return status or run_tune_smoke()
 
 
 if __name__ == "__main__":

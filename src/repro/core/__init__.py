@@ -16,6 +16,7 @@ Unweaving restores the original program: sequential semantics are intrinsic.
 from repro.core import annotations
 from repro.core.annotation_weaver import AnnotationWeavingSession, weave_annotations
 from repro.core.aspects import (
+    AdaptiveSchedule,
     Aspect,
     BarrierAfterAspect,
     BarrierBeforeAspect,
@@ -79,6 +80,7 @@ __all__ = [
     "ForCyclic",
     "ForDynamic",
     "ForGuided",
+    "AdaptiveSchedule",
     "OrderedAspect",
     "CriticalAspect",
     "BarrierBeforeAspect",

@@ -96,6 +96,27 @@ def for_loop(
     return _decorator("for", **params)
 
 
+def adaptive(
+    func: F | None = None,
+    *,
+    chunk: int = 1,
+    nowait: bool = False,
+    weight: Callable[[int], float] | None = None,
+) -> Any:
+    """``@For(schedule=auto)`` — the for method's schedule is tuned online.
+
+    Extension beyond the paper's Table 1 (OpenMP's ``schedule(auto)``):
+    sugar for :func:`for_loop` with ``schedule="auto"`` — the adaptive tuner
+    (:mod:`repro.tune`) measures invocations, searches the schedule/chunk
+    space per loop site and converges on the fastest choice, falling back to
+    serial execution for loops too small to amortise team spin-up.
+    """
+    params = {"schedule": "auto", "chunk": chunk, "nowait": nowait, "ordered": False, "weight": weight}
+    if func is not None:
+        return _annotate(func, "for", params)
+    return _decorator("for", **params)
+
+
 def taskloop(
     func: F | None = None,
     *,

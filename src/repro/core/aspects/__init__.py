@@ -2,7 +2,15 @@
 
 from repro.core.aspects.base import Aspect, ClassAspect, CompositeAspect, MethodAspect
 from repro.core.aspects.parallel_region import ParallelRegion
-from repro.core.aspects.worksharing import ForCyclic, ForDynamic, ForGuided, ForStatic, ForWorkSharing, OrderedAspect
+from repro.core.aspects.worksharing import (
+    AdaptiveSchedule,
+    ForCyclic,
+    ForDynamic,
+    ForGuided,
+    ForStatic,
+    ForWorkSharing,
+    OrderedAspect,
+)
 from repro.core.aspects.synchronization import (
     BarrierAfterAspect,
     BarrierBeforeAspect,
@@ -35,6 +43,7 @@ __all__ = [
     "ForCyclic",
     "ForDynamic",
     "ForGuided",
+    "AdaptiveSchedule",
     "OrderedAspect",
     "CriticalAspect",
     "BarrierBeforeAspect",

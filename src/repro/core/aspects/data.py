@@ -18,7 +18,27 @@ from repro.core.weaver.pointcut import Pointcut
 from repro.runtime import context as ctx
 from repro.runtime.threadlocal import Reducer, ThreadLocalStore, global_thread_locals
 from repro.runtime.trace import EventKind
-from repro.runtime.exceptions import WeavingError
+from repro.runtime.exceptions import BackendCapabilityError, WeavingError
+
+
+def _require_shared_heap(construct: str) -> None:
+    """Thread-local copies live on the spawning process's heap only.
+
+    On a *process* team every worker would lazily create its own private copy
+    in its own address space; the reduction in the parent would then merge
+    nothing but the master's copy and the workers' contributions would
+    silently vanish.  Fail loudly instead, exactly like the in-process lock
+    guard in :mod:`repro.runtime.critical` (the weaver's
+    ``requires_shared_locals`` fallback prevents woven programs from ever
+    reaching this).
+    """
+    context = ctx.current_context()
+    if context is not None and context.team.size > 1 and context.team.is_process_team:
+        raise BackendCapabilityError(
+            f"{construct}: thread-local copies need a shared Python heap; the "
+            "process backend cannot honour them (weave with threads, or mark "
+            "the region as requiring shared locals to get the automatic fallback)"
+        )
 
 
 class ThreadLocalFieldDescriptor:
@@ -42,12 +62,14 @@ class ThreadLocalFieldDescriptor:
         if instance is None:
             return self
         if ctx.in_parallel():
+            _require_shared_heap(f"thread-local field {self.field!r}")
             self.store.set_shared(instance, self.field, getattr(instance, self.private_name, None))
             return self.store.read(instance, self.field, copy=self.copy_value)
         return getattr(instance, self.private_name, None)
 
     def __set__(self, instance: Any, value: Any) -> None:
         if ctx.in_parallel():
+            _require_shared_heap(f"thread-local field {self.field!r}")
             self.store.write(instance, self.field, value)
         else:
             object.__setattr__(instance, self.private_name, value)
@@ -170,6 +192,7 @@ class ReduceAspect(MethodAspect):
         self.target_provider = target_provider
 
     def around(self, joinpoint: JoinPoint) -> Any:
+        _require_shared_heap(f"@Reduce on {joinpoint.qualified_name}")
         result = joinpoint.proceed()
         team = ctx.current_team()
         if team is not None:

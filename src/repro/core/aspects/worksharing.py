@@ -14,7 +14,7 @@ from repro.core.aspects.base import MethodAspect, callable_or_value
 from repro.core.weaver.joinpoint import JoinPoint
 from repro.core.weaver.pointcut import Pointcut
 from repro.runtime.ordered import ordered_call
-from repro.runtime.scheduler import Schedule
+from repro.runtime.scheduler import Schedule, parse_schedule_spec
 from repro.runtime.worksharing import run_for
 from repro.runtime.exceptions import SchedulingError
 
@@ -97,7 +97,11 @@ class ForWorkSharing(MethodAspect):
 
     def describe(self) -> str:
         base = super().describe()
-        return f"{base}(schedule={Schedule.parse(self.loop_schedule()).value})"
+        # parse_schedule_spec, not Schedule.parse: the schedule may be an
+        # OpenMP-style "kind,chunk" spec string (accepted by run_for).
+        schedule, spec_chunk = parse_schedule_spec(self.loop_schedule())
+        suffix = f",{spec_chunk}" if spec_chunk is not None else ""
+        return f"{base}(schedule={schedule.value}{suffix})"
 
 
 class ForStatic(ForWorkSharing):
@@ -129,6 +133,26 @@ class ForGuided(ForWorkSharing):
 
     def __init__(self, pointcut: Pointcut | None = None, **kwargs: Any) -> None:
         kwargs.setdefault("schedule", Schedule.GUIDED)
+        super().__init__(pointcut, **kwargs)
+
+
+class AdaptiveSchedule(ForWorkSharing):
+    """``@For(schedule=auto)`` — the adaptive tuner picks the schedule online.
+
+    Extension beyond the paper's Table 1 (OpenMP's ``schedule(auto)``): each
+    matched loop site measures successive invocations under candidate
+    schedules, converges on the fastest, and falls back to serial execution
+    when the loop is too small to amortise team spin-up.  Decisions persist
+    across processes through the ``AOMP_TUNE_CACHE`` file.  Because the
+    aspect is just a ``ForWorkSharing`` configuration, an already-woven
+    program opts in without any source change — swap the for aspect in the
+    bundle.  See :mod:`repro.tune`.
+    """
+
+    abstraction = "FOR(auto)"
+
+    def __init__(self, pointcut: Pointcut | None = None, **kwargs: Any) -> None:
+        kwargs.setdefault("schedule", Schedule.AUTO)
         super().__init__(pointcut, **kwargs)
 
 

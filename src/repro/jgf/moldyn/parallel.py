@@ -93,8 +93,13 @@ def run_aomp(
     *,
     strategy: str = "jgf",
     lock_mode: str = "modelled",
+    schedule: str | None = None,
 ) -> BenchmarkResult:
-    """AOmp style: attach one of the Figure 15 strategy bundles to the unchanged kernel."""
+    """AOmp style: attach one of the Figure 15 strategy bundles to the unchanged kernel.
+
+    ``schedule`` overrides the force sweep's cyclic distribution (``"auto"``
+    defers the choice to the adaptive tuner).
+    """
     n = resolve_size(SIZES, size)
     (kernel, value), elapsed = timed(
         lambda: run_variant(
@@ -104,6 +109,7 @@ def run_aomp(
             moves=_moves_for(size),
             recorder=recorder,
             lock_mode=lock_mode,
+            schedule=schedule,
         )
     )
     return BenchmarkResult(

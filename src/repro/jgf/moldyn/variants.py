@@ -19,6 +19,7 @@ from repro.core import (
     CriticalAspect,
     ForCyclic,
     ForStatic,
+    ForWorkSharing,
     MethodAspect,
     ParallelRegion,
     ReduceAspect,
@@ -101,21 +102,32 @@ class LockPerParticleAspect(MethodAspect):
             context.team.record(EventKind.LOCK_ACQUIRE, key="per-particle", count=acquisitions)
 
 
-def _structure_aspects(num_threads: int, recorder: TraceRecorder | None) -> list:
+def _force_sweep_aspect(schedule: "str | None"):
+    """The for aspect of the force sweep: cyclic by default, overridable.
+
+    The triangular per-iteration cost (particle i interacts with the n-1-i
+    particles above it) is priced by the experiments' cost models
+    (LoopCost.weight_fn), so no weight function is attached here.  Passing
+    ``schedule`` (e.g. ``"auto"``) swaps Figure 15's cyclic choice for an
+    explicit one — ``"auto"`` lets the adaptive tuner discover the balanced
+    schedule the paper hand-picks.
+    """
+    if schedule is None:
+        return ForCyclic(call("MolDyn.compute_forces"))
+    return ForWorkSharing(call("MolDyn.compute_forces"), schedule=schedule)
+
+
+def _structure_aspects(num_threads: int, recorder: TraceRecorder | None, schedule: "str | None" = None) -> list:
     """Aspects common to every strategy: the region and the work-shared loops.
 
     The force sweep uses a cyclic distribution (the triangular cost profile of
-    Newton's-third-law loops is why the paper picks cyclic for MolDyn), with
-    the interaction count as the per-iteration weight for the performance
-    model.  A barrier after ``zero_forces`` keeps a fast thread from
-    accumulating into arrays another thread is still about to reset.
+    Newton's-third-law loops is why the paper picks cyclic for MolDyn).  A
+    barrier after ``zero_forces`` keeps a fast thread from accumulating into
+    arrays another thread is still about to reset.
     """
     return [
         ForStatic(call("MolDyn.advance_positions")),
-        # The triangular per-iteration cost (particle i interacts with the
-        # n-1-i particles above it) is priced by the experiments' cost models
-        # (LoopCost.weight_fn), so no weight function is attached here.
-        ForCyclic(call("MolDyn.compute_forces")),
+        _force_sweep_aspect(schedule),
         ForStatic(call("MolDyn.update_velocities")),
         BarrierAfterAspect(call("MolDyn.zero_forces")),
         ParallelRegion(call("MolDyn.runiters"), threads=num_threads, recorder=recorder),
@@ -128,15 +140,18 @@ def build_aspects(
     recorder: TraceRecorder | None = None,
     *,
     lock_mode: str = "modelled",
+    schedule: str | None = None,
 ) -> list:
     """Build the aspect bundle for one Figure 15 strategy.
 
     The returned list is ordered innermost-first, ready for ``Weaver.weave_all``.
+    ``schedule`` overrides the force sweep's cyclic distribution (``"auto"``
+    defers to the adaptive tuner).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown MolDyn strategy {strategy!r}; expected one of {STRATEGIES}")
 
-    structure = _structure_aspects(num_threads, recorder)
+    structure = _structure_aspects(num_threads, recorder, schedule)
     if strategy == "critical":
         return [CriticalAspect(call("MolDyn.apply_pair_forces"), lock_id="moldyn-forces")] + structure
     if strategy == "locks":
@@ -149,7 +164,7 @@ def build_aspects(
         forces_field,
         energy_field,
         ForStatic(call("MolDyn.advance_positions")),
-        ForCyclic(call("MolDyn.compute_forces")),
+        _force_sweep_aspect(schedule),
         ReduceAspect(
             call("MolDyn.compute_forces"),
             field_aspect=forces_field,
@@ -176,6 +191,7 @@ def run_variant(
     moves: int = 2,
     recorder: TraceRecorder | None = None,
     lock_mode: str = "modelled",
+    schedule: str | None = None,
 ):
     """Run one MolDyn parallelisation strategy and return (kernel, checksum).
 
@@ -185,7 +201,9 @@ def run_variant(
     from repro.jgf.moldyn.kernel import MolDyn as Kernel
 
     weaver = Weaver()
-    weaver.weave_all(build_aspects(strategy, num_threads, recorder, lock_mode=lock_mode), Kernel)
+    weaver.weave_all(
+        build_aspects(strategy, num_threads, recorder, lock_mode=lock_mode, schedule=schedule), Kernel
+    )
     try:
         kernel = Kernel(n_particles, moves=moves)
         checksum = kernel.runiters()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import ForStatic, ParallelRegion, Weaver, call
+from repro.core import ForStatic, ForWorkSharing, ParallelRegion, Weaver, call
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, block_range, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.sor.kernel import SORBenchmark
 from repro.runtime.backend import Backend, resolve_backend
@@ -51,15 +51,24 @@ def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> Benchmark
 
 
 def build_aspects(
-    num_threads: int, recorder: TraceRecorder | None = None, backend: "Backend | str | None" = None
+    num_threads: int,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+    schedule: str | None = None,
 ) -> list:
     """The aspect modules composing the SOR parallelisation (Table 2 row).
 
     The implicit end-of-loop barrier of the for aspect provides the
     half-sweep synchronisation the JGF version codes by hand (Table 2's BR).
+    ``schedule`` overrides the Table 2 static-block choice — ``"auto"``
+    hands the decision to the adaptive tuner (:mod:`repro.tune`).
     """
+    if schedule is None:
+        for_aspect = ForStatic(call("SORBenchmark.relax_rows"))
+    else:
+        for_aspect = ForWorkSharing(call("SORBenchmark.relax_rows"), schedule=schedule)
     return [
-        ForStatic(call("SORBenchmark.relax_rows")),
+        for_aspect,
         ParallelRegion(call("SORBenchmark.run"), threads=num_threads, recorder=recorder, backend=backend),
     ]
 
@@ -69,6 +78,7 @@ def run_aomp(
     num_threads: int = 4,
     recorder: TraceRecorder | None = None,
     backend: "Backend | str | None" = None,
+    schedule: str | None = None,
 ) -> BenchmarkResult:
     """AOmp style: weave the aspects onto the unchanged sequential kernel."""
     n = resolve_size(SIZES, size)
@@ -77,7 +87,7 @@ def run_aomp(
     kernel = SORBenchmark(n, iterations=_iterations_for(size), shared=shared)
     try:
         weaver = Weaver()
-        weaver.weave_all(build_aspects(num_threads, recorder, backend_obj), SORBenchmark)
+        weaver.weave_all(build_aspects(num_threads, recorder, backend_obj, schedule), SORBenchmark)
         try:
             value, elapsed = timed(kernel.run)
         finally:

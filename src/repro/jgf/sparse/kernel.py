@@ -41,6 +41,11 @@ class SparseMatmult:
         self.values = self.values[order]
         self.x = JGFRandom(seed + 7).doubles(n)
         self.y = np.zeros(n, dtype=np.float64)
+        # CSR-style row pointers: non-zeros of row r live at indices
+        # [row_ptr[r], row_ptr[r + 1]).  Possible because the triplets are
+        # row-sorted above; enables the row-range for method, whose chunks
+        # touch disjoint output rows under *any* generic schedule.
+        self.row_ptr = np.searchsorted(self.row, np.arange(n + 1))
 
     # -- base program -----------------------------------------------------------
 
@@ -49,6 +54,30 @@ class SparseMatmult:
         for _ in range(self.iterations):
             self.multiply_range(0, self.nz, 1)
         return self.total()
+
+    def run_rows(self) -> float:
+        """Row-loop variant of :meth:`run` (the parallel-region method).
+
+        Identical arithmetic, but iterating rows instead of non-zeros: a
+        chunk of rows updates a disjoint slice of ``y``, so the loop is safe
+        under *any* generic schedule — this is the for method the adaptive
+        (``schedule="auto"``) parallelisation uses, where the tuner may pick
+        dynamic or guided chunkings that ignore row boundaries of the
+        non-zero range.
+        """
+        for _ in range(self.iterations):
+            self.multiply_rows(0, self.n, 1)
+        return self.total()
+
+    def multiply_rows(self, start: int, end: int, step: int) -> None:
+        """For method: apply the non-zeros of rows ``start <= r < end``."""
+        row_ptr = self.row_ptr
+        if step == 1:
+            first, last = int(row_ptr[start]), int(row_ptr[end])
+            self.multiply_range(first, last, 1)
+            return
+        for r in range(start, end, step):
+            self.multiply_range(int(row_ptr[r]), int(row_ptr[r + 1]), 1)
 
     def multiply_range(self, start: int, end: int, step: int) -> None:
         """For method: apply non-zero entries ``start <= k < end`` to the output."""

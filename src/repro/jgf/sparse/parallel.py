@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core import ForWorkSharing, ParallelRegion, Weaver, call
+from repro.runtime.backend import Backend
 from repro.core.weaver.joinpoint import JoinPoint
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.sparse.kernel import SparseMatmult
@@ -91,22 +92,45 @@ def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> Benchmark
     return BenchmarkResult("Sparse", "threaded", size, kernel.total(), elapsed, num_threads=num_threads)
 
 
-def build_aspects(num_threads: int, recorder: TraceRecorder | None = None) -> list:
-    """The aspect modules composing the Sparse parallelisation (Table 2 row)."""
+def build_aspects(
+    num_threads: int,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+    schedule: str | None = None,
+) -> list:
+    """The aspect modules composing the Sparse parallelisation (Table 2 row).
+
+    The default is the paper's case-specific row-block distribution over the
+    non-zero range.  With an explicit ``schedule`` (e.g. ``"auto"``) the
+    *row-range* for method is woven instead: its chunks touch disjoint output
+    rows under any generic schedule, so the adaptive tuner is free to pick
+    dynamic/guided chunkings that ignore non-zero row boundaries.
+    """
+    if schedule is None:
+        return [
+            RowBlockFor(call("SparseMatmult.multiply_range")),
+            ParallelRegion(call("SparseMatmult.run"), threads=num_threads, recorder=recorder, backend=backend),
+        ]
     return [
-        RowBlockFor(call("SparseMatmult.multiply_range")),
-        ParallelRegion(call("SparseMatmult.run"), threads=num_threads, recorder=recorder),
+        ForWorkSharing(call("SparseMatmult.multiply_rows"), schedule=schedule),
+        ParallelRegion(call("SparseMatmult.run_rows"), threads=num_threads, recorder=recorder, backend=backend),
     ]
 
 
-def run_aomp(size: "str | int" = "small", num_threads: int = 4, recorder: TraceRecorder | None = None) -> BenchmarkResult:
+def run_aomp(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    recorder: TraceRecorder | None = None,
+    backend: "Backend | str | None" = None,
+    schedule: str | None = None,
+) -> BenchmarkResult:
     """AOmp style: weave the case-specific aspect onto the unchanged kernel."""
     n, nz = resolve_size(SIZES, size)
     kernel = SparseMatmult(n, nz, iterations=ITERATIONS.get(size, 15) if isinstance(size, str) else 15)
     weaver = Weaver()
-    weaver.weave_all(build_aspects(num_threads, recorder), SparseMatmult)
+    weaver.weave_all(build_aspects(num_threads, recorder, backend, schedule), SparseMatmult)
     try:
-        value, elapsed = timed(kernel.run)
+        value, elapsed = timed(kernel.run if schedule is None else kernel.run_rows)
     finally:
         weaver.unweave_all()
     return BenchmarkResult("Sparse", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)

@@ -104,6 +104,13 @@ class CostModel:
         Cost of one successful steal from another member's deque
         (``TASK_STEAL`` events) — a cross-member cache-line transfer plus
         claim arbitration, priced higher than a local spawn.
+    team_spinup_seconds:
+        Measured cost of spinning up (and joining) a parallel team, used by
+        the adaptive tuner's serial-fallback arbitration: a loop predicted to
+        finish within a few team spin-ups is routed to the serial fallback
+        instead of being dispatched to the team.  The default matches the
+        committed ``region_spawn`` overhead benchmark's order of magnitude;
+        calibrated models may overwrite it.
     replicated_seconds:
         Per-region, per-thread replicated (non-work-shared) work, in seconds.
         Most JGF kernels have negligible replicated work; LUFact's pivot
@@ -120,6 +127,7 @@ class CostModel:
     replicated_seconds: float = 0.0
     task_spawn_overhead: float = 1.0e-6
     task_steal_overhead: float = 3.0e-6
+    team_spinup_seconds: float = 6.0e-5
     #: memoised ``loop_cost`` resolutions (queried name -> matching ``loops``
     #: key, or None for the default) — the suffix-matching fallback is a scan
     #: over every registered loop, paid once per name instead of once per
@@ -169,6 +177,7 @@ class CostModel:
             replicated_seconds=self.replicated_seconds,
             task_spawn_overhead=self.task_spawn_overhead,
             task_steal_overhead=self.task_steal_overhead,
+            team_spinup_seconds=self.team_spinup_seconds,
         )
 
 

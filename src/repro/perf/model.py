@@ -231,6 +231,14 @@ class MakespanModel:
                 breakdown = phase_for(thread)
                 breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + cost
                 # Reductions are parallel-only work: not added to sequential.
+            elif event.kind is EventKind.TUNE_DECISION:
+                # Instant marker from the adaptive scheduler: the decided
+                # schedule's chunks already appear as CHUNK events and the
+                # decision itself is a dictionary lookup — no modelled cost.
+                # Replayed explicitly (rather than falling through) so the
+                # serial fallback's single-owner chunk pattern and the tuner's
+                # exploration are first-class citizens of the phase algebra.
+                continue
             elif event.kind is EventKind.BARRIER:
                 phase_of_thread[thread] = phase_of_thread.get(thread, 0) + 1
                 if thread == 0:

@@ -256,7 +256,9 @@ class ProcessBackend(Backend):
             pool = self._ensure_pool(size - 1)
             if pool is not None:
                 pool.prepare(size)
-                sync = shm.ProcessSync(pool.barrier, pool.arena, pooled=True, steal=pool.steal)
+                sync = shm.ProcessSync(
+                    pool.barrier, pool.arena, pooled=True, steal=pool.steal, tune=pool.tune
+                )
                 sync.body_bytes = body_bytes  # type: ignore[attr-defined]
                 return sync
             self._pool_lock.release()
@@ -265,6 +267,7 @@ class ProcessBackend(Backend):
             shm.SyncArena(),
             pooled=False,
             steal=shm.TaskStealArena(max_workers=max(size, 2)),
+            tune=shm.TunePlanArena(),
         )
 
     def finish_region(self, team: "Team") -> None:

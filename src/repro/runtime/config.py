@@ -18,6 +18,22 @@ def _default_backend() -> str:
     return env or "threads"
 
 
+def _default_schedule() -> str:
+    """Default loop schedule from ``AOMP_SCHEDULE`` (or ``OMP_SCHEDULE``).
+
+    OpenMP-style ``"kind[,chunk]"`` specs are accepted (e.g. ``"dynamic,4"``
+    or ``"auto"``); parsing/validation happens at loop-execution time.
+    """
+    env = (os.environ.get("AOMP_SCHEDULE") or os.environ.get("OMP_SCHEDULE") or "").strip()
+    return env or "static_block"
+
+
+def _default_tune_cache() -> "str | None":
+    """Path of the adaptive tuner's persistent cache from ``AOMP_TUNE_CACHE``."""
+    env = (os.environ.get("AOMP_TUNE_CACHE") or "").strip()
+    return env or None
+
+
 def _default_num_threads() -> int:
     env = os.environ.get("AOMP_NUM_THREADS") or os.environ.get("OMP_NUM_THREADS")
     if env:
@@ -45,10 +61,17 @@ class RuntimeConfig:
         :func:`repro.runtime.backend.set_backend` and per-region via the
         ``backend=`` argument of ``parallel_region``.
     default_schedule:
-        Default loop schedule name (``"static_block"``, ``"static_cyclic"``,
-        ``"dynamic"`` or ``"guided"``).
+        Default loop schedule spec (``"static_block"``, ``"static_cyclic"``,
+        ``"dynamic"``, ``"guided"`` or ``"auto"``, optionally with an
+        OpenMP-style chunk suffix such as ``"dynamic,4"``), seeded from the
+        ``AOMP_SCHEDULE``/``OMP_SCHEDULE`` environment variables.  Consulted
+        by work-shared loops that do not pass an explicit ``schedule=``.
     default_chunk:
         Default chunk size for dynamic/guided schedules.
+    tune_cache:
+        Path of the adaptive tuner's persistent decision cache (``None``
+        disables persistence), seeded from ``AOMP_TUNE_CACHE``.  See
+        :mod:`repro.tune`.
     nested:
         Whether nested parallel regions create new teams (OpenMP ``OMP_NESTED``).
         When ``False`` a nested region executes with a team of one.
@@ -61,8 +84,9 @@ class RuntimeConfig:
 
     num_threads: int = field(default_factory=_default_num_threads)
     backend: str = field(default_factory=_default_backend)
-    default_schedule: str = "static_block"
+    default_schedule: str = field(default_factory=_default_schedule)
     default_chunk: int = 1
+    tune_cache: "str | None" = field(default_factory=_default_tune_cache)
     nested: bool = True
     max_nesting_depth: int = 4
     tracing: bool = True

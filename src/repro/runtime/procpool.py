@@ -75,7 +75,8 @@ class PersistentProcessPool:
         self.barrier = shm.SharedBarrier(1)
         self.arena = shm.SyncArena()
         self.steal = shm.TaskStealArena()
-        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True, steal=self.steal)
+        self.tune = shm.TunePlanArena()
+        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True, steal=self.steal, tune=self.tune)
         self._tasks = ctx.SimpleQueue()
         self._results = ctx.SimpleQueue()
         self._tickets = itertools.count(1)
@@ -107,6 +108,7 @@ class PersistentProcessPool:
         self.barrier.reset(team_size)
         self.arena.reset()
         self.steal.reset()
+        self.tune.reset()
 
     def submit_region(self, team, body_bytes: bytes) -> int:
         """Dispatch one task per non-master member; returns the region ticket."""

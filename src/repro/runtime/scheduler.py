@@ -43,6 +43,9 @@ class Schedule(str, Enum):
     STATIC_CYCLIC = "static_cyclic"
     DYNAMIC = "dynamic"
     GUIDED = "guided"
+    #: resolved per loop site by the adaptive tuner (:mod:`repro.tune`) at
+    #: execution time; has no standalone scheduler instance.
+    AUTO = "auto"
 
     @classmethod
     def parse(cls, value: "str | Schedule") -> "Schedule":
@@ -77,7 +80,34 @@ _SCHEDULE_ALIASES: dict[str, Schedule] = {
     "static_cyclic": Schedule.STATIC_CYCLIC,
     "dynamic": Schedule.DYNAMIC,
     "guided": Schedule.GUIDED,
+    "auto": Schedule.AUTO,
+    "adaptive": Schedule.AUTO,
 }
+
+
+@lru_cache(maxsize=32)
+def parse_schedule_spec(spec: "str | Schedule") -> "tuple[Schedule, int | None]":
+    """Parse an OpenMP-style schedule spec ``"kind[,chunk]"``.
+
+    ``OMP_SCHEDULE`` (and this runtime's ``AOMP_SCHEDULE``) allow a chunk size
+    after the schedule name, e.g. ``"dynamic,4"``.  Returns ``(schedule,
+    chunk)`` with ``chunk=None`` when the spec does not carry one.
+    """
+    if isinstance(spec, Schedule):
+        return spec, None
+    if isinstance(spec, str) and "," in spec:
+        name, _, chunk_text = spec.partition(",")
+        try:
+            chunk = int(chunk_text.strip())
+        except ValueError:
+            raise SchedulingError(
+                f"malformed schedule spec {spec!r}: chunk must be an integer "
+                "(expected \"kind\" or \"kind,chunk\", e.g. \"dynamic,4\")"
+            ) from None
+        if chunk < 1:
+            raise SchedulingError(f"schedule spec {spec!r}: chunk must be >= 1")
+        return Schedule.parse(name), chunk
+    return Schedule.parse(spec), None
 
 
 #: Default number of chunks claimed per dynamic/guided lock round-trip.
@@ -502,7 +532,16 @@ def make_scheduler(schedule: "str | Schedule", chunk: int = 1) -> LoopScheduler:
     """
     if chunk < 1:
         raise SchedulingError("chunk must be >= 1")
-    return _scheduler_instance(Schedule.parse(schedule), chunk)
+    parsed = Schedule.parse(schedule)
+    if parsed is Schedule.AUTO:
+        raise SchedulingError(
+            "schedule 'auto' has no standalone scheduler: it is resolved per loop "
+            "site by the adaptive tuner (repro.tune) at loop-execution time.  Run "
+            "the loop through run_for(schedule='auto') / the AdaptiveSchedule "
+            "aspect, or pick a concrete schedule: "
+            f"{', '.join(m.value for m in Schedule if m is not Schedule.AUTO)}"
+        )
+    return _scheduler_instance(parsed, chunk)
 
 
 #: Plans whose total chunk count exceeds this are built on demand and never

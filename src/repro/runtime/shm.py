@@ -38,6 +38,7 @@ import atexit
 import multiprocessing
 import os
 import secrets
+import time
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Optional
@@ -571,6 +572,102 @@ class TaskStealSlot:
         return self.arena._completed(self.ordinal) >= self.ntiles
 
 
+class TunePlanArena:
+    """Pre-allocated pool of *tune plan* slots for ``schedule="auto"`` loops.
+
+    The adaptive tuner lives in the parent process (its state is fed by the
+    master's measurements), but every member of a process team must execute
+    the *same* concrete schedule for a given loop invocation.  The master
+    therefore publishes its decision — ``(schedule_code, chunk, flags,
+    invocation)`` — into the slot for the loop's SPMD ordinal before
+    dispatching, and workers read it (spin-waiting briefly for a master that
+    has not arrived yet).  Slots are recycled by ordinal exactly like
+    :class:`SyncArena` slots.
+
+    Kept separate from :class:`SyncArena` on purpose: when the published plan
+    is dynamic/guided, the *same ordinal's* SyncArena slot is used for the
+    claim counter, so the two arenas must not share cells.
+    """
+
+    _TAG, _SCHEDULE, _CHUNK, _FLAGS, _INVOCATION = range(5)
+    _FIELDS = 5
+
+    def __init__(self, capacity: int = 256) -> None:
+        ctx = _mp_context()
+        self.capacity = capacity
+        self._lock = ctx.Lock()
+        self._cells = ctx.Array("q", self._FIELDS * capacity, lock=False)
+        self.reset()
+
+    def reset(self) -> None:
+        """Mark every slot unused (called between regions by the pool)."""
+        with self._lock:
+            for i in range(self.capacity):
+                self._cells[i * self._FIELDS + self._TAG] = -1
+
+    def slot(self, ordinal: int) -> "TunePlanSlot":
+        """Return the plan slot for loop-ordinal ``ordinal``."""
+        return TunePlanSlot(self, ordinal)
+
+    # -- slot operations (called through TunePlanSlot) -----------------------
+
+    def _publish(self, ordinal: int, plan: "tuple[int, int, int, int]") -> None:
+        base = (ordinal % self.capacity) * self._FIELDS
+        cells = self._cells
+        with self._lock:
+            schedule_code, chunk, flags, invocation = plan
+            cells[base + self._SCHEDULE] = schedule_code
+            cells[base + self._CHUNK] = chunk
+            cells[base + self._FLAGS] = flags
+            cells[base + self._INVOCATION] = invocation
+            # Tag written last: a reader that sees the tag sees the full plan.
+            cells[base + self._TAG] = ordinal
+
+    def _read(self, ordinal: int) -> "tuple[int, int, int, int] | None":
+        base = (ordinal % self.capacity) * self._FIELDS
+        cells = self._cells
+        with self._lock:
+            if cells[base + self._TAG] != ordinal:
+                return None
+            return (
+                int(cells[base + self._SCHEDULE]),
+                int(cells[base + self._CHUNK]),
+                int(cells[base + self._FLAGS]),
+                int(cells[base + self._INVOCATION]),
+            )
+
+
+class TunePlanSlot:
+    """Handle to one :class:`TunePlanArena` slot, bound to a loop ordinal."""
+
+    __slots__ = ("arena", "ordinal")
+
+    #: seconds between polls while waiting for the master's plan.
+    POLL_INTERVAL = 0.0002
+
+    def __init__(self, arena: TunePlanArena, ordinal: int) -> None:
+        self.arena = arena
+        self.ordinal = ordinal
+
+    def publish(self, plan: "tuple[int, int, int, int]") -> None:
+        """Publish the master's ``(schedule, chunk, flags, invocation)`` plan."""
+        self.arena._publish(self.ordinal, plan)
+
+    def read(self, timeout: float = BARRIER_TIMEOUT) -> "tuple[int, int, int, int]":
+        """Wait for and return the published plan (worker side)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            plan = self.arena._read(self.ordinal)
+            if plan is not None:
+                return plan
+            if time.monotonic() > deadline:
+                raise BrokenBarrierError(
+                    f"timed out waiting for the tune plan of loop ordinal {self.ordinal} "
+                    "(the master never published; did it fail before the loop?)"
+                )
+            time.sleep(self.POLL_INTERVAL)
+
+
 class ProcessDynamicState:
     """Process-safe twin of the dynamic scheduler's shared claim counter.
 
@@ -628,11 +725,14 @@ class ProcessSync:
     ``pooled`` records whether the region runs on the persistent worker pool
     (picklable SPMD body) or on per-region forked workers (arbitrary
     closures, shipped by address-space inheritance).  ``steal`` carries the
-    pre-allocated work-stealing deck pool used by ``taskloop`` (``None`` only
-    for legacy constructions; the backend always provides one).
+    pre-allocated work-stealing deck pool used by ``taskloop``; ``tune``
+    carries the plan-publication arena used by ``schedule="auto"`` loops
+    (either may be ``None`` only for legacy constructions; the backend always
+    provides both).
     """
 
     barrier: SharedBarrier
     arena: SyncArena
     pooled: bool = False
     steal: "TaskStealArena | None" = None
+    tune: "TunePlanArena | None" = None

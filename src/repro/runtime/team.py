@@ -88,6 +88,16 @@ class Team:
             return None
         return self.process_sync.arena.slot(ordinal)
 
+    def proc_tune_slot(self, ordinal: int) -> "shm.TunePlanSlot | None":
+        """Cross-process tune-plan slot for the ``ordinal``-th workshared loop.
+
+        ``None`` for in-process teams (which agree on a plan through
+        :meth:`shared_slot`) and for legacy process syncs without a tune arena.
+        """
+        if self.process_sync is None or self.process_sync.tune is None:
+            return None
+        return self.process_sync.tune.slot(ordinal)
+
     # -- synchronisation ----------------------------------------------------
 
     def barrier(self, *, label: str | None = None) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import threading
 from enum import Enum
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 
 class EventKind(str, Enum):
@@ -42,6 +42,7 @@ class EventKind(str, Enum):
     TASK_STEAL = "task_steal"        # a member executed a task stolen from another member's deque
     TASK_COMPLETE = "task_complete"
     PHASE_WORK = "phase_work"        # generic replicated (non-loop) work performed by a member
+    TUNE_DECISION = "tune_decision"  # the adaptive tuner picked a schedule for a loop invocation
 
 
 #: ``region`` value of events recorded outside any parallel region (e.g. the
@@ -240,6 +241,18 @@ class TraceRecorder:
             seen.setdefault(event.data.get("loop", "<anonymous>"), None)
         return list(seen)
 
+    def tune_decisions(self, region: int | None = None) -> list[TraceEvent]:
+        """``TUNE_DECISION`` events (emitted by the adaptive scheduler)."""
+        return self.events(EventKind.TUNE_DECISION, region)
+
+    def to_dicts(self, kind: EventKind | None = None, region: int | None = None) -> list[dict]:
+        """Snapshot the recorded events as JSON-serialisable dicts.
+
+        The inverse of :func:`events_from_dicts`; used to dump a trace to disk
+        for offline tooling (``scripts/trace2chrome.py``).
+        """
+        return [event_to_dict(event) for event in self.events(kind, region)]
+
 
 _global_recorder: TraceRecorder | None = None
 _global_lock = threading.Lock()
@@ -266,6 +279,31 @@ def set_global_recorder(recorder: TraceRecorder | None) -> TraceRecorder | None:
         previous, _global_recorder = _global_recorder, recorder
         _global_active = recorder is not None
     return previous
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """One event as a JSON-serialisable dict (see :meth:`TraceRecorder.to_dicts`)."""
+    return {
+        "kind": event.kind.value,
+        "region": event.region,
+        "thread_id": event.thread_id,
+        "seq": event.seq,
+        "data": dict(event.data),
+    }
+
+
+def events_from_dicts(dicts: Iterable[Mapping]) -> list[TraceEvent]:
+    """Rebuild :class:`TraceEvent` objects from a :meth:`TraceRecorder.to_dicts` dump."""
+    return [
+        TraceEvent(
+            EventKind(item["kind"]),
+            int(item["region"]),
+            int(item["thread_id"]),
+            int(item.get("seq", index)),
+            dict(item.get("data") or {}) or None,
+        )
+        for index, item in enumerate(dicts)
+    ]
 
 
 def merge_traces(traces: Iterable[TraceRecorder]) -> list[TraceEvent]:

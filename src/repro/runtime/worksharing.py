@@ -43,6 +43,7 @@ from repro.runtime.scheduler import (
     Schedule,
     cached_partition,
     make_scheduler,
+    parse_schedule_spec,
     partition_chunk_count,
 )
 from repro.runtime.trace import EventKind, NO_REGION, TraceRecorder, get_global_recorder, global_tracing_active
@@ -81,7 +82,7 @@ def run_for(
     end: int,
     step: int,
     *args: Any,
-    schedule: "str | Schedule" = Schedule.STATIC_BLOCK,
+    schedule: "str | Schedule | None" = None,
     chunk: int = 1,
     loop_name: str | None = None,
     ordered: bool = False,
@@ -100,7 +101,12 @@ def run_for(
         The full loop range as passed by the caller of the for method.
     schedule, chunk:
         Loop schedule and chunk size (``chunk`` applies to cyclic, dynamic and
-        guided schedules).
+        guided schedules).  ``None`` uses the configured default
+        (``AOMP_SCHEDULE``); OpenMP-style ``"kind,chunk"`` specs are accepted.
+        ``"auto"`` defers the choice to the adaptive tuner (:mod:`repro.tune`):
+        each invocation runs a concrete schedule the tuner picked for this
+        loop site — or the serial fallback when the loop is too small to
+        amortise team spin-up — and the measured wall time feeds the search.
     loop_name:
         Name recorded in trace events; defaults to ``body.__name__``.
     ordered:
@@ -122,7 +128,11 @@ def run_for(
 
     team = context.team
     name = loop_name or getattr(body, "__name__", "<loop>")
-    parsed = Schedule.parse(schedule)
+    parsed, spec_chunk = parse_schedule_spec(
+        schedule if schedule is not None else get_config().default_schedule
+    )
+    if spec_chunk is not None and chunk == 1:
+        chunk = spec_chunk
     # Claimed unconditionally so the ordinal stays aligned across members and
     # across schedule kinds (the body is SPMD: every member sees the same
     # loops in the same order).
@@ -143,45 +153,25 @@ def run_for(
         previous_ordered = install_ordered_region(ordered_region)
 
     result: Any = None
+    barrier_done = False
     try:
-        if parsed is Schedule.GUIDED:
-            scheduler = make_scheduler(parsed, chunk=chunk)
-            if (slot := team.proc_loop_slot(ordinal)) is not None:
-                total = LoopChunk(start, end, step).count
-                state = ProcessGuidedState(slot, total, scheduler.min_chunk, team.size)
-            else:
-                loop_key = _loop_encounter_key(name)
-                state = team.shared_slot(
-                    loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
-                )
-            result = _run_guided(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
-        elif parsed is Schedule.DYNAMIC:
-            scheduler = make_scheduler(parsed, chunk=chunk)
-            if (slot := team.proc_loop_slot(ordinal)) is not None:
-                total = LoopChunk(start, end, step).count
-                total_chunks = (total + scheduler.chunk - 1) // scheduler.chunk
-                state = ProcessDynamicState(slot, total_chunks, team.size)
-            else:
-                loop_key = _loop_encounter_key(name)
-                state = team.shared_slot(
-                    loop_key, lambda: scheduler.new_state(start, end, step, team.size)
-                )
-            result = _run_dynamic(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
+        if parsed is Schedule.AUTO:
+            # The auto path runs the implicit barrier itself, *inside* its
+            # measurement window: the master's wall time then approximates
+            # the loop phase makespan, which is what the tuner compares.
+            result = _run_auto(
+                body, start, end, step, args, kwargs, context, team, name, ordinal, nowait, weight
+            )
+            barrier_done = not nowait
         else:
-            result = _run_chunk_list(
-                body,
-                _static_chunks(parsed, chunk, team.size, context.thread_id, start, end, step),
-                args,
-                kwargs,
-                team,
-                name,
-                weight,
+            result = _dispatch_schedule(
+                body, parsed, chunk, start, end, step, args, kwargs, context, team, name, ordinal, weight
             )
     finally:
         if ordered:
             install_ordered_region(previous_ordered)
 
-    if not nowait:
+    if not nowait and not barrier_done:
         team.barrier(label=f"for:{name}")
     return result
 
@@ -189,6 +179,159 @@ def run_for(
 # ---------------------------------------------------------------------------
 # execution paths
 # ---------------------------------------------------------------------------
+
+
+def _dispatch_schedule(
+    body: Callable[..., Any],
+    parsed: Schedule,
+    chunk: int,
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    kwargs: dict,
+    context: "ctx.ExecutionContext",
+    team,
+    name: str,
+    ordinal: int,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """Execute this member's share of the loop under a *concrete* schedule.
+
+    Shared by the normal ``run_for`` path and the adaptive (``auto``) path,
+    which calls it with whatever schedule the tuner decided for this
+    invocation.
+    """
+    if parsed is Schedule.GUIDED:
+        scheduler = make_scheduler(parsed, chunk=chunk)
+        if (slot := team.proc_loop_slot(ordinal)) is not None:
+            total = LoopChunk(start, end, step).count
+            state = ProcessGuidedState(slot, total, scheduler.min_chunk, team.size)
+        else:
+            loop_key = _loop_encounter_key(name)
+            state = team.shared_slot(
+                loop_key, lambda: scheduler.new_guided_state(start, end, step, team.size)
+            )
+        return _run_guided(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
+    if parsed is Schedule.DYNAMIC:
+        scheduler = make_scheduler(parsed, chunk=chunk)
+        if (slot := team.proc_loop_slot(ordinal)) is not None:
+            total = LoopChunk(start, end, step).count
+            total_chunks = (total + scheduler.chunk - 1) // scheduler.chunk
+            state = ProcessDynamicState(slot, total_chunks, team.size)
+        else:
+            loop_key = _loop_encounter_key(name)
+            state = team.shared_slot(
+                loop_key, lambda: scheduler.new_state(start, end, step, team.size)
+            )
+        return _run_dynamic(body, scheduler, state, start, end, step, args, kwargs, team, name, weight)
+    return _run_chunk_list(
+        body,
+        _static_chunks(parsed, chunk, team.size, context.thread_id, start, end, step),
+        args,
+        kwargs,
+        team,
+        name,
+        weight,
+    )
+
+
+def _run_auto(
+    body: Callable[..., Any],
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    kwargs: dict,
+    context: "ctx.ExecutionContext",
+    team,
+    name: str,
+    ordinal: int,
+    nowait: bool,
+    weight: Callable[[int], float] | None,
+) -> Any:
+    """One invocation of an adaptively scheduled loop.
+
+    Every member must execute the *same* concrete schedule, so the decision
+    is agreed on before dispatch: in-process teams share the tuner's ticket
+    through a team slot (first arriver asks the tuner); process teams cannot
+    share the ticket object, so the master — whose process hosts the
+    authoritative tuner — publishes the encoded plan through the shm
+    plan-publication arena and workers wait for it.
+
+    The master measures wall time from its dispatch start to the far side of
+    the implicit barrier (≈ the loop phase makespan) and feeds it back to the
+    tuner, recording the acted-on decision as a ``TUNE_DECISION`` event.
+    """
+    # Imported here, not at module level: repro.tune imports runtime modules
+    # (config, scheduler), so a module-level import would make
+    # ``import repro.tune`` as the first repro import a circular-import crash.
+    from repro.tune.tuner import Candidate, get_tuner
+
+    total = LoopChunk(start, end, step).count
+    thread_id = context.thread_id
+    ticket = None
+    ticket_key = None
+    if (slot := team.proc_tune_slot(ordinal)) is not None:
+        if thread_id == 0:
+            ticket = get_tuner().begin_invocation(name, total, team.size)
+            code, size, flags = ticket.encode()
+            slot.publish((code, size, flags, ticket.invocation))
+            candidate = ticket.candidate
+        else:
+            code, size, flags, _invocation = slot.read()
+            candidate = Candidate.decode(code, size, flags)
+    else:
+        ticket_key = _loop_encounter_key(f"{name}#auto")
+        ticket = team.shared_slot(
+            ticket_key,
+            lambda: get_tuner().begin_invocation(name, total, team.size),
+        )
+        candidate = ticket.candidate
+
+    began = time.perf_counter()
+    result: Any = None
+    if candidate.serial:
+        # Serial fallback: the loop is too small to amortise team spin-up —
+        # the master executes the untouched range, everyone else falls
+        # through to the barrier.
+        if thread_id == 0:
+            result = _run_chunk_list(
+                body, (LoopChunk(start, end, step),), args, kwargs, team, name, weight
+            )
+    else:
+        result = _dispatch_schedule(
+            body,
+            candidate.schedule,
+            candidate.chunk,
+            start,
+            end,
+            step,
+            args,
+            kwargs,
+            context,
+            team,
+            name,
+            ordinal,
+            weight,
+        )
+    if not nowait:
+        team.barrier(label=f"for:{name}")
+    elapsed = time.perf_counter() - began
+
+    if ticket is not None and thread_id == 0:
+        payload = get_tuner().observe(ticket, elapsed)
+        if team.tracing:
+            team.record(EventKind.TUNE_DECISION, **payload)
+        if ticket_key is not None and not nowait:
+            # Each invocation has its own slot key; after the implicit
+            # barrier every member has long since fetched the ticket, so the
+            # master can drop it — otherwise a long-lived region running an
+            # auto loop in a while-loop grows team._shared without bound.
+            # (nowait loops keep the slot: a slow member may not have
+            # fetched it yet, and re-creating it would double-decide.)
+            team.drop_slot(ticket_key)
+    return result
 
 
 def _run_sequential(

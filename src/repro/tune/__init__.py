@@ -1,0 +1,40 @@
+"""Adaptive scheduling: the ``schedule="auto"`` tuner subsystem.
+
+See :mod:`repro.tune.tuner` for the search/convergence model and
+:mod:`repro.tune.cache` for the persistent decision cache
+(``AOMP_TUNE_CACHE``).
+"""
+
+from repro.tune.cache import SCHEMA_VERSION, load_cache, save_cache
+from repro.tune.tuner import (
+    Candidate,
+    LoopTuner,
+    SiteKey,
+    TuneSite,
+    TuneTicket,
+    TunerConfig,
+    candidates_for,
+    get_tuner,
+    reset_tuner,
+    set_tuner,
+    trip_bucket,
+    tuner_override,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_cache",
+    "save_cache",
+    "Candidate",
+    "LoopTuner",
+    "SiteKey",
+    "TuneSite",
+    "TuneTicket",
+    "TunerConfig",
+    "candidates_for",
+    "get_tuner",
+    "reset_tuner",
+    "set_tuner",
+    "trip_bucket",
+    "tuner_override",
+]

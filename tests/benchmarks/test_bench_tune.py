@@ -1,0 +1,61 @@
+"""Tier-1 smoke test: the tune benchmark runs end-to-end and its JSON is schema-valid."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema_version"] == 1
+    assert payload["generated_by"] == "benchmarks/bench_tune.py"
+    assert payload["mode"] in ("smoke", "quick", "full")
+    assert payload["tracing"] is False
+    metrics = payload["metrics"]
+
+    assert set(metrics["workloads"]) == {"uniform", "triangular", "random"}
+    for name, workload in metrics["workloads"].items():
+        assert workload["iterations"] >= 1, name
+        assert workload["static_seconds"], name
+        assert all(value > 0 for value in workload["static_seconds"].values()), name
+        assert workload["best_static"]["seconds"] <= workload["worst_static"]["seconds"], name
+        auto = workload["auto"]
+        assert auto["seconds"] > 0, name
+        assert auto["converged"] is True, name
+        assert auto["invocations_to_converge"] >= 1, name
+        assert workload["auto_vs_best_ratio"] > 0, name
+
+    cache = metrics["cache"]
+    assert cache["cache_file_written"] is True
+    assert cache["cold_invocations"] >= 1
+    # The headline persistence property: a warmed tuner reconverges in <= 2.
+    assert cache["warm_invocations"] <= 2
+
+    targets = metrics["targets"]
+    assert set(targets) == {
+        "uniform_within_10pct",
+        "triangular_within_10pct",
+        "random_speedup_vs_worst",
+        "random_target_met",
+        "cache_warm_within_2_invocations",
+    }
+    assert targets["cache_warm_within_2_invocations"] is True
+
+
+def test_benchmark_runs_and_emits_schema_valid_json(tmp_path):
+    output = tmp_path / "BENCH_tune.json"
+    result = subprocess.run(
+        [sys.executable, "benchmarks/bench_tune.py", "--mode", "smoke", "--json", "--output", str(output)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, f"benchmark failed:\n{result.stderr}"
+    _validate_payload(json.loads(result.stdout))
+    _validate_payload(json.loads(output.read_text()))

@@ -9,6 +9,7 @@ from repro.runtime.config import RuntimeConfig, set_config
 from repro.runtime.locks import global_locks
 from repro.runtime.threadlocal import global_thread_locals
 from repro.runtime.trace import TraceRecorder, set_global_recorder
+from repro.tune import reset_tuner
 
 
 @pytest.fixture(autouse=True)
@@ -20,13 +21,15 @@ def _clean_runtime_state():
     """
     previous_backend = set_backend(ThreadBackend())
     previous_recorder = set_global_recorder(None)
-    set_config(RuntimeConfig(num_threads=4, tracing=True))
+    set_config(RuntimeConfig(num_threads=4, tracing=True, default_schedule="static_block", tune_cache=None))
     global_locks.clear()
+    reset_tuner()
     yield
     set_backend(previous_backend)
     set_global_recorder(previous_recorder)
     set_config(RuntimeConfig())
     global_locks.clear()
+    reset_tuner()
     # The thread-local store is keyed by object identity; dropping references
     # is enough, but clear defensively to keep memory bounded across the run.
     global_thread_locals._values.clear()  # noqa: SLF001 - test-only cleanup

@@ -63,6 +63,72 @@ class TestAllBenchmarks:
         assert recorder.events(EventKind.CHUNK)
 
 
+class TestAdaptiveScheduleDrivers:
+    """``schedule="auto"`` modes of the sor/sparse/moldyn drivers.
+
+    The adaptive tuner may run any candidate (including the serial fallback)
+    on any invocation, so these are the strongest semantics checks the drivers
+    have: whatever it picks, results must match sequential — on every
+    backend.  (Kernels that need a shared heap are routed to the process
+    backend's thread fallback by the weaver, exactly like their default
+    parallelisations.)
+    """
+
+    BENCH_NAMES = ("SOR", "Sparse", "MolDyn")
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    @pytest.mark.parametrize("backend_name", ("serial", "threads", "processes"))
+    def test_auto_matches_sequential_on_every_backend(self, name, backend_name):
+        from repro.runtime.backend import backend_by_name, set_backend
+
+        module = BENCHMARKS[name]
+        sequential = module.run_sequential("tiny")
+        previous = set_backend(backend_by_name(backend_name))
+        try:
+            auto = module.run_aomp("tiny", num_threads=3, schedule="auto")
+        finally:
+            set_backend(previous)
+        assert sequential.validates_against(auto, TOLERANCE)
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_auto_single_thread_matches_sequential(self, name):
+        module = BENCHMARKS[name]
+        sequential = module.run_sequential("tiny")
+        auto = module.run_aomp("tiny", num_threads=1, schedule="auto")
+        assert sequential.validates_against(auto, TOLERANCE)
+
+    @pytest.mark.parametrize("name", BENCH_NAMES)
+    def test_auto_records_tune_decisions(self, name):
+        recorder = TraceRecorder()
+        BENCHMARKS[name].run_aomp("tiny", num_threads=3, recorder=recorder, schedule="auto")
+        decisions = recorder.events(EventKind.TUNE_DECISION)
+        assert decisions
+        assert all(e.data["schedule"] for e in decisions)
+
+    def test_sparse_row_loop_matches_nonzero_loop(self):
+        """The row-range for method computes exactly what multiply_range does."""
+        from repro.jgf.sparse.kernel import SparseMatmult
+
+        by_nonzeros = SparseMatmult(64, 320, iterations=3)
+        by_rows = SparseMatmult(64, 320, iterations=3)
+        value_nz = by_nonzeros.run()
+        value_rows = by_rows.run_rows()
+        assert value_rows == pytest.approx(value_nz, abs=1e-12)
+        assert np.allclose(by_rows.y, by_nonzeros.y)
+
+    def test_sparse_row_pointers_cover_all_nonzeros(self):
+        from repro.jgf.sparse.kernel import SparseMatmult
+
+        kernel = SparseMatmult(64, 320)
+        assert kernel.row_ptr[0] == 0
+        assert kernel.row_ptr[-1] == kernel.nz
+        assert all(
+            int(kernel.row[k]) == r
+            for r in range(kernel.n)
+            for k in range(int(kernel.row_ptr[r]), int(kernel.row_ptr[r + 1]))
+        )
+
+
 class TestTaskloopDrivers:
     """The irregular case studies ported to taskloop (work-stealing tasks)."""
 

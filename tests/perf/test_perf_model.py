@@ -324,6 +324,57 @@ class TestTaskEventsInModel:
         assert 1.0 <= estimate.speedup <= 4.0 + 1e-9
 
 
+class TestTuneEventsInModel:
+    """TUNE_DECISION events are instant markers: replayed, never priced."""
+
+    def _machine(self):
+        return MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)
+
+    def test_tune_decisions_add_no_cost(self):
+        recorder = TraceRecorder()
+        region = recorder.new_region_id()
+        recorder.record(EventKind.REGION_BEGIN, region, 0, name="r", size=2)
+        recorder.record(
+            EventKind.TUNE_DECISION,
+            region,
+            0,
+            loop="work",
+            schedule="dynamic",
+            chunk=4,
+            serial=False,
+            invocation=3,
+            elapsed=0.01,
+            converged=True,
+        )
+        recorder.record(EventKind.CHUNK, region, 0, loop="work", start=0, end=10, step=1, count=10)
+        recorder.record(EventKind.REGION_END, region, 0, name="r")
+
+        cost_model = CostModel(loops={"work": LoopCost(seconds_per_unit=1e-3)})
+        estimate = MakespanModel(cost_model, self._machine()).estimate(recorder, 2, name="tuned")
+        assert estimate.makespan == pytest.approx(10 * 1e-3)
+        assert estimate.sequential_time == pytest.approx(10 * 1e-3)
+
+    def test_adaptive_trace_replays_end_to_end(self):
+        """A real schedule="auto" run replays like any workshared trace."""
+        recorder = TraceRecorder()
+
+        def loop(start, end, step):
+            pass
+
+        def body():
+            for _ in range(3):
+                run_for(loop, 0, 64, 1, schedule="auto", loop_name="work")
+
+        parallel_region(body, num_threads=2, recorder=recorder)
+        assert recorder.tune_decisions()
+
+        cost_model = CostModel(loops={"work": LoopCost(seconds_per_unit=1e-3)})
+        estimate = MakespanModel(cost_model, self._machine()).estimate(recorder, 2, name="auto")
+        # Three invocations of 64 unit-cost iterations, however scheduled.
+        assert estimate.sequential_time == pytest.approx(3 * 64 * 1e-3)
+        assert 1.0 <= estimate.speedup <= 2.0 + 1e-9
+
+
 class TestAnalyticScenario:
     def test_balanced_scenario(self):
         machine = MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)

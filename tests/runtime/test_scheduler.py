@@ -96,6 +96,34 @@ class TestSchedule:
         assert isinstance(make_scheduler("dynamic"), DynamicScheduler)
         assert isinstance(make_scheduler("guided"), GuidedScheduler)
 
+    @pytest.mark.parametrize("alias", ["auto", "AUTO", "adaptive"])
+    def test_parse_auto_aliases(self, alias):
+        assert Schedule.parse(alias) is Schedule.AUTO
+
+    def test_make_scheduler_auto_raises_pointed_error(self):
+        """'auto' has no standalone scheduler; the error must say where it lives."""
+        with pytest.raises(SchedulingError) as excinfo:
+            make_scheduler("auto")
+        message = str(excinfo.value)
+        assert "auto" in message
+        assert "tuner" in message
+        # Every concrete alternative is named so the fix is self-evident.
+        for member in Schedule:
+            if member is not Schedule.AUTO:
+                assert member.value in message
+
+    def test_parse_schedule_spec_with_chunk(self):
+        from repro.runtime.scheduler import parse_schedule_spec
+
+        assert parse_schedule_spec("dynamic,4") == (Schedule.DYNAMIC, 4)
+        assert parse_schedule_spec("guided") == (Schedule.GUIDED, None)
+        assert parse_schedule_spec("auto") == (Schedule.AUTO, None)
+        assert parse_schedule_spec(Schedule.STATIC_CYCLIC) == (Schedule.STATIC_CYCLIC, None)
+        with pytest.raises(SchedulingError):
+            parse_schedule_spec("dynamic,zero")
+        with pytest.raises(SchedulingError):
+            parse_schedule_spec("dynamic,0")
+
 
 class TestStaticBlock:
     def test_even_split(self):

@@ -456,6 +456,226 @@ def test_ordered_loop_rejected_on_process_team():
     assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
 
 
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+class TestAutoScheduleConformance:
+    """``schedule="auto"`` must stay correct on every backend while it tunes.
+
+    Whatever candidate the tuner picks per invocation (including the serial
+    fallback), every iteration executes exactly once and loops stay
+    barrier-separated — on in-process teams (ticket shared through a team
+    slot) and process teams (plan published through the shm tune arena).
+    """
+
+    def test_every_iteration_executed_exactly_once_across_invocations(self, backend_name):
+        invocations = 8
+        with shm.SharedArray.zeros(101, np.int64) as counts:
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    counts[i] += 1
+
+            def body():
+                for _ in range(invocations):
+                    run_for(loop, 0, 101, 1, schedule="auto")
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            assert counts.np.tolist() == [invocations] * 101
+
+    def test_auto_loops_are_barrier_separated(self, backend_name):
+        n = 24
+        with shm.SharedArray.zeros(n, np.int64) as first, shm.SharedArray.zeros(n, np.int64) as second:
+
+            def produce(start, end, step):
+                for i in range(start, end, step):
+                    first[i] = i + 1
+
+            def consume(start, end, step):
+                total = int(first.np.sum())  # must observe every produce write
+                for i in range(start, end, step):
+                    second[i] = total
+
+            def body():
+                run_for(produce, 0, n, 1, schedule="auto")
+                run_for(consume, 0, n, 1, schedule="auto")
+
+            parallel_region(body, num_threads=4, backend=backend_name)
+            expected_total = sum(range(1, n + 1))
+            assert second.np.tolist() == [expected_total] * n
+
+
+class TestAutoScheduleTuning:
+    """Tuner integration details that need an in-process team to observe."""
+
+    def _forced_serial_tuner(self):
+        """A tuner whose serial cutoff is huge: every probe converges serial."""
+        from repro.tune import LoopTuner, TunerConfig
+
+        return LoopTuner(TunerConfig(serial_margin=1e9), cache_path=None)
+
+    def test_serial_fallback_runs_on_the_master_only(self):
+        from repro.tune import tuner_override
+
+        n = 12
+        with shm.SharedArray.zeros(n, np.int64) as owner, shm.SharedArray.zeros(n, np.int64) as counts:
+            owner.np[:] = -1
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    owner[i] = ctx.get_thread_id()
+                    counts[i] += 1
+
+            def body():
+                for _ in range(3):
+                    run_for(loop, 0, n, 1, schedule="auto")
+
+            with tuner_override(self._forced_serial_tuner()) as tuner:
+                parallel_region(body, num_threads=4, backend="threads")
+                site = tuner.sites()[0]
+            # Invocation 1 probes static_block; from invocation 2 on the site
+            # is converged serial, so the master owns every iteration.
+            assert site.converged and site.choice.serial
+            assert counts.np.tolist() == [3] * n
+            assert owner.np.tolist() == [0] * n
+
+    def test_tune_decisions_recorded_in_trace(self, recorder):
+        def loop(start, end, step):
+            pass
+
+        def body():
+            for _ in range(4):
+                run_for(loop, 0, 64, 1, schedule="auto", loop_name="tuned")
+
+        parallel_region(body, num_threads=2)
+        decisions = recorder.tune_decisions()
+        assert len(decisions) == 4
+        assert {e.data["loop"] for e in decisions} == {"tuned"}
+        assert [e.data["invocation"] for e in decisions] == [1, 2, 3, 4]
+        # Decisions are recorded by the observing master only.
+        assert {e.thread_id for e in decisions} == {0}
+        for event in decisions:
+            assert event.data["schedule"] in (
+                "serial",
+                "static_block",
+                "static_cyclic",
+                "dynamic",
+                "guided",
+            )
+            assert event.data["elapsed"] >= 0.0
+
+    def test_auto_converges_toward_best_candidate_under_synthetic_load(self):
+        """End-to-end: a triangular sleep loop converges off the master's
+        real measurements (any non-serial balanced candidate is acceptable)."""
+        import time as _time
+
+        from repro.tune import tuner_override, LoopTuner, TunerConfig
+
+        n = 16
+
+        def tri(start, end, step):
+            for i in range(start, end, step):
+                _time.sleep(0.002 * (n - i) / n)
+
+        def body():
+            for _ in range(14):
+                run_for(tri, 0, n, 1, schedule="auto", loop_name="tri")
+
+        with tuner_override(LoopTuner(TunerConfig(), cache_path=None)) as tuner:
+            parallel_region(body, num_threads=4, backend="threads")
+            site = tuner.sites()[0]
+        assert site.converged
+        assert not site.choice.serial
+
+    def test_auto_outside_any_region_runs_sequentially(self):
+        executed = []
+
+        def loop(start, end, step):
+            executed.extend(range(start, end, step))
+
+        run_for(loop, 0, 10, 1, schedule="auto")
+        assert executed == list(range(10))
+
+    def test_default_schedule_spec_from_config(self):
+        """run_for without schedule= honours AOMP_SCHEDULE-style config specs."""
+        from repro.runtime.config import config_override
+
+        spans = []
+        lock = threading.Lock()
+
+        def loop(start, end, step):
+            with lock:
+                spans.append((start, end))
+
+        def body():
+            run_for(loop, 0, 20, 1)
+
+        with config_override(default_schedule="dynamic,5"):
+            parallel_region(body, num_threads=2)
+        assert sorted(spans) == [(0, 5), (5, 10), (10, 15), (15, 20)]
+
+
+def test_thread_local_field_rejected_on_process_team():
+    """Per-thread copies silently vanish in workers; fail loudly instead."""
+    from repro.core.aspects.data import ThreadLocalFieldAspect
+    from repro.runtime.exceptions import BrokenTeamError
+
+    class Holder:
+        pass
+
+    aspect = ThreadLocalFieldAspect("value", classes=[Holder])
+    undo = aspect.apply(Holder)
+    try:
+        holder = Holder()
+        holder.value = 1.25  # outside a region: the shared slot
+
+        def body():
+            return holder.value
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=2, backend="processes")
+        assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
+        # Thread teams (and teams of one) still honour the construct.
+        assert parallel_region(body, num_threads=2, backend="threads") == 1.25
+        assert parallel_region(body, num_threads=1, backend="processes") == 1.25
+    finally:
+        undo()
+
+
+def test_reduce_rejected_on_process_team():
+    from repro.core import ReduceAspect, ThreadLocalFieldAspect, Weaver, call
+    from repro.runtime.exceptions import BrokenTeamError
+    from repro.runtime.threadlocal import CallableReducer
+
+    class Accumulator:
+        def __init__(self):
+            self.total = 0.0
+
+        def work(self):
+            self.total = self.total + 1.0
+
+    field_aspect = ThreadLocalFieldAspect("total", classes=[Accumulator])
+    reduce_aspect = ReduceAspect(
+        call("Accumulator.work"),
+        field_aspect=field_aspect,
+        reducer=CallableReducer(lambda a, b: a + b),
+        include_shared=False,
+    )
+    weaver = Weaver()
+    weaver.weave(field_aspect, Accumulator)
+    weaver.weave(reduce_aspect, Accumulator)
+    try:
+        accumulator = Accumulator()
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(accumulator.work, num_threads=2, backend="processes")
+        assert isinstance(excinfo.value.__cause__, BackendCapabilityError)
+
+        # The same woven program reduces correctly on a thread team.
+        parallel_region(accumulator.work, num_threads=2, backend="threads")
+        assert accumulator.total == 2.0
+    finally:
+        weaver.unweave_all()
+
+
 def test_multiple_loops_in_one_region():
     order = []
     lock = threading.Lock()

@@ -1,0 +1,107 @@
+"""Chrome trace-viewer export: mapping, synthetic timeline, CLI round-trip."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import trace2chrome  # noqa: E402
+
+from repro.runtime.team import parallel_region  # noqa: E402
+from repro.runtime.trace import (  # noqa: E402
+    EventKind,
+    TraceRecorder,
+    events_from_dicts,
+)
+from repro.runtime.worksharing import run_for  # noqa: E402
+
+
+@pytest.fixture
+def traced_run(recorder: TraceRecorder):
+    """A small traced region: chunks, barriers and tune decisions."""
+
+    def loop(start, end, step):
+        for _ in range(start, end, step):
+            pass
+
+    def body():
+        run_for(loop, 0, 32, 1, schedule="staticBlock", loop_name="work")
+        run_for(loop, 0, 32, 1, schedule="auto", loop_name="tuned")
+
+    parallel_region(body, num_threads=2)
+    return recorder
+
+
+def test_event_dict_roundtrip(traced_run):
+    dumped = traced_run.to_dicts()
+    rebuilt = events_from_dicts(dumped)
+    assert [e.kind for e in rebuilt] == [e.kind for e in traced_run.events()]
+    assert [e.data for e in rebuilt] == [e.data for e in traced_run.events()]
+
+
+def test_chunks_become_duration_events(traced_run):
+    document = trace2chrome.events_to_chrome(traced_run.events())
+    chunks = [e for e in document["traceEvents"] if e.get("cat") == "chunk"]
+    assert chunks
+    for slice_ in chunks:
+        assert slice_["ph"] == "X"
+        assert slice_["dur"] >= 0.0
+        assert "loop" in slice_["args"]
+
+
+def test_tune_decisions_become_instant_events(traced_run):
+    document = trace2chrome.events_to_chrome(traced_run.events())
+    decisions = [e for e in document["traceEvents"] if e.get("cat") == "tune_decision"]
+    assert len(decisions) == 1
+    event = decisions[0]
+    assert event["ph"] == "i"
+    assert event["args"]["loop"] == "tuned"
+    assert event["args"]["schedule"] in ("serial", "static_block", "static_cyclic", "dynamic", "guided")
+    assert "tune: tuned ->" in event["name"]
+
+
+def test_barriers_and_steals_become_instant_events(traced_run):
+    document = trace2chrome.events_to_chrome(traced_run.events())
+    barriers = [e for e in document["traceEvents"] if e.get("cat") == "barrier"]
+    assert barriers
+    assert all(e["ph"] == "i" for e in barriers)
+
+
+def test_synthetic_timeline_is_monotone_per_lane(traced_run):
+    document = trace2chrome.events_to_chrome(traced_run.events())
+    by_lane: dict[tuple, list] = {}
+    for event in document["traceEvents"]:
+        if event["ph"] in ("X", "i"):
+            by_lane.setdefault((event["pid"], event["tid"]), []).append(event["ts"])
+    for lane, stamps in by_lane.items():
+        assert stamps == sorted(stamps), lane
+
+
+def test_task_events_map_to_steal_markers(recorder):
+    recorder.record(EventKind.TASK_SPAWN, 0, 0, count=4)
+    recorder.record(EventKind.TASK_STEAL, 0, 1, victim=0, count=1)
+    document = trace2chrome.events_to_chrome(recorder.events())
+    categories = {e.get("cat") for e in document["traceEvents"]}
+    assert {"task_spawn", "task_steal"} <= categories
+    steal = next(e for e in document["traceEvents"] if e.get("cat") == "task_steal")
+    assert steal["ph"] == "i"
+    assert steal["args"] == {"victim": 0, "count": 1}
+
+
+def test_cli_roundtrip(tmp_path, traced_run):
+    dump = tmp_path / "trace.json"
+    dump.write_text(json.dumps(traced_run.to_dicts()))
+    output = tmp_path / "chrome.json"
+    assert trace2chrome.main([str(dump), str(output)]) == 0
+    document = json.loads(output.read_text())
+    assert document["traceEvents"]
+    assert document["otherData"]["generated_by"] == "scripts/trace2chrome.py"
+    # Default output naming: <input>.chrome.json
+    assert trace2chrome.main([str(dump)]) == 0
+    assert (tmp_path / "trace.chrome.json").exists()
