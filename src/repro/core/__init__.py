@@ -34,6 +34,7 @@ from repro.core.aspects import (
     MethodAspect,
     NestedParallelRegions,
     OrderedAspect,
+    SectionAspect,
     ParallelFor,
     ParallelRegion,
     ReadersWriterAspect,
@@ -82,6 +83,7 @@ __all__ = [
     "ForGuided",
     "AdaptiveSchedule",
     "OrderedAspect",
+    "SectionAspect",
     "CriticalAspect",
     "BarrierBeforeAspect",
     "BarrierAfterAspect",

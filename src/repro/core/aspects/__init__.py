@@ -10,6 +10,7 @@ from repro.core.aspects.worksharing import (
     ForStatic,
     ForWorkSharing,
     OrderedAspect,
+    SectionAspect,
 )
 from repro.core.aspects.synchronization import (
     BarrierAfterAspect,
@@ -45,6 +46,7 @@ __all__ = [
     "ForGuided",
     "AdaptiveSchedule",
     "OrderedAspect",
+    "SectionAspect",
     "CriticalAspect",
     "BarrierBeforeAspect",
     "BarrierAfterAspect",

@@ -1,0 +1,193 @@
+"""MolDyn force sweep expressed as a ``sections`` construct.
+
+The paper's Figure 15 strategies all parallelise the force sweep as a
+work-shared *loop*.  This module ports the same sweep to the OpenMP
+``sections`` construct instead: the particle range is split into a fixed
+number of section bodies, each accumulating into its own private force/energy
+buffer (the JGF thread-local idea, made explicit), and the team claims whole
+sections through :func:`repro.runtime.worksharing.run_sections` — the
+first-free member takes the next section, so the triangular per-particle cost
+balances without a cyclic distribution.  A work-shared reduction then folds
+the section buffers into the kernel's force array.
+
+Because the buffers can live in :mod:`repro.runtime.shm` shared memory, the
+same driver runs unchanged (and produces the same physics) on the serial,
+thread and process backends.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.jgf.common import BenchmarkResult, resolve_size, timed
+from repro.jgf.moldyn.kernel import MolDyn
+from repro.jgf.moldyn.parallel import SIZES, _moves_for
+from repro.runtime import context as rt_ctx
+from repro.runtime import shm
+from repro.runtime.backend import Backend, resolve_backend
+from repro.runtime.scheduler import block_counts
+from repro.runtime.team import parallel_region
+from repro.runtime.worksharing import run_for, run_sections
+
+
+class SectionedMolDyn(MolDyn):
+    """MolDyn variant whose force sweep runs as per-block sections.
+
+    ``num_sections`` section bodies each cover a contiguous particle block
+    and accumulate into a private ``(n, 3)`` force buffer plus a private
+    ``(potential, virial)`` pair — no write conflict, no locks.  With
+    ``shared=True`` every mutable array lives in shared memory and the kernel
+    declares itself ``process_safe``.
+    """
+
+    def __init__(self, n_particles: int, moves: int = 2, *, num_sections: int = 4, shared: bool = False, **kwargs) -> None:
+        super().__init__(n_particles, moves=moves, **kwargs)
+        if num_sections < 1:
+            raise ValueError("need at least one section")
+        self.num_sections = num_sections
+        #: schedule for the work-shared (non-section) phases; ``None`` uses
+        #: the configured default, ``"auto"`` defers to the adaptive tuner.
+        self.spmd_schedule: "str | None" = None
+        self.shared = bool(shared)
+        self.process_safe = self.shared
+        counts = block_counts(self.n, num_sections)
+        bounds = []
+        cursor = 0
+        for count in counts:
+            bounds.append((cursor, cursor + count))
+            cursor += count
+        self.section_bounds = tuple(bounds)
+        section_forces = np.zeros((num_sections, self.n, 3), dtype=np.float64)
+        section_energy = np.zeros((num_sections, 2), dtype=np.float64)
+        if shared:
+            self.positions = shm.as_shared(self.positions)
+            self.velocities = shm.as_shared(self.velocities)
+            self.forces = shm.as_shared(self.forces)
+            self.section_forces = shm.as_shared(section_forces)
+            self.section_energy = shm.as_shared(section_energy)
+        else:
+            self.section_forces = section_forces
+            self.section_energy = section_energy
+
+    def release_shared(self) -> None:
+        """Free the shared-memory segments (no-op for in-process kernels)."""
+        if not self.shared:
+            return
+        for array in (self.positions, self.velocities, self.forces, self.section_forces, self.section_energy):
+            if shm.is_shared(array):
+                array.close()
+
+    # -- section bodies ---------------------------------------------------------
+
+    def clear_sections(self, start: int, end: int, step: int) -> None:
+        """For method: reset the accumulation buffers of sections [start, end)."""
+        for s in range(start, end, step):
+            self.section_forces[s][:] = 0.0
+            self.section_energy[s][:] = 0.0
+
+    def force_section(self, s: int) -> float:
+        """One section of the force sweep: particles of block ``s``.
+
+        Accumulates into the section's private buffers (the green code of the
+        paper's Figure 3, with the thread-private array made an explicit
+        per-section buffer); returns the section's potential energy.
+        """
+        lo, hi = self.section_bounds[s]
+        forces = self.section_forces[s]
+        energy = self.section_energy[s]
+        for i in range(lo, hi):
+            computed = self.pair_interactions(i)
+            if computed is None:
+                continue
+            j_indices, pair_forces, potential, virial = computed
+            forces[i] += pair_forces.sum(axis=0)
+            np.subtract.at(forces, j_indices, pair_forces)
+            energy += (potential, virial)
+        return float(energy[0])
+
+    def reduce_forces(self, start: int, end: int, step: int) -> None:
+        """For method: fold the section buffers into the shared force array."""
+        self.forces[start:end:step] = self.section_forces[:, start:end:step].sum(axis=0)
+
+    # -- SPMD region body -------------------------------------------------------
+
+    def run_spmd(self) -> None:
+        """SPMD region body: the timestep loop with the force sweep as sections.
+
+        Zero-argument and picklable, so the process backend can run it on its
+        persistent worker pool.  Phase order per move (each phase ends in the
+        preceding construct's implicit barrier): advance positions → clear
+        section buffers → force sections (dynamic claim) → force reduction →
+        velocity update → master energy bookkeeping.
+        """
+        n = self.n
+        schedule = self.spmd_schedule
+        for _ in range(self.moves):
+            run_for(self.advance_positions, 0, n, 1, loop_name="MolDyn.advance_positions", schedule=schedule)
+            run_for(self.clear_sections, 0, self.num_sections, 1, loop_name="MolDyn.clear_sections")
+            run_sections(
+                *[partial(self.force_section, s) for s in range(self.num_sections)],
+                name="MolDyn.force_sections",
+            )
+            run_for(self.reduce_forces, 0, n, 1, loop_name="MolDyn.reduce_forces", schedule=schedule)
+            run_for(self.update_velocities, 0, n, 1, loop_name="MolDyn.update_velocities", schedule=schedule)
+            if rt_ctx.get_thread_id() == 0:
+                # The master runs in the parent process, so these heap writes
+                # are visible to the caller's checksum() on every backend.
+                self.energy[:] = np.asarray(self.section_energy).sum(axis=0)
+                # measure_energy inlined over the ndarray view: SharedArray
+                # delegates attributes but not arithmetic dunders like **.
+                self.ekin = float(0.5 * np.sum(np.asarray(self.velocities) ** 2))
+
+
+def run_aomp_sections(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    backend: "Backend | str" = "threads",
+    *,
+    num_sections: int | None = None,
+    schedule: str | None = None,
+) -> BenchmarkResult:
+    """Run the sectioned MolDyn on ``backend`` and return the checksum result.
+
+    ``num_sections`` defaults to twice the team size, giving the dynamic
+    section claim room to balance the triangular cost profile (early
+    particle blocks interact with many more neighbours than late ones).
+    ``schedule`` overrides the work-shared phases' distribution (``"auto"``
+    defers to the adaptive tuner); the section claim itself is always
+    dynamic.
+    """
+    n = resolve_size(SIZES, size)
+    backend_obj = resolve_backend(backend)
+    sections = num_sections if num_sections is not None else max(1, 2 * num_threads)
+    kernel = SectionedMolDyn(
+        n,
+        moves=_moves_for(size),
+        num_sections=sections,
+        shared=backend_obj.is_process_based,
+    )
+    kernel.spmd_schedule = schedule
+    try:
+        def drive() -> float:
+            parallel_region(
+                kernel.run_spmd,
+                num_threads=num_threads,
+                backend=backend_obj,
+                name="MolDyn.sections",
+            )
+            return kernel.checksum()
+
+        value, elapsed = timed(drive)
+        return BenchmarkResult(
+            "MolDyn",
+            f"sections:{backend_obj.name}",
+            size,
+            value,
+            elapsed,
+            num_threads=num_threads,
+            details={"backend": backend_obj.name, "sections": sections},
+        )
+    finally:
+        kernel.release_shared()

@@ -125,23 +125,63 @@ class MakespanModel:
         ``extra_sequential_time`` adds purely sequential work that exists in
         both the sequential program and the parallel one outside any region
         (e.g. initialisation), lowering the achievable speedup accordingly.
+
+        Nested regions are replayed **per level**: a region whose
+        ``REGION_BEGIN`` names a ``parent_region`` in the same trace is not a
+        top-level lane of its own — its estimated makespan is folded into the
+        *spawning member's* compute time in the parent region, placed in the
+        phase that member was in when the child began.  Only root regions
+        contribute directly to the total, so a team-of-teams is priced as the
+        hierarchy it is instead of double-counted as siblings.
         """
         events = recorder.events()
-        region_ids = sorted({e.region for e in events if e.kind is EventKind.REGION_BEGIN})
+        begins = {e.region: e for e in events if e.kind is EventKind.REGION_BEGIN}
+        region_ids = sorted(begins)
         if regions is not None:
             wanted = set(regions)
             region_ids = [r for r in region_ids if r in wanted]
+        selected = set(region_ids)
+
+        # Child regions grouped under their parent (only parents that are
+        # themselves replayed; an orphan child is treated as a root).
+        children: dict[int, list[int]] = {}
+        roots: list[int] = []
+        for region_id in region_ids:
+            parent = begins[region_id].data.get("parent_region")
+            if parent is not None and parent in selected and parent != region_id:
+                children.setdefault(parent, []).append(region_id)
+            else:
+                roots.append(region_id)
 
         total_makespan = extra_sequential_time
         total_sequential = extra_sequential_time
         all_phases: list[PhaseBreakdown] = []
 
-        for region_id in region_ids:
+        def replay(region_id: int, *, root: bool) -> tuple[float, float]:
+            """Replay ``region_id`` (children first) → (makespan, sequential)."""
+            nested_work = []
+            child_sequential = 0.0
+            for child in children.get(region_id, ()):  # depth-first: leaves price first
+                child_makespan, child_seq = replay(child, root=False)
+                begin = begins[child]
+                nested_work.append(
+                    (begin.seq, begin.data.get("parent_thread") or 0, child_makespan)
+                )
+                child_sequential += child_seq
+            # Root regions are priced at the caller's thread count (the
+            # modelled machine scenario); nested teams at their recorded size.
+            size = num_threads if root else (begins[region_id].data.get("size") or num_threads)
             region_events = [e for e in events if e.region == region_id]
-            makespan, sequential, phases = self._replay_region(region_events, num_threads)
+            makespan, sequential, phases = self._replay_region(
+                region_events, size, nested_work=nested_work
+            )
+            all_phases.extend(phases)
+            return makespan, sequential + child_sequential
+
+        for region_id in roots:
+            makespan, sequential = replay(region_id, root=True)
             total_makespan += makespan
             total_sequential += sequential
-            all_phases.extend(phases)
 
         return SpeedupEstimate(
             name=name,
@@ -153,7 +193,7 @@ class MakespanModel:
 
     # -- internals -------------------------------------------------------------
 
-    def _replay_region(self, events, num_threads: int):
+    def _replay_region(self, events, num_threads: int, nested_work=()):
         cost_model = self.cost_model
         phases: dict[int, PhaseBreakdown] = {}
         phase_of_thread: dict[int, int] = {}
@@ -168,7 +208,28 @@ class MakespanModel:
                 phases[index] = breakdown
             return breakdown
 
+        # Nested-region makespans land as compute on the spawning member, in
+        # whatever phase that member occupies when the child region begins —
+        # merged into the replay by the recorder-wide seq stamp.
+        pending_nested = sorted(nested_work)  # (seq, thread, makespan)
+        nested_cursor = 0
+
+        def flush_nested(up_to_seq: float) -> None:
+            # Child *sequential* time is accumulated by the caller (replay's
+            # `sequential + child_sequential`), not here: only the makespan
+            # lands on the spawning member's lane.
+            nonlocal nested_cursor
+            while nested_cursor < len(pending_nested) and pending_nested[nested_cursor][0] <= up_to_seq:
+                _, spawner, child_makespan = pending_nested[nested_cursor]
+                nested_cursor += 1
+                breakdown = phase_for(spawner)
+                breakdown.compute_per_thread[spawner] = (
+                    breakdown.compute_per_thread.get(spawner, 0.0) + child_makespan
+                )
+
         for event in events:
+            if pending_nested:
+                flush_nested(event.seq)
             thread = event.thread_id
             if event.kind is EventKind.CHUNK:
                 loop_name = event.data.get("loop", "<loop>")
@@ -231,6 +292,18 @@ class MakespanModel:
                 breakdown = phase_for(thread)
                 breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + cost
                 # Reductions are parallel-only work: not added to sequential.
+            elif event.kind is EventKind.SECTION:
+                if "method" not in event.data:
+                    # run_sections dispatcher style: the section body already
+                    # appears as the scheduler's CHUNK events — pricing the
+                    # recorded elapsed again would double count it.
+                    continue
+                # Aspect (@Section) style: the claimed body is the only record
+                # of the work, priced like master/single by measured elapsed.
+                elapsed = float(event.data.get("elapsed", 0.0))
+                breakdown = phase_for(thread)
+                breakdown.compute_per_thread[thread] = breakdown.compute_per_thread.get(thread, 0.0) + elapsed
+                sequential_time += elapsed
             elif event.kind is EventKind.TUNE_DECISION:
                 # Instant marker from the adaptive scheduler: the decided
                 # schedule's chunks already appear as CHUNK events and the
@@ -243,6 +316,9 @@ class MakespanModel:
                 phase_of_thread[thread] = phase_of_thread.get(thread, 0) + 1
                 if thread == 0:
                     barrier_rounds += 1
+
+        if pending_nested:
+            flush_nested(float("inf"))
 
         if cost_model.replicated_seconds:
             first = phases.setdefault(0, PhaseBreakdown(index=0))

@@ -23,6 +23,9 @@ from repro.runtime.context import (
     ExecutionContext,
     current_context,
     current_team,
+    get_ancestor_thread_id,
+    get_level,
+    get_member_path,
     get_num_team_threads,
     get_thread_id,
     in_parallel,
@@ -54,6 +57,7 @@ from repro.runtime.shm import (
 from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
 from repro.runtime.locks import LockRegistry, ReadWriteLock, StripedLocks, global_locks
 from repro.runtime.scheduler import (
+    CollapsedRange,
     DynamicScheduler,
     GuidedScheduler,
     LoopChunk,
@@ -63,7 +67,7 @@ from repro.runtime.scheduler import (
     cached_partition,
     make_scheduler,
 )
-from repro.runtime.worksharing import run_for, static_partition
+from repro.runtime.worksharing import collapse_loop, run_for, run_sections, static_partition
 from repro.runtime.critical import critical_call, fine_grained_call, reader_call, writer_call
 from repro.runtime.threadlocal import (
     ArrayReducer,
@@ -126,6 +130,9 @@ __all__ = [
     "current_team",
     "get_thread_id",
     "get_num_team_threads",
+    "get_level",
+    "get_ancestor_thread_id",
+    "get_member_path",
     "in_parallel",
     "is_master",
     # team / regions
@@ -166,13 +173,16 @@ __all__ = [
     # scheduling / work sharing
     "Schedule",
     "LoopChunk",
+    "CollapsedRange",
     "StaticBlockScheduler",
     "StaticCyclicScheduler",
     "DynamicScheduler",
     "GuidedScheduler",
     "make_scheduler",
     "cached_partition",
+    "collapse_loop",
     "run_for",
+    "run_sections",
     "static_partition",
     # thread-local / reductions
     "ThreadLocalStore",

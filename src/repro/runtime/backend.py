@@ -194,9 +194,12 @@ class ProcessBackend(Backend):
     shipped back over a result channel, so ``BrokenTeamError`` semantics are
     identical to the thread backend.
 
-    Regions the backend cannot honour — nested regions, or regions whose
-    aspects require a shared Python heap (``supports_shared_locals``) — run
-    on the ``fallback`` thread backend instead.
+    Regions the backend cannot honour — regions whose aspects require a
+    shared Python heap (``supports_shared_locals``) — run on the ``fallback``
+    thread backend instead.  Nested regions spawned inside a process team's
+    workers also resolve to the thread fallback: the process team forms the
+    outer level of the hierarchy and each worker hosts thread sub-teams
+    (see ``resolve_for_region``).
     """
 
     name = "processes"
@@ -235,7 +238,10 @@ class ProcessBackend(Backend):
             self._warn_once("platform", "fork start method unavailable; using thread backend")
             return self._fallback
         if nesting_level > 0:
-            self._warn_once("nested", "nested parallel regions run on the thread backend")
+            # Designed hierarchy, not a degradation: a process team forms the
+            # outer level and nested regions spawned inside its workers run as
+            # thread sub-teams within each worker process (new processes could
+            # not share the enclosing team's heap or its pre-forked arenas).
             return self._fallback
         if requires_shared_locals and not self.supports_shared_locals:
             self._warn_once(

@@ -9,12 +9,46 @@ team, and the same barrier object is reached repeatedly).
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Callable, Optional
 
 
 class BrokenBarrierError(RuntimeError):
     """Raised when a barrier is broken because a participant failed or the barrier was aborted."""
+
+
+#: Upper bound on how long any member waits in a team barrier by default.
+#: Mirrors the shm barrier's timeout: a deadlocked team (e.g. a nested inner
+#: team whose sibling died) breaks the barrier with an error instead of
+#: hanging the process — the test-tier watchdogs rely on this backstop.
+#: Raise (or disable, with ``<= 0``) via ``AOMP_BARRIER_TIMEOUT`` when a
+#: legitimately serialised phase (e.g. an ``auto`` loop's serial fallback
+#: over a huge range) keeps siblings waiting longer than the default.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+
+def _default_barrier_timeout() -> "float | None":
+    """Barrier wait bound from ``AOMP_BARRIER_TIMEOUT`` (seconds).
+
+    Read at *barrier construction* time (not import time), so setting the
+    variable mid-process affects teams created afterwards.  ``0`` or a
+    negative value disables the bound (wait forever); unset or unparsable
+    falls back to :data:`DEFAULT_BARRIER_TIMEOUT`.
+    """
+    env = (os.environ.get("AOMP_BARRIER_TIMEOUT") or "").strip()
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            return DEFAULT_BARRIER_TIMEOUT
+        return None if value <= 0 else value
+    return DEFAULT_BARRIER_TIMEOUT
+
+
+#: sentinel distinguishing "use the default bound" from an explicit None
+#: (= wait forever) in CyclicBarrier timeouts.
+_UNSET = object()
 
 
 class CyclicBarrier:
@@ -29,13 +63,25 @@ class CyclicBarrier:
         Optional callable invoked exactly once per round, by the last thread
         to arrive, before the others are released (mirrors
         ``java.util.concurrent.CyclicBarrier``'s barrier action).
+    timeout:
+        Default per-round wait bound; when omitted, resolved from the
+        ``AOMP_BARRIER_TIMEOUT`` environment variable at construction time
+        (falling back to :data:`DEFAULT_BARRIER_TIMEOUT`).  Pass ``None``
+        explicitly to wait forever (not recommended outside tests).
     """
 
-    def __init__(self, parties: int, action: Optional[Callable[[], None]] = None) -> None:
+    def __init__(
+        self,
+        parties: int,
+        action: Optional[Callable[[], None]] = None,
+        *,
+        timeout: "float | None | object" = _UNSET,
+    ) -> None:
         if parties < 1:
             raise ValueError(f"barrier needs at least 1 party, got {parties}")
         self._parties = parties
         self._action = action
+        self._timeout = _default_barrier_timeout() if timeout is _UNSET else timeout
         self._cond = threading.Condition()
         self._generation = 0
         self._waiting = 0
@@ -59,14 +105,18 @@ class CyclicBarrier:
         with self._cond:
             return self._broken
 
-    def wait(self, timeout: Optional[float] = None) -> int:
+    def wait(self, timeout: "float | None | object" = _UNSET) -> int:
         """Block until all parties have arrived.
 
         Returns the arrival index for this round (``parties - 1`` for the first
         arrival down to ``0`` for the last, as in ``threading.Barrier``).
         Raises :class:`BrokenBarrierError` if the barrier is, or becomes,
-        broken while waiting, or if ``timeout`` expires.
+        broken while waiting, or if ``timeout`` — defaulting to the barrier's
+        construction-time bound; pass ``None`` explicitly to wait forever —
+        expires.
         """
+        if timeout is _UNSET:
+            timeout = self._timeout
         with self._cond:
             if self._broken:
                 raise BrokenBarrierError("barrier is broken")

@@ -46,6 +46,37 @@ def _default_num_threads() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _default_nested() -> bool:
+    """Whether nested regions create real teams, from ``AOMP_NESTED``/``OMP_NESTED``."""
+    env = (os.environ.get("AOMP_NESTED") or os.environ.get("OMP_NESTED") or "").strip().lower()
+    if env in _TRUE_WORDS:
+        return True
+    if env in _FALSE_WORDS:
+        return False
+    return True
+
+
+def _default_max_active_levels() -> int:
+    """Nesting-depth cap from ``AOMP_MAX_ACTIVE_LEVELS``/``OMP_MAX_ACTIVE_LEVELS``.
+
+    Counts *active* levels — enclosing teams with more than one member —
+    exactly like OpenMP's ``omp_set_max_active_levels``.
+    """
+    env = os.environ.get("AOMP_MAX_ACTIVE_LEVELS") or os.environ.get("OMP_MAX_ACTIVE_LEVELS")
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return 4
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Process-wide defaults for the PyAOmpLib runtime.
@@ -73,10 +104,16 @@ class RuntimeConfig:
         disables persistence), seeded from ``AOMP_TUNE_CACHE``.  See
         :mod:`repro.tune`.
     nested:
-        Whether nested parallel regions create new teams (OpenMP ``OMP_NESTED``).
+        Whether nested parallel regions create new teams (OpenMP ``OMP_NESTED``),
+        seeded from the ``AOMP_NESTED``/``OMP_NESTED`` environment variables.
         When ``False`` a nested region executes with a team of one.
-    max_nesting_depth:
-        Hard cap on nesting depth to guard against runaway recursion.
+    max_active_levels:
+        Cap on the number of *active* nesting levels — enclosing teams with
+        more than one member — mirroring OpenMP's
+        ``omp_set_max_active_levels``/``OMP_MAX_ACTIVE_LEVELS`` (seeded from
+        ``AOMP_MAX_ACTIVE_LEVELS`` too).  A region whose enclosing contexts
+        already hold this many active teams gets a team of one; serialised
+        (size-1) levels do not consume the budget.
     tracing:
         Whether the runtime records :class:`~repro.runtime.trace.TraceRecorder`
         events (needed by :mod:`repro.perf`).
@@ -87,8 +124,8 @@ class RuntimeConfig:
     default_schedule: str = field(default_factory=_default_schedule)
     default_chunk: int = 1
     tune_cache: "str | None" = field(default_factory=_default_tune_cache)
-    nested: bool = True
-    max_nesting_depth: int = 4
+    nested: bool = field(default_factory=_default_nested)
+    max_active_levels: int = field(default_factory=_default_max_active_levels)
     tracing: bool = True
 
     def with_updates(self, **kwargs) -> "RuntimeConfig":

@@ -60,6 +60,37 @@ def fork_available() -> bool:
     return FORK_METHOD in multiprocessing.get_all_start_methods()
 
 
+#: Number of team nesting levels the arenas can namespace.  Loop ordinals are
+#: per-team-level counters (SPMD bodies count the loops *their* team
+#: workshares), so two teams at different levels sharing one arena would
+#: collide on ordinal ``k`` without a namespace.  Every arena therefore maps
+#: ``(ordinal, level)`` to the cell index ``ordinal * MAX_TEAM_LEVELS +
+#: level``: distinct levels occupy distinct residues modulo
+#: ``MAX_TEAM_LEVELS``, and because every arena capacity is a multiple of
+#: ``MAX_TEAM_LEVELS`` the residues stay disjoint after the ``% capacity``
+#: slot recycling too.
+#:
+#: Today this is a *defensive* invariant: process teams only exist at
+#: nesting level 0 (``ProcessBackend.resolve_for_region`` routes nested
+#: regions to in-process thread sub-teams, which use the heap
+#: ``Team.shared_slot`` instead of the arenas), so production slots always
+#: carry ``level=0``.  The namespace guarantees the arenas stay correct the
+#: day a nested team *does* share an ancestor's ProcessSync — a silent
+#: claim-slot collision would corrupt loop results, the worst failure mode
+#: this module can have.
+MAX_TEAM_LEVELS = 8
+
+
+def _namespaced_ordinal(ordinal: int, level: int) -> int:
+    """Map a per-level loop ordinal to the arena-wide slot ordinal."""
+    if not (0 <= level < MAX_TEAM_LEVELS):
+        raise ValueError(
+            f"team nesting level {level} outside the arena namespace "
+            f"[0, {MAX_TEAM_LEVELS}); deeper teams must not share this arena"
+        )
+    return ordinal * MAX_TEAM_LEVELS + level
+
+
 def _mp_context():
     return multiprocessing.get_context(FORK_METHOD)
 
@@ -314,6 +345,8 @@ class SyncArena:
     _TAG, _NEXT = 0, 1
 
     def __init__(self, capacity: int = 256) -> None:
+        if capacity % MAX_TEAM_LEVELS:
+            raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
         ctx = _mp_context()
         self.capacity = capacity
         self._lock = ctx.Lock()
@@ -327,9 +360,14 @@ class SyncArena:
                 self._cells[2 * i + self._TAG] = -1
                 self._cells[2 * i + self._NEXT] = 0
 
-    def slot(self, ordinal: int) -> "ArenaSlot":
-        """Return the claim slot for loop-ordinal ``ordinal``."""
-        return ArenaSlot(self, ordinal)
+    def slot(self, ordinal: int, *, level: int = 0) -> "ArenaSlot":
+        """Return the claim slot for loop-ordinal ``ordinal`` of team ``level``.
+
+        Ordinals count the loops encountered by one team; ``level`` namespaces
+        them so nested teams sharing the arena cannot collide with an
+        ancestor's slots (see :data:`MAX_TEAM_LEVELS`).
+        """
+        return ArenaSlot(self, _namespaced_ordinal(ordinal, level))
 
     # -- slot operations (called through ArenaSlot) --------------------------
 
@@ -456,6 +494,8 @@ class TaskStealArena:
     def __init__(self, max_workers: int = 64, capacity: int = 64) -> None:
         if max_workers < 1:
             raise ValueError(f"arena needs at least 1 worker, got {max_workers}")
+        if capacity % MAX_TEAM_LEVELS:
+            raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
         ctx = _mp_context()
         self.max_workers = max_workers
         self.capacity = capacity
@@ -472,14 +512,18 @@ class TaskStealArena:
             for i in range(self.capacity):
                 self._cells[i * self._stride + self._TAG] = -1
 
-    def slot(self, ordinal: int, num_workers: int, ntiles: int) -> "TaskStealSlot":
-        """Attach (and, first time, seed) the deck for loop-ordinal ``ordinal``."""
+    def slot(self, ordinal: int, num_workers: int, ntiles: int, *, level: int = 0) -> "TaskStealSlot":
+        """Attach (and, first time, seed) the deck for loop-ordinal ``ordinal``.
+
+        ``level`` namespaces the ordinal per team nesting level, exactly like
+        :meth:`SyncArena.slot`.
+        """
         if num_workers > self.max_workers:
             raise ValueError(
                 f"taskloop team of {num_workers} exceeds the steal arena's "
                 f"max_workers={self.max_workers}"
             )
-        return TaskStealSlot(self, ordinal, num_workers, ntiles)
+        return TaskStealSlot(self, _namespaced_ordinal(ordinal, level), num_workers, ntiles)
 
     # -- slot operations (called through TaskStealSlot) ----------------------
 
@@ -593,6 +637,8 @@ class TunePlanArena:
     _FIELDS = 5
 
     def __init__(self, capacity: int = 256) -> None:
+        if capacity % MAX_TEAM_LEVELS:
+            raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
         ctx = _mp_context()
         self.capacity = capacity
         self._lock = ctx.Lock()
@@ -605,9 +651,9 @@ class TunePlanArena:
             for i in range(self.capacity):
                 self._cells[i * self._FIELDS + self._TAG] = -1
 
-    def slot(self, ordinal: int) -> "TunePlanSlot":
-        """Return the plan slot for loop-ordinal ``ordinal``."""
-        return TunePlanSlot(self, ordinal)
+    def slot(self, ordinal: int, *, level: int = 0) -> "TunePlanSlot":
+        """Return the plan slot for loop-ordinal ``ordinal`` of team ``level``."""
+        return TunePlanSlot(self, _namespaced_ordinal(ordinal, level))
 
     # -- slot operations (called through TunePlanSlot) -----------------------
 

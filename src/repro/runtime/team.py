@@ -41,6 +41,12 @@ class Team:
     The team owns the synchronisation objects that have *team scope* in the
     paper's model: the team barrier and the shared slots used by the
     single/master/dynamic-for/ordered constructs.
+
+    Teams form a hierarchy: a member of an outer team that enters a nested
+    parallel region spawns a *child* team whose :attr:`parent` points back to
+    the team it was spawned from.  Each level keeps its own member ids — a
+    member of a team-of-teams is identified by the per-level id path exposed
+    through :meth:`repro.runtime.context.ExecutionContext.member_path`.
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class Team:
         recorder: TraceRecorder | None = None,
         nesting_level: int = 0,
         process_sync: "shm.ProcessSync | None" = None,
+        parent: "Team | None" = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"team size must be >= 1, got {size}")
@@ -63,11 +70,17 @@ class Team:
         #: before building any trace payload (see Team.record / run_for).
         self.tracing = recorder is not None
         self.nesting_level = nesting_level
+        self.parent = parent
         self.members = [TeamMember(thread_id=i) for i in range(size)]
         self.process_sync = process_sync
         self._barrier = process_sync.barrier if process_sync is not None else CyclicBarrier(size)
         self._shared: dict[Hashable, Any] = {}
         self._shared_lock = threading.Lock()
+
+    @property
+    def level(self) -> int:
+        """Nesting level of the region this team executes (0 = outermost)."""
+        return self.nesting_level
 
     @property
     def is_process_team(self) -> bool:
@@ -83,20 +96,24 @@ class Team:
         """Cross-process claim slot for the ``ordinal``-th workshared loop.
 
         ``None`` for in-process teams, which use :meth:`shared_slot` instead.
+        Slots are namespaced by the team's nesting level so a nested team
+        sharing its ancestors' arenas can never collide with an outer loop's
+        claim slot (see :data:`repro.runtime.shm.MAX_TEAM_LEVELS`).
         """
         if self.process_sync is None:
             return None
-        return self.process_sync.arena.slot(ordinal)
+        return self.process_sync.arena.slot(ordinal, level=self.nesting_level)
 
     def proc_tune_slot(self, ordinal: int) -> "shm.TunePlanSlot | None":
         """Cross-process tune-plan slot for the ``ordinal``-th workshared loop.
 
         ``None`` for in-process teams (which agree on a plan through
         :meth:`shared_slot`) and for legacy process syncs without a tune arena.
+        Namespaced per nesting level exactly like :meth:`proc_loop_slot`.
         """
         if self.process_sync is None or self.process_sync.tune is None:
             return None
-        return self.process_sync.tune.slot(ordinal)
+        return self.process_sync.tune.slot(ordinal, level=self.nesting_level)
 
     # -- synchronisation ----------------------------------------------------
 
@@ -161,12 +178,23 @@ class Team:
         return f"Team(name={self.name!r}, size={self.size}, region={self.region_id})"
 
 
-def _resolve_num_threads(num_threads: int | None, nesting_level: int) -> int:
+def _resolve_num_threads(num_threads: int | None, parent: "ctx.ExecutionContext | None") -> int:
+    """Team size for a region spawned under ``parent`` (``None`` = outermost).
+
+    Nested parallelism follows OpenMP's *active level* rules: a level is
+    active when its team has more than one member.  ``nested=False``
+    (``AOMP_NESTED=0``) serialises any region spawned inside an active team;
+    ``max_active_levels`` (``AOMP_MAX_ACTIVE_LEVELS``) caps how many active
+    levels may stack.  Serialised (team-of-one) levels consume no budget, so
+    parallelism re-appears below them.
+    """
     config = get_config()
-    if nesting_level > 0 and not config.nested:
-        return 1
-    if nesting_level >= config.max_nesting_depth:
-        return 1
+    if parent is not None:
+        active = parent.active_levels()
+        if active >= 1 and not config.nested:
+            return 1
+        if active >= config.max_active_levels:
+            return 1
     n = num_threads if num_threads is not None else config.num_threads
     return max(1, int(n))
 
@@ -213,7 +241,7 @@ def parallel_region(
     """
     parent = ctx.current_context()
     nesting_level = parent.nesting_level + 1 if parent is not None else 0
-    size = _resolve_num_threads(num_threads, nesting_level)
+    size = _resolve_num_threads(num_threads, parent)
     backend = resolve_backend(backend)
     # A backend without blocking sync (serial, or any registered sequential
     # backend) runs members one after another, which cannot satisfy
@@ -236,12 +264,28 @@ def parallel_region(
         recorder=recorder,
         nesting_level=nesting_level,
         process_sync=backend.create_process_sync(size, body),
+        parent=parent.team if parent is not None else None,
     )
     # From here on the backend may hold per-region resources (the process
     # backend's pool lock); every exit path below must reach finish_region.
     try:
         if recorder is not None:
-            recorder.record(EventKind.REGION_BEGIN, region_id, ctx.get_thread_id(), name=team.name, size=size)
+            # Parent linkage lets the perf model fold a nested region's
+            # makespan into the spawning member's lane instead of double
+            # counting it as another top-level region.  Region ids are only
+            # meaningful within one recorder, so the link is recorded only
+            # when parent and child trace into the same one.
+            linked = parent is not None and parent.team.recorder is recorder
+            recorder.record(
+                EventKind.REGION_BEGIN,
+                region_id,
+                ctx.get_thread_id(),
+                name=team.name,
+                size=size,
+                level=nesting_level,
+                parent_region=parent.team.region_id if linked else None,
+                parent_thread=parent.thread_id if linked else None,
+            )
 
         def run_member(thread_id: int) -> Any:
             member = team.members[thread_id]
@@ -249,7 +293,10 @@ def parallel_region(
                 team=team,
                 thread_id=thread_id,
                 nesting_level=nesting_level,
-                parent=parent if thread_id == 0 else None,
+                # Every member — not just the master — keeps the link to the
+                # spawning member's frame: the per-level member-id path
+                # (ExecutionContext.member_path) must resolve on all of them.
+                parent=parent,
             )
             ctx.push_context(frame)
             start = time.perf_counter()

@@ -27,16 +27,18 @@ batched (several chunks per lock or arena round-trip).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
 from repro.runtime.config import get_config
-from repro.runtime.exceptions import BackendCapabilityError
+from repro.runtime.exceptions import BackendCapabilityError, SchedulingError
 from repro.runtime.ordered import OrderedRegion, install_ordered_region
 from repro.runtime.shm import ProcessDynamicState, ProcessGuidedState
 from repro.runtime.scheduler import (
     PARTITION_CACHE_MAX_CHUNKS,
+    CollapsedRange,
     DynamicScheduler,
     GuidedScheduler,
     LoopChunk,
@@ -76,6 +78,57 @@ def _loop_ordinal(context: ctx.ExecutionContext) -> int:
     return ordinal
 
 
+def collapse_loop(
+    body: Callable[..., Any],
+    start: int,
+    end: int,
+    step: int,
+    args: tuple,
+    collapse: int,
+    *,
+    pin_rows: bool = False,
+) -> "tuple[Callable[..., Any], int, int, int, tuple, CollapsedRange]":
+    """Linearise a ``collapse(n)`` for method into a flat 1-D for method.
+
+    The collapsed for method exposes ``n`` ``(start, end, step)`` triples as
+    its first ``3n`` parameters; the first triple arrives through the normal
+    ``run_for`` range arguments and the remaining ``3 * (n - 1)`` lead
+    ``args``.  Returns ``(flat_body, 0, units, 1, rest_args, crange)`` where
+    ``flat_body`` decodes each flat sub-range back into per-row calls of the
+    original method — so every scheduler, claim arena and the adaptive tuner
+    compose with collapse untouched, simply by working on the flat range.
+
+    With ``pin_rows`` the schedulable unit is a whole row (the innermost
+    range with outer indices fixed) instead of a single index tuple.
+    """
+    if collapse < 2:
+        raise SchedulingError(f"collapse must be >= 2, got {collapse}")
+    needed = 3 * (collapse - 1)
+    if len(args) < needed:
+        raise SchedulingError(
+            f"collapse({collapse}) for method must receive {3 * collapse} range "
+            f"parameters; only {3 + len(args)} positional arguments were passed"
+        )
+    dims = [(int(start), int(end), int(step))]
+    for d in range(collapse - 1):
+        lo, hi, st = args[3 * d : 3 * d + 3]
+        dims.append((int(lo), int(hi), int(st)))
+    rest = tuple(args[needed:])
+    crange = CollapsedRange(tuple(dims))
+    decode = crange.row_segments if pin_rows else crange.segments
+    units = crange.outer_total if pin_rows else crange.total
+
+    def flat_body(flat_start: int, flat_end: int, flat_step: int, *extra: Any, **kwargs: Any) -> Any:
+        # flat_step is always 1: the linearised space is dense by construction.
+        result: Any = None
+        for params in decode(flat_start, flat_end):
+            result = body(*params, *extra, **kwargs)
+        return result
+
+    flat_body.__name__ = getattr(body, "__name__", "<loop>")
+    return flat_body, 0, units, 1, rest, crange
+
+
 def run_for(
     body: Callable[..., Any],
     start: int,
@@ -85,6 +138,8 @@ def run_for(
     schedule: "str | Schedule | None" = None,
     chunk: int = 1,
     loop_name: str | None = None,
+    collapse: int = 1,
+    pin_rows: bool = False,
     ordered: bool = False,
     nowait: bool = False,
     weight: Callable[[int], float] | None = None,
@@ -109,9 +164,25 @@ def run_for(
         amortise team spin-up — and the measured wall time feeds the search.
     loop_name:
         Name recorded in trace events; defaults to ``body.__name__``.
+    collapse:
+        Number of perfectly nested loop dimensions the for method exposes
+        (OpenMP's ``collapse(n)`` clause).  With ``collapse=n`` the method's
+        first ``3n`` parameters are ``n`` ``(start, end, step)`` triples
+        (the first through the normal range arguments, the rest leading
+        ``*args``); the combined iteration space is linearised and shared
+        under ``schedule`` exactly like a 1-D loop — every schedule,
+        including ``"auto"``, batched claims and the process arenas, composes
+        unchanged.  Trace ``CHUNK`` events and ``weight`` then refer to flat
+        linearised indices.
+    pin_rows:
+        With ``collapse``: make whole *rows* (the innermost range with outer
+        indices fixed) the schedulable unit, so no row is ever split across
+        chunks.  Implied by ``ordered``.
     ordered:
         Whether an ordered region spanning the full range should be installed
         while the loop runs (needed when the loop body uses ``@Ordered``).
+        With ``collapse=2`` the ordered index is the outer dimension's and
+        rows are pinned; deeper ordered collapses are rejected.
     nowait:
         Skip the implicit barrier at the end of the work-shared loop.
     weight:
@@ -123,7 +194,29 @@ def run_for(
     """
     context = ctx.current_context()
 
+    ordered_range = (start, end, step)
+    if collapse > 1:
+        if ordered and collapse > 2:
+            raise SchedulingError(
+                "ordered is only supported with collapse=2 (the ordered index is "
+                f"the outer dimension's), got collapse={collapse}"
+            )
+        body, start, end, step, args, _crange = collapse_loop(
+            body, start, end, step, args, collapse, pin_rows=pin_rows or ordered
+        )
+
+    # Zero-trip fast path: nothing to execute means no scheduler state, no
+    # CHUNK trace events and no tuner observation — a zero-trip "auto"
+    # invocation would otherwise poison the site's timing samples.  The body
+    # is not invoked at all (matching what a team member with no chunks
+    # does), and in a team the loop ordinal is still claimed and the implicit
+    # barrier still performed, so SPMD alignment and synchronisation
+    # semantics are unchanged.
+    zero_trip = LoopChunk(start, end, step).count == 0
+
     if context is None or context.team.size == 1:
+        if zero_trip:
+            return None
         return _run_sequential(body, start, end, step, args, kwargs, context, loop_name, weight)
 
     team = context.team
@@ -138,6 +231,11 @@ def run_for(
     # loops in the same order).
     ordinal = _loop_ordinal(context)
 
+    if zero_trip:
+        if not nowait:
+            team.barrier(label=f"for:{name}")
+        return None
+
     if ordered and team.is_process_team:
         raise BackendCapabilityError(
             f"loop {name!r}: ordered execution needs a shared Python heap; "
@@ -149,7 +247,7 @@ def run_for(
     previous_ordered: OrderedRegion | None = None
     if ordered:
         loop_key = _loop_encounter_key(f"{name}#ordered")
-        ordered_region = team.shared_slot(loop_key, lambda: OrderedRegion(start, end, step))
+        ordered_region = team.shared_slot(loop_key, lambda: OrderedRegion(*ordered_range))
         previous_ordered = install_ordered_region(ordered_region)
 
     result: Any = None
@@ -528,6 +626,176 @@ def _record_chunk(
         weight=total_weight,
         elapsed=elapsed,
     )
+
+
+class _ClaimOnce:
+    """Team-shared cell granting exactly one successful claim."""
+
+    __slots__ = ("_lock", "_claimed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claimed = False
+
+    def try_claim(self) -> bool:
+        with self._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+
+def claim_section(name: str = "section") -> bool:
+    """First-arriver claim for one SPMD encounter of a section-style construct.
+
+    Every team member is expected to reach the call (the region body is
+    SPMD); exactly one member — the first to arrive — gets ``True`` and
+    should execute the construct, the rest get ``False`` and skip it.
+    Outside a parallel region (or in a team of one) the caller always wins.
+
+    Works on every backend: in-process teams claim through a team-shared
+    cell, process teams through the pre-allocated cross-process claim arena
+    (the construct consumes one loop ordinal either way, keeping SPMD
+    ordinal alignment with work-shared loops).  This is the claim primitive
+    behind the ``@Section`` annotation.
+    """
+    context = ctx.current_context()
+    if context is None or context.team.size == 1:
+        return True
+    team = context.team
+    ordinal = _loop_ordinal(context)
+    if (slot := team.proc_loop_slot(ordinal)) is not None:
+        return slot.fetch_add() == 0
+    key = _loop_encounter_key(f"{name}#section")
+    cell: _ClaimOnce = team.shared_slot(key, _ClaimOnce)
+    return cell.try_claim()
+
+
+def run_sections(
+    *sections: Callable[[], Any],
+    schedule: "str | Schedule" = Schedule.DYNAMIC,
+    chunk: int = 1,
+    nowait: bool = False,
+    name: str | None = None,
+) -> "dict[int, Any]":
+    """Execute each of ``sections`` exactly once, distributed over the team.
+
+    The OpenMP ``sections`` construct: ``sections`` are zero-argument
+    callables (use closures/``functools.partial`` to bind arguments); every
+    one of them is executed by exactly one team member, with the assignment
+    decided by ``schedule`` over the section indices — the construct is
+    dispatched through the same schedule machinery as work-shared loops, so
+    dynamic claiming (the default: first-free member takes the next
+    section), static distributions and the cross-process claim arenas all
+    apply unchanged.  Ends with the implicit team barrier unless ``nowait``.
+
+    Outside a parallel region (or with a team of one) every section runs on
+    the calling thread, in order — the paper's sequential-semantics
+    guarantee.
+
+    Returns a dict mapping section index to result **for the sections the
+    calling member executed** (sequentially: all of them).  On process teams
+    a section's side effects must go through shared memory, exactly like
+    work-shared loop bodies.
+
+    Tracing records one ``SECTION`` event per executed section (index +
+    elapsed time) in addition to the scheduler's ``CHUNK`` events.
+    """
+    from repro.runtime.trace import EventKind as _EventKind
+
+    context = ctx.current_context()
+    label = name or "sections"
+    results: dict[int, Any] = {}
+
+    if context is None or context.team.size == 1:
+        recorder: TraceRecorder | None = None
+        region_id = NO_REGION
+        thread_id = 0
+        if context is not None:
+            if context.team.tracing:
+                recorder = context.team.recorder
+                region_id = context.team.region_id
+                thread_id = context.thread_id
+        elif global_tracing_active() and get_config().tracing:
+            recorder = get_global_recorder()
+        total_began = time.perf_counter()
+        for index, section in enumerate(sections):
+            began = time.perf_counter()
+            results[index] = section()
+            if recorder is not None:
+                recorder.record(
+                    _EventKind.SECTION,
+                    region_id,
+                    thread_id,
+                    sections=label,
+                    index=index,
+                    elapsed=time.perf_counter() - began,
+                )
+        if recorder is not None and sections:
+            # Cost carrier, mirroring _run_sequential: the perf model prices
+            # sections through CHUNK events (the SECTION events above are
+            # markers), so the sequential path must emit one too or the work
+            # would vanish from sequential/parallel comparisons.
+            _record_chunk(
+                recorder,
+                region_id,
+                thread_id,
+                label,
+                LoopChunk(0, len(sections), 1),
+                None,
+                time.perf_counter() - total_began,
+            )
+        return results
+
+    team = context.team
+    # Claimed even for an empty construct so ordinals stay SPMD-aligned.
+    ordinal = _loop_ordinal(context)
+    if not sections:
+        if not nowait:
+            team.barrier(label=f"sections:{label}")
+        return results
+
+    tracing = team.tracing
+
+    def run_claimed(claim_start: int, claim_end: int, claim_step: int) -> None:
+        for index in range(claim_start, claim_end, claim_step):
+            began = time.perf_counter()
+            results[index] = sections[index]()
+            if tracing:
+                team.record(
+                    _EventKind.SECTION,
+                    sections=label,
+                    index=index,
+                    elapsed=time.perf_counter() - began,
+                )
+
+    run_claimed.__name__ = label
+    parsed, spec_chunk = parse_schedule_spec(schedule)
+    if parsed is Schedule.AUTO:
+        raise SchedulingError(
+            "sections cannot be scheduled 'auto': the adaptive tuner keys on "
+            "homogeneous loop sites; pick a concrete schedule (default: dynamic)"
+        )
+    if spec_chunk is not None and chunk == 1:
+        chunk = spec_chunk
+    _dispatch_schedule(
+        run_claimed,
+        parsed,
+        chunk,
+        0,
+        len(sections),
+        1,
+        (),
+        {},
+        context,
+        team,
+        label,
+        ordinal,
+        None,
+    )
+    if not nowait:
+        team.barrier(label=f"sections:{label}")
+    return results
 
 
 def static_partition(

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import faulthandler
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
 import pytest
 
 from repro.runtime.backend import ThreadBackend, set_backend
@@ -33,6 +38,41 @@ def _clean_runtime_state():
     # The thread-local store is keyed by object identity; dropping references
     # is enough, but clear defensively to keep memory bounded across the run.
     global_thread_locals._values.clear()  # noqa: SLF001 - test-only cleanup
+
+
+#: wall-clock budget for watchdog-guarded scenarios (seconds); generous
+#: compared to the expected runtimes (<2s each) but below the runtime's own
+#: 120s barrier timeouts, so the watchdog reports first with a useful message.
+WATCHDOG_TIMEOUT = 60.0
+
+
+def run_with_watchdog(fn, timeout: float = WATCHDOG_TIMEOUT):
+    """Run ``fn`` on a worker thread; fail the calling test if it hangs.
+
+    The shared watchdog behind the stress tier and the nested-team
+    conformance tests (marker ``nested``): a deadlocked or livelocked team —
+    including an inner team of a team-of-teams — turns into a test failure
+    with a stack dump instead of hanging tier-1.  The runtime's own barrier
+    timeouts (:data:`repro.runtime.barrier.DEFAULT_BARRIER_TIMEOUT`,
+    :data:`repro.runtime.shm.BARRIER_TIMEOUT`) are the backstop that
+    eventually unblocks the abandoned worker thread.
+    """
+    pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="watchdog")
+    future = pool.submit(fn)
+    try:
+        result = future.result(timeout=timeout)
+    except FutureTimeoutError:  # pragma: no cover - only on deadlock/livelock
+        faulthandler.dump_traceback(file=sys.stderr)
+        pool.shutdown(wait=False)
+        pytest.fail(f"scenario did not finish within {timeout}s (deadlock/livelock?)")
+    pool.shutdown(wait=True)
+    return result
+
+
+@pytest.fixture
+def watchdog():
+    """The :func:`run_with_watchdog` helper as a fixture (stress + nested tests)."""
+    return run_with_watchdog
 
 
 @pytest.fixture

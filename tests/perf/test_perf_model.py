@@ -478,3 +478,103 @@ def test_more_cores_never_slower(work):
     big = MachineModel("b", cores=num_threads, hardware_threads=num_threads)
     compute = {t: w for t, w in enumerate(work)}
     assert phase_duration(compute, {}, big, num_threads) <= phase_duration(compute, {}, small, num_threads) + 1e-9
+
+
+class TestNestedRegionsInModel:
+    """Nested regions replay as per-level lanes, not as sibling regions."""
+
+    def _nested_trace(self, recorder, *, outer_threads=2, inner_threads=2, iterations=32):
+        def loop(start, end, step):
+            pass
+
+        def inner():
+            run_for(loop, 0, iterations, 1, loop_name="inner_work")
+
+        def outer():
+            run_for(loop, 0, iterations, 1, loop_name="outer_work")
+            parallel_region(inner, num_threads=inner_threads, recorder=recorder, name="inner")
+
+        parallel_region(outer, num_threads=outer_threads, recorder=recorder, name="outer")
+
+    def test_child_regions_fold_into_parent_lane(self):
+        recorder = TraceRecorder()
+        self._nested_trace(recorder)
+        machine = MachineModel("m", cores=8, hardware_threads=8, sync_overhead_us=0.0)
+        cost_model = CostModel(
+            loops={
+                "outer_work": LoopCost(seconds_per_unit=1e-3),
+                "inner_work": LoopCost(seconds_per_unit=1e-3),
+            }
+        )
+        estimate = MakespanModel(cost_model, machine).estimate(recorder, 2, name="nested")
+        # All inner work (2 child regions x 32 iterations) plus the outer loop
+        # must appear in the sequential total exactly once each.
+        assert estimate.sequential_time == pytest.approx(3 * 32 * 1e-3)
+        # The child regions' makespans land on the spawning members' lanes:
+        # with 2 outer members each spawning one (2-wide) child, the estimate
+        # is the outer loop phase plus the children running in parallel.
+        child_makespan = (32 / 2) * 1e-3
+        outer_phase = (32 / 2) * 1e-3
+        assert estimate.makespan == pytest.approx(outer_phase + child_makespan, rel=0.05)
+        assert estimate.speedup > 1.0
+
+    def test_nested_not_double_counted_as_siblings(self):
+        """Folding must yield a strictly smaller makespan than the old
+        sibling-sum replay (which priced child regions a second time at top
+        level *and* ignored their overlap)."""
+        recorder = TraceRecorder()
+        self._nested_trace(recorder)
+        machine = MachineModel("m", cores=8, hardware_threads=8, sync_overhead_us=0.0)
+        cost_model = CostModel(
+            loops={
+                "outer_work": LoopCost(seconds_per_unit=1e-3),
+                "inner_work": LoopCost(seconds_per_unit=1e-3),
+            }
+        )
+        estimate = MakespanModel(cost_model, machine).estimate(recorder, 2)
+        sibling_sum = (32 / 2) * 1e-3 + 2 * (32 / 2) * 1e-3  # outer phase + both children serialised
+        assert estimate.makespan < sibling_sum
+
+    def test_flat_traces_unchanged(self):
+        """Traces without nesting replay exactly as before (regression)."""
+        recorder = TraceRecorder()
+
+        def loop(start, end, step):
+            pass
+
+        def body():
+            run_for(loop, 0, 64, 1, loop_name="work")
+
+        parallel_region(body, num_threads=4, recorder=recorder)
+        machine = MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)
+        model = MakespanModel(CostModel(loops={"work": LoopCost(seconds_per_unit=1e-3)}), machine)
+        assert model.estimate(recorder, 4).speedup == pytest.approx(4.0, rel=0.05)
+
+
+class TestSectionEventsInModel:
+    def test_aspect_section_priced_by_elapsed(self):
+        recorder = TraceRecorder()
+        region = recorder.new_region_id()
+        recorder.record(EventKind.REGION_BEGIN, region, 0, name="r", size=2)
+        recorder.record(EventKind.SECTION, region, 1, sections="g", method="App.stage", elapsed=0.25)
+        recorder.record(EventKind.REGION_END, region, 0, name="r")
+        machine = MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)
+        estimate = MakespanModel(CostModel(), machine).estimate(recorder, 2)
+        assert estimate.makespan == pytest.approx(0.25)
+        assert estimate.sequential_time == pytest.approx(0.25)
+
+    def test_dispatcher_section_marker_not_double_counted(self):
+        """run_sections SECTION events ride along CHUNK events; only the
+        chunks may contribute cost."""
+        recorder = TraceRecorder()
+        region = recorder.new_region_id()
+        recorder.record(EventKind.REGION_BEGIN, region, 0, name="r", size=2)
+        recorder.record(
+            EventKind.CHUNK, region, 0, loop="sections", start=0, end=1, step=1, count=1
+        )
+        recorder.record(EventKind.SECTION, region, 0, sections="sections", index=0, elapsed=9.9)
+        recorder.record(EventKind.REGION_END, region, 0, name="r")
+        machine = MachineModel("m", cores=4, hardware_threads=4, sync_overhead_us=0.0)
+        cost_model = CostModel(loops={"sections": LoopCost(seconds_per_unit=1e-3)})
+        estimate = MakespanModel(cost_model, machine).estimate(recorder, 2)
+        assert estimate.makespan == pytest.approx(1e-3)

@@ -288,3 +288,39 @@ class TestStripedLocks:
         for t in threads:
             t.join()
         assert values == [4] * 32
+
+
+class TestBarrierTimeoutConfig:
+    def test_default_timeout_bounds_waits(self, monkeypatch):
+        from repro.runtime.barrier import DEFAULT_BARRIER_TIMEOUT, CyclicBarrier
+
+        monkeypatch.delenv("AOMP_BARRIER_TIMEOUT", raising=False)
+        assert DEFAULT_BARRIER_TIMEOUT == 120.0
+        assert CyclicBarrier(2)._timeout == DEFAULT_BARRIER_TIMEOUT  # noqa: SLF001
+
+    def test_env_knob_read_at_construction(self, monkeypatch):
+        from repro.runtime.barrier import _default_barrier_timeout, CyclicBarrier
+
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "300")
+        assert _default_barrier_timeout() == 300.0
+        assert CyclicBarrier(2)._timeout == 300.0  # noqa: SLF001 - not frozen at import
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "0")
+        assert _default_barrier_timeout() is None  # disabled: wait forever
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "junk")
+        assert _default_barrier_timeout() == 120.0
+
+    def test_explicit_none_waits_past_default(self):
+        """timeout=None is a true unbounded wait, distinct from the default."""
+        from repro.runtime.barrier import CyclicBarrier
+
+        barrier = CyclicBarrier(2, timeout=None)
+        assert barrier._timeout is None  # noqa: SLF001
+
+    def test_short_timeout_breaks_deadlocked_round(self):
+        import pytest as _pytest
+
+        from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
+
+        barrier = CyclicBarrier(2, timeout=0.05)
+        with _pytest.raises(BrokenBarrierError, match="timed out"):
+            barrier.wait()

@@ -8,6 +8,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.runtime import shm
 from repro.runtime.barrier import BrokenBarrierError
 from repro.runtime.shm import (
     ProcessDynamicState,
@@ -143,28 +144,49 @@ class TestSyncArena:
         assert [slot.fetch_add() for _ in range(4)] == [0, 1, 2, 3]
 
     def test_slots_are_independent(self):
-        arena = SyncArena(capacity=8)
+        arena = SyncArena(capacity=16)
         a, b = arena.slot(0), arena.slot(1)
         a.fetch_add()
         a.fetch_add()
         assert b.fetch_add() == 0
 
+    def test_levels_are_independent(self):
+        """The same ordinal at different team levels must never share a cell."""
+        arena = SyncArena(capacity=16)
+        outer = arena.slot(0, level=0)
+        inner = arena.slot(0, level=1)
+        outer.fetch_add()
+        outer.fetch_add()
+        assert inner.fetch_add() == 0
+
+    def test_level_outside_namespace_rejected(self):
+        arena = SyncArena(capacity=8)
+        with pytest.raises(ValueError):
+            arena.slot(0, level=shm.MAX_TEAM_LEVELS)
+
+    def test_capacity_must_be_level_aligned(self):
+        with pytest.raises(ValueError):
+            SyncArena(capacity=7)
+
     def test_new_ordinal_resets_recycled_cell(self):
-        arena = SyncArena(capacity=4)
+        # Ordinals recycle cells modulo capacity / MAX_TEAM_LEVELS per level:
+        # with capacity 8 every level-0 ordinal lands on the same cell, and a
+        # fresh ordinal must reset the recycled counter.
+        arena = SyncArena(capacity=8)
         old = arena.slot(1)
         old.fetch_add()
         old.fetch_add()
-        recycled = arena.slot(5)  # 5 % 4 == 1: same cell, new loop
+        recycled = arena.slot(2)
         assert recycled.fetch_add() == 0
 
     def test_dynamic_state_exhausts_exactly(self):
-        arena = SyncArena(capacity=4)
+        arena = SyncArena(capacity=8)
         state = ProcessDynamicState(arena.slot(0), total_chunks=3)
         claims = [state.next_chunk() for _ in range(5)]
         assert claims == [0, 1, 2, None, None]
 
     def test_guided_state_covers_range_with_decaying_chunks(self):
-        arena = SyncArena(capacity=4)
+        arena = SyncArena(capacity=8)
         state = ProcessGuidedState(arena.slot(0), total=100, min_chunk=2, num_threads=4)
         claims = []
         while (claim := state.next_range()) is not None:

@@ -1,16 +1,14 @@
 """Stress tests for schedulers and barriers under contention.
 
 Many threads, tiny chunks, repeated barrier rounds — the conditions that
-surface livelock and lost-claim regressions.  Every test runs under a
-watchdog (`_guarded`): if the runtime livelocks, the test fails with a
-timeout instead of hanging the suite.  Marked ``stress``; excluded from the
-default (tier-1) run and executed by ``scripts/test.sh``.
+surface livelock and lost-claim regressions.  Every test runs under the
+shared conftest watchdog (the ``watchdog`` fixture): if the runtime
+livelocks, the test fails with a timeout and a stack dump instead of hanging
+the suite.  Marked ``stress``; excluded from the default (tier-1) run and
+executed by ``scripts/test.sh``.
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 import pytest
@@ -22,24 +20,13 @@ from repro.runtime.worksharing import run_for
 
 pytestmark = pytest.mark.stress
 
-#: wall-clock budget per stress scenario (seconds); generous compared to the
-#: expected runtime (<2s each) but far below the shm barrier's own timeout.
+#: per-scenario wall-clock budget, re-exported for join timeouts below.
 WATCHDOG = 60.0
-
-
-def _guarded(fn, timeout: float = WATCHDOG):
-    """Run ``fn`` on a worker thread; fail the test if it does not finish."""
-    with ThreadPoolExecutor(max_workers=1) as pool:
-        future = pool.submit(fn)
-        try:
-            return future.result(timeout=timeout)
-        except FutureTimeoutError:  # pragma: no cover - only on livelock
-            pytest.fail(f"stress scenario did not finish within {timeout}s (livelock?)")
 
 
 @pytest.mark.parametrize("schedule", ["dynamic", "guided"])
 @pytest.mark.parametrize("num_threads", [8, 16])
-def test_claim_storm_tiny_chunks(schedule, num_threads):
+def test_claim_storm_tiny_chunks(schedule, num_threads, watchdog):
     """Tiny chunks + many threads: maximal contention on the claim counter."""
     total = 2000
     counts = shm.shared_zeros(total, np.int64)
@@ -52,14 +39,14 @@ def test_claim_storm_tiny_chunks(schedule, num_threads):
         def body():
             run_for(loop, 0, total, 1, schedule=schedule, chunk=1)
 
-        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        watchdog(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
         assert counts.np.tolist() == [1] * total
     finally:
         counts.close()
 
 
 @pytest.mark.parametrize("num_threads", [8])
-def test_repeated_loops_share_one_region(num_threads):
+def test_repeated_loops_share_one_region(num_threads, watchdog):
     """Many consecutive workshared loops reuse team state (encounter keys,
     claim slots) without cross-talk."""
     rounds, width = 40, 64
@@ -75,13 +62,13 @@ def test_repeated_loops_share_one_region(num_threads):
                 schedule = ("dynamic", "guided", "staticCyclic", "staticBlock")[r % 4]
                 run_for(loop, 0, width, 1, schedule=schedule, chunk=2)
 
-        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        watchdog(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
         assert counts.np.tolist() == [rounds] * width
     finally:
         counts.close()
 
 
-def test_barrier_storm():
+def test_barrier_storm(watchdog):
     """Hundreds of consecutive barrier rounds must neither deadlock nor skew."""
     rounds, num_threads = 200, 8
     progress = shm.shared_zeros(num_threads, np.int64)
@@ -97,13 +84,13 @@ def test_barrier_storm():
                 assert int(progress.np.min()) >= r
                 team.barrier()
 
-        _guarded(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
+        watchdog(lambda: parallel_region(body, num_threads=num_threads, backend="threads"))
         assert progress.np.tolist() == [rounds - 1] * num_threads
     finally:
         progress.close()
 
 
-def test_process_backend_claim_storm():
+def test_process_backend_claim_storm(watchdog):
     """Cross-process dynamic claims under contention: every iteration exactly once."""
     total = 600
     counts = shm.shared_zeros(total, np.int64)
@@ -117,13 +104,13 @@ def test_process_backend_claim_storm():
             run_for(loop, 0, total, 1, schedule="dynamic", chunk=2)
             run_for(loop, 0, total, 1, schedule="guided", chunk=1)
 
-        _guarded(lambda: parallel_region(body, num_threads=4, backend="processes"))
+        watchdog(lambda: parallel_region(body, num_threads=4, backend="processes"))
         assert counts.np.tolist() == [2] * total
     finally:
         counts.close()
 
 
-def test_process_backend_repeated_regions_stay_healthy():
+def test_process_backend_repeated_regions_stay_healthy(watchdog):
     """Back-to-back process regions (fresh fork each) leave no broken state."""
     counts = shm.shared_zeros(8, np.int64)
     try:
@@ -139,13 +126,13 @@ def test_process_backend_repeated_regions_stay_healthy():
             for _ in range(10):
                 parallel_region(body, num_threads=3, backend="processes")
 
-        _guarded(many)
+        watchdog(many)
         assert counts.np.tolist() == [10] * 8
     finally:
         counts.close()
 
 
-def test_taskloop_steal_storm_threads():
+def test_taskloop_steal_storm_threads(watchdog):
     """Fine-grained taskloop under a thread team: every tile exactly once."""
     from repro.runtime.tasks import run_taskloop
 
@@ -164,11 +151,11 @@ def test_taskloop_steal_storm_threads():
         run_taskloop(tile, 0, total, 1, grainsize=1)
         run_taskloop(tile, 0, total, 1, grainsize=3)
 
-    _guarded(lambda: parallel_region(body, num_threads=6, backend="threads"))
+    watchdog(lambda: parallel_region(body, num_threads=6, backend="threads"))
     assert counts.tolist() == [2] * total
 
 
-def test_taskloop_steal_storm_processes():
+def test_taskloop_steal_storm_processes(watchdog):
     """Cross-process taskloop steals under contention: every tile exactly once."""
     from repro.runtime.tasks import run_taskloop
 
@@ -184,13 +171,13 @@ def test_taskloop_steal_storm_processes():
             run_taskloop(tile, 0, total, 1, grainsize=2)
             run_taskloop(tile, 0, total, 1, grainsize=5)
 
-        _guarded(lambda: parallel_region(body, num_threads=4, backend="processes"))
+        watchdog(lambda: parallel_region(body, num_threads=4, backend="processes"))
         assert counts.np.tolist() == [2] * total
     finally:
         counts.close()
 
 
-def test_task_spawn_storm_with_dependencies():
+def test_task_spawn_storm_with_dependencies(watchdog):
     """Thousands of spawns with dependency chains drain without deadlock."""
     from repro.runtime.tasks import TaskPool
 
@@ -204,4 +191,31 @@ def test_task_spawn_storm_with_dependencies():
         finally:
             pool.shutdown()
 
-    _guarded(storm)
+    watchdog(storm)
+
+
+@pytest.mark.nested
+def test_nested_team_storm(watchdog):
+    """Repeated teams-of-teams: inner regions spawned from every outer member
+    must complete and never cross-talk (claim slots, encounter keys)."""
+    rounds, width = 10, 32
+    counts = shm.shared_zeros((4, width), np.int64)
+    try:
+
+        def body():
+            outer_tid = ctx.get_thread_id()
+
+            def loop(start, end, step):
+                for i in range(start, end, step):
+                    counts[outer_tid, i] += 1
+
+            def inner():
+                run_for(loop, 0, width, 1, schedule="dynamic", chunk=1)
+
+            for _ in range(rounds):
+                parallel_region(inner, num_threads=3)
+
+        watchdog(lambda: parallel_region(body, num_threads=4, backend="threads"))
+        assert counts.np.tolist() == [[rounds] * width] * 4
+    finally:
+        counts.close()

@@ -510,7 +510,7 @@ class TestTaskStealArena:
         assert slot.claim_local(1) == 5  # owner still ascends from its head
 
     def test_completion_counter(self):
-        arena = shm.TaskStealArena(max_workers=2, capacity=4)
+        arena = shm.TaskStealArena(max_workers=2, capacity=8)
         slot = arena.slot(3, num_workers=2, ntiles=4)
         assert not slot.finished()
         for _ in range(4):
@@ -518,16 +518,27 @@ class TestTaskStealArena:
         assert slot.finished()
 
     def test_slots_recycle_by_ordinal_tag(self):
-        arena = shm.TaskStealArena(max_workers=2, capacity=2)
+        # With capacity 8 every level-0 ordinal maps to the same cell; a new
+        # ordinal arriving on a recycled cell must re-seed the deck.
+        arena = shm.TaskStealArena(max_workers=2, capacity=8)
         first = arena.slot(0, num_workers=2, ntiles=4)
         assert first.claim_local(0) == 0
-        # Ordinal 2 maps to the same cell (2 % 2 == 0) and must re-seed it.
         recycled = arena.slot(2, num_workers=2, ntiles=6)
         assert recycled.claim_local(0) == 0
         assert recycled.claim_steal(0) == (1, 5)
 
+    def test_levels_keep_separate_decks(self):
+        # The same ordinal at different team levels must never share a deck.
+        arena = shm.TaskStealArena(max_workers=2, capacity=16)
+        outer = arena.slot(0, num_workers=2, ntiles=4, level=0)
+        inner = arena.slot(0, num_workers=2, ntiles=6, level=1)
+        assert outer.claim_local(0) == 0
+        assert inner.claim_local(0) == 0
+        assert outer.claim_local(0) == 1
+        assert inner.claim_steal(0) == (1, 5)
+
     def test_attach_is_idempotent_across_members(self):
-        arena = shm.TaskStealArena(max_workers=2, capacity=4)
+        arena = shm.TaskStealArena(max_workers=2, capacity=8)
         one = arena.slot(1, num_workers=2, ntiles=4)
         assert one.claim_local(0) == 0
         # A sibling member attaching the same ordinal must not re-seed.
@@ -535,12 +546,12 @@ class TestTaskStealArena:
         assert again.claim_local(0) == 1
 
     def test_oversized_team_rejected(self):
-        arena = shm.TaskStealArena(max_workers=2, capacity=4)
+        arena = shm.TaskStealArena(max_workers=2, capacity=8)
         with pytest.raises(ValueError):
             arena.slot(0, num_workers=3, ntiles=6)
 
     def test_reset_frees_all_slots(self):
-        arena = shm.TaskStealArena(max_workers=2, capacity=4)
+        arena = shm.TaskStealArena(max_workers=2, capacity=8)
         slot = arena.slot(1, num_workers=2, ntiles=4)
         slot.mark_done(4)
         arena.reset()

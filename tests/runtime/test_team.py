@@ -355,6 +355,207 @@ class TestProcessBackendStrategy:
             set_backend(previous)
 
 
+@pytest.mark.nested
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
+class TestNestedTeamConformance:
+    """Two-level teams-of-teams behave identically on every backend.
+
+    All scenarios run under the conftest watchdog: a deadlocked inner team
+    fails the test instead of hanging tier-1.  Observations go through shared
+    memory (they survive the process boundary), and the computed values are
+    team-size independent, so one assertion body serves every backend.
+    """
+
+    def test_two_level_grid_results_identical(self, backend_name, watchdog):
+        """Outer region workshares rows, inner regions workshare columns."""
+        rows, cols = 6, 8
+        with shm.SharedArray.zeros((rows, cols), np.float64) as grid:
+
+            def fill_cols(start, end, step, row):
+                for col in range(start, end, step):
+                    grid[row, col] = row * 100.0 + col
+
+            def inner(row):
+                from repro.runtime.worksharing import run_for
+
+                run_for(fill_cols, 0, cols, 1, row, schedule="dynamic")
+
+            def fill_rows(start, end, step):
+                for row in range(start, end, step):
+                    parallel_region(lambda r=row: inner(r), num_threads=2)
+
+            def outer():
+                from repro.runtime.worksharing import run_for
+
+                run_for(fill_rows, 0, rows, 1)
+
+            watchdog(lambda: parallel_region(outer, num_threads=2, backend=backend_name))
+            expected = np.add.outer(np.arange(rows) * 100.0, np.arange(cols, dtype=np.float64))
+            assert np.array_equal(np.asarray(grid), expected)
+
+    def test_process_outer_spawns_thread_sub_teams(self, backend_name, watchdog):
+        """Nested regions form real inner teams on every backend (the process
+        backend resolves them to thread sub-teams inside each worker)."""
+        inner_size = 3
+        with shm.SharedArray.zeros((4, inner_size), np.int64) as marks:
+
+            def outer():
+                outer_tid = ctx.get_thread_id()
+
+                def inner():
+                    marks[outer_tid, ctx.get_thread_id()] += 1
+
+                # Ask for the same backend: nested process regions must
+                # transparently resolve to in-process sub-teams.
+                parallel_region(inner, num_threads=inner_size, backend=backend_name)
+
+            watchdog(lambda: parallel_region(outer, num_threads=4, backend=backend_name))
+            outer_size = 1 if backend_name == "serial" else 4
+            inner_effective = 1 if backend_name == "serial" else inner_size
+            filled = np.asarray(marks)[:outer_size, :inner_effective]
+            assert int(np.asarray(marks).sum()) == outer_size * inner_effective
+            assert (filled == 1).all()
+
+    def test_member_paths_identify_every_leaf(self, backend_name, watchdog):
+        """Per-level member ids (the member path) are unique across the tree."""
+        with shm.SharedArray.zeros((2, 2), np.int64) as seen:
+
+            def outer():
+                def inner():
+                    path = ctx.get_member_path()
+                    assert len(path) == 2
+                    # OpenMP numbering: level 0 is the initial serial level,
+                    # level 1 the outermost region, get_level() the caller's.
+                    assert ctx.get_ancestor_thread_id(0) == 0
+                    assert path[0] == ctx.get_ancestor_thread_id(1)
+                    assert path[1] == ctx.get_ancestor_thread_id(ctx.get_level())
+                    assert path[1] == ctx.get_thread_id()
+                    assert ctx.get_ancestor_thread_id(ctx.get_level() + 1) == -1
+                    seen[path[0], path[1]] += 1
+
+                parallel_region(inner, num_threads=2)
+
+            watchdog(lambda: parallel_region(outer, num_threads=2, backend=backend_name))
+            outer_size = 1 if backend_name == "serial" else 2
+            assert np.asarray(seen)[:outer_size].tolist() == [[1, 1]] * outer_size
+
+    def test_nested_region_trace_tree(self, backend_name, watchdog, recorder):
+        """Inner REGION_BEGIN events link to their parent region and level.
+
+        Worker-process trace buffers stay in the workers, so on the process
+        backend the tree is asserted for the master's lane only (the one
+        whose events reach the parent recorder).
+        """
+
+        def outer():
+            parallel_region(lambda: None, num_threads=2, name="inner")
+
+        watchdog(
+            lambda: parallel_region(outer, num_threads=2, backend=backend_name, name="outer")
+        )
+        begins = recorder.events(EventKind.REGION_BEGIN)
+        outers = [e for e in begins if e.data["name"] == "outer"]
+        inners = [e for e in begins if e.data["name"] == "inner"]
+        assert len(outers) == 1
+        outer_event = outers[0]
+        assert outer_event.data["level"] == 0
+        assert outer_event.data["parent_region"] is None
+        expected_inners = {"serial": 1, "threads": 2, "processes": 1}[backend_name]
+        assert len(inners) == expected_inners
+        for event in inners:
+            assert event.data["level"] == 1
+            assert event.data["parent_region"] == outer_event.region
+            assert 0 <= event.data["parent_thread"] < outer_event.data["size"]
+
+    def test_collapse_loop_inside_nested_team(self, backend_name, watchdog):
+        """collapse(2) worksharing is usable from an inner team."""
+        n = 4
+        with shm.SharedArray.zeros((n, n), np.int64) as hits:
+
+            def tile(r0, r1, rs, c0, c1, cs, base):
+                for r in range(r0, r1, rs):
+                    for c in range(c0, c1, cs):
+                        hits[r, c] += base
+
+            def inner():
+                from repro.runtime.worksharing import run_for
+
+                run_for(tile, 0, n, 1, 0, n, 1, 1, collapse=2, schedule="dynamic")
+
+            def outer():
+                if ctx.get_thread_id() == 0:
+                    parallel_region(inner, num_threads=2)
+
+            watchdog(lambda: parallel_region(outer, num_threads=2, backend=backend_name))
+            assert (np.asarray(hits) == 1).all()
+
+
+class TestNestedConfiguration:
+    """AOMP_NESTED / AOMP_MAX_ACTIVE_LEVELS configuration semantics."""
+
+    def test_max_active_levels_serialises_deeper_teams(self):
+        observed = []
+        lock = threading.Lock()
+
+        def level2():
+            with lock:
+                observed.append(ctx.get_num_team_threads())
+
+        def level1():
+            parallel_region(level2, num_threads=3)
+
+        with config_override(max_active_levels=1):
+            parallel_region(lambda: parallel_region(level1, num_threads=3), num_threads=2)
+        # Level 0 is active (size 2), so both deeper levels serialise.
+        assert observed == [1, 1]
+
+    def test_serialised_levels_do_not_consume_the_budget(self):
+        """A team-of-one level is inactive: parallelism reappears below it."""
+        sizes = []
+        lock = threading.Lock()
+
+        def leaf():
+            with lock:
+                sizes.append(ctx.get_num_team_threads())
+
+        def middle():
+            parallel_region(leaf, num_threads=2)
+
+        with config_override(max_active_levels=2):
+            parallel_region(
+                lambda: parallel_region(middle, num_threads=1), num_threads=2
+            )
+        # Outer active (2) -> middle serialised (1, by request) -> leaf may
+        # still be active because only one level of the budget is used.
+        assert sorted(sizes) == [2, 2, 2, 2]
+
+    def test_nested_env_seeding(self, monkeypatch):
+        from repro.runtime.config import RuntimeConfig
+
+        monkeypatch.setenv("AOMP_NESTED", "0")
+        assert RuntimeConfig().nested is False
+        monkeypatch.setenv("AOMP_NESTED", "true")
+        assert RuntimeConfig().nested is True
+
+    def test_max_active_levels_env_seeding(self, monkeypatch):
+        from repro.runtime.config import RuntimeConfig
+
+        monkeypatch.setenv("AOMP_MAX_ACTIVE_LEVELS", "2")
+        assert RuntimeConfig().max_active_levels == 2
+        monkeypatch.setenv("AOMP_MAX_ACTIVE_LEVELS", "not-a-number")
+        assert RuntimeConfig().max_active_levels == 4  # falls back to default
+
+    def test_omp_spellings_accepted(self, monkeypatch):
+        from repro.runtime.config import RuntimeConfig
+
+        monkeypatch.delenv("AOMP_NESTED", raising=False)
+        monkeypatch.setenv("OMP_NESTED", "false")
+        monkeypatch.setenv("OMP_MAX_ACTIVE_LEVELS", "3")
+        config = RuntimeConfig()
+        assert config.nested is False
+        assert config.max_active_levels == 3
+
+
 class TestTeamObject:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
