@@ -6,7 +6,9 @@ fast mode and compares each headline metric against the committed reference,
 exiting non-zero when a construct regressed.  Also runs the
 adaptive-scheduling benchmark (``benchmarks/bench_tune.py``) in smoke mode as
 a plumbing check (``schedule="auto"`` converges, cache round-trips; disable
-with ``--skip-tune``).  Called from CI's benchmark job and from
+with ``--skip-tune``) and the backend-comparison benchmark
+(``benchmarks/bench_backends.py``) as a schema/validity check (disable with
+``--skip-backends``).  Called from CI's benchmark job and from
 ``scripts/bench.sh``.
 
 A metric counts as regressed only when **both** hold:
@@ -40,7 +42,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import bench_overhead  # noqa: E402  (path set up above)
+import bench_backends  # noqa: E402  (path set up above)
+import bench_overhead  # noqa: E402
 import bench_tune  # noqa: E402
 
 #: default absolute-increase floor (seconds) per measurement mode: what one
@@ -146,6 +149,83 @@ def run_tune_smoke() -> int:
     return 0
 
 
+def check_backends_payload(payload: dict) -> list[str]:
+    """Validate a ``bench_backends.py --json`` payload against its schema.
+
+    Returns a list of problems (empty when the payload is well-formed).
+    Pure structural validation — no performance targets — so it holds on
+    1-core runners and interpreters where only a subset of backends exists.
+    """
+    problems: list[str] = []
+    if payload.get("schema_version") != bench_backends.SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {payload.get('schema_version')!r} != {bench_backends.SCHEMA_VERSION}"
+        )
+    for field in ("mode", "size", "workers", "available_cores", "free_threaded_build", "gil_enabled"):
+        if field not in payload:
+            problems.append(f"missing field {field!r}")
+    backends = payload.get("backends")
+    if not isinstance(backends, dict):
+        problems.append("missing backends capability table")
+        backends = {}
+    for name in bench_backends.BACKENDS:
+        info = backends.get(name)
+        if not isinstance(info, dict) or not {"available", "true_parallel", "spinup_cost_scale"} <= set(info):
+            problems.append(f"backend row {name!r} missing or incomplete")
+    measurements = payload.get("measurements")
+    if not isinstance(measurements, list) or not measurements:
+        problems.append("no measurements")
+        measurements = []
+    for index, row in enumerate(measurements):
+        missing = {
+            "kernel", "backend", "kernel_path", "workers", "seconds", "speedup_vs_serial", "value", "valid"
+        } - set(row)
+        if missing:
+            problems.append(f"measurement[{index}] missing {sorted(missing)}")
+            continue
+        if row["backend"] in backends and not backends[row["backend"]].get("available", True):
+            problems.append(f"measurement[{index}] reports unavailable backend {row['backend']!r}")
+        if not row["valid"]:
+            problems.append(f"measurement[{index}] {row['kernel']}/{row['backend']}: checksum mismatch")
+    return problems
+
+
+def run_backends_smoke() -> int:
+    """Plumbing check of the backend-comparison benchmark (smoke sizes).
+
+    Runs ``bench_backends`` on the tiny size with every kernel and validates
+    the JSON payload shape; speedup *targets* are not gated (they depend on
+    cores granted to the runner) — the honest numbers live in the report.
+    """
+    payload = {
+        "schema_version": bench_backends.SCHEMA_VERSION,
+        "mode": "smoke",
+        "size": "tiny",
+        "workers": 2,
+        "repeat": 1,
+        "available_cores": bench_backends._available_cores(),
+        "free_threaded_build": False,
+        "gil_enabled": True,
+        "backends": bench_backends.backend_rows(),
+        "measurements": [],
+    }
+    from repro.runtime.backend import free_threaded_build, gil_enabled
+
+    payload["free_threaded_build"] = free_threaded_build()
+    payload["gil_enabled"] = gil_enabled()
+    for name in bench_backends.KERNELS:
+        payload["measurements"].extend(
+            vars(row) for row in bench_backends.run_kernel(name, "tiny", 2, 1, "python")
+        )
+    problems = check_backends_payload(payload)
+    if problems:
+        print(f"FAIL: backend-comparison smoke: {'; '.join(problems)}")
+        return 1
+    ran = sorted({row["backend"] for row in payload["measurements"]})
+    print(f"OK: backend-comparison smoke (schema v{bench_backends.SCHEMA_VERSION}, backends: {', '.join(ran)})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -174,6 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the adaptive-scheduling smoke check (bench_tune.py plumbing)",
     )
+    parser.add_argument(
+        "--skip-backends",
+        action="store_true",
+        help="skip the backend-comparison smoke check (bench_backends.py plumbing)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -186,10 +271,13 @@ def main(argv: list[str] | None = None) -> int:
         floor_seconds=args.floor_us * 1e-6 if args.floor_us is not None else None,
         runs=args.runs,
     )
-    if args.skip_tune:
-        return status
-    print()
-    return status or run_tune_smoke()
+    if not args.skip_tune:
+        print()
+        status = status or run_tune_smoke()
+    if not args.skip_backends:
+        print()
+        status = status or run_backends_smoke()
+    return status
 
 
 if __name__ == "__main__":

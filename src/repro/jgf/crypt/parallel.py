@@ -76,7 +76,7 @@ def run_aomp(
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend) if backend is not None else None
-    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    shared = bool(backend_obj is not None and not backend_obj.supports_shared_locals)
     kernel = CryptBenchmark(n, shared=shared)
     try:
         weaver = Weaver()
@@ -111,7 +111,7 @@ def run_backend(
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
-    kernel = CryptBenchmark(n, shared=backend_obj.is_process_based)
+    kernel = CryptBenchmark(n, shared=not backend_obj.supports_shared_locals)
     try:
         _, elapsed = timed(
             lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="Crypt.spmd")

@@ -108,7 +108,7 @@ def run_collapse(
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
-    kernel = Linpack(n, shared=backend_obj.is_process_based)
+    kernel = Linpack(n, shared=not backend_obj.supports_shared_locals)
     kernel.spmd_schedule = schedule
     kernel.spmd_chunk = chunk
     try:

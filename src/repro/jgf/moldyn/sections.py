@@ -166,7 +166,7 @@ def run_aomp_sections(
         n,
         moves=_moves_for(size),
         num_sections=sections,
-        shared=backend_obj.is_process_based,
+        shared=not backend_obj.supports_shared_locals,
     )
     kernel.spmd_schedule = schedule
     try:

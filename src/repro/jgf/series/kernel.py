@@ -33,12 +33,18 @@ class FourierSeries:
     #: number of integration intervals per coefficient (JGF uses 1000)
     INTEGRATION_INTERVALS = 1000
 
-    def __init__(self, n_coefficients: int, *, shared: bool = False) -> None:
+    #: selectable chunk-body implementations (see ``kernel=``)
+    KERNELS = ("python", "vector")
+
+    def __init__(self, n_coefficients: int, *, shared: bool = False, kernel: str = "python") -> None:
         if n_coefficients < 2:
             raise ValueError("need at least 2 coefficient pairs")
+        if kernel not in self.KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one of {self.KERNELS}")
         self.n = n_coefficients
         self.shared = bool(shared)
         self.process_safe = self.shared
+        self.kernel = kernel
         #: row 0 = a_i coefficients, row 1 = b_i coefficients
         coefficients = np.zeros((2, n_coefficients), dtype=np.float64)
         self.coefficients = shm.as_shared(coefficients) if shared else coefficients
@@ -68,6 +74,12 @@ class FourierSeries:
 
     def compute_coefficients(self, start: int, end: int, step: int) -> None:
         """For method: compute coefficient pairs ``start <= i < end`` (M2FOR)."""
+        if self.kernel == "vector":
+            self._compute_coefficients_vector(start, end, step)
+        else:
+            self._compute_coefficients_python(start, end, step)
+
+    def _compute_coefficients_python(self, start: int, end: int, step: int) -> None:
         for i in range(start, end, step):
             if i == 0:
                 self.coefficients[0, 0] = self._integrate(lambda x: self._function(x, 0, 0)) / 2.0
@@ -75,6 +87,34 @@ class FourierSeries:
             else:
                 self.coefficients[0, i] = self._integrate(lambda x: self._function(x, i, 1))
                 self.coefficients[1, i] = self._integrate(lambda x: self._function(x, i, 2))
+
+    def _compute_coefficients_vector(self, start: int, end: int, step: int) -> None:
+        """Vectorised chunk body: numpy trapezoid integration per coefficient.
+
+        The 1000-point integration grid becomes array expressions, so the
+        inner loop's arithmetic runs in numpy (which releases the GIL) —
+        ~100× fewer Python bytecodes per coefficient than the pure-Python
+        body.  Each coefficient is computed by an *identical* expression
+        regardless of how the range was chunked, so any parallel schedule
+        produces results bit-identical to the vectorised serial run; against
+        the pure-Python body, numpy's pairwise summation reorders the
+        trapezoid accumulation and agreement is to ~1e-12 relative, not
+        bitwise.
+        """
+        intervals = self.INTEGRATION_INTERVALS
+        dx = 2.0 / intervals
+        x = np.arange(intervals + 1) * dx
+        base = np.power(x + 1.0, x)
+        weights = np.full(intervals + 1, dx)
+        weights[0] = weights[-1] = 0.5 * dx
+        for i in range(start, end, step):
+            if i == 0:
+                self.coefficients[0, 0] = float(base @ weights) / 2.0
+                self.coefficients[1, 0] = 0.0
+            else:
+                omega = (math.pi * i) * x
+                self.coefficients[0, i] = float((base * np.cos(omega)) @ weights)
+                self.coefficients[1, i] = float((base * np.sin(omega)) @ weights)
 
     # -- numerical helpers --------------------------------------------------------
 

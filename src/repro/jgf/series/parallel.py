@@ -21,12 +21,12 @@ INFO = BenchmarkInfo(
 )
 
 
-def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+def run_sequential(size: "str | int" = "small", *, kernel: str = "python") -> BenchmarkResult:
     """Run the plain sequential base program."""
     n = resolve_size(SIZES, size)
-    kernel = FourierSeries(n)
-    _, elapsed = timed(kernel.run)
-    return BenchmarkResult("Series", "sequential", size, kernel.checksum(), elapsed)
+    bench = FourierSeries(n, kernel=kernel)
+    _, elapsed = timed(bench.run)
+    return BenchmarkResult("Series", "sequential", size, bench.checksum(), elapsed)
 
 
 def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
@@ -62,7 +62,10 @@ def run_aomp(
     """AOmp style: weave the aspects onto the unchanged sequential kernel."""
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend) if backend is not None else None
-    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    # Shared memory whenever members do not share a Python heap — true for
+    # process *and* subinterpreter teams, so key off the capability flag
+    # rather than is_process_based.
+    shared = bool(backend_obj is not None and not backend_obj.supports_shared_locals)
     kernel = FourierSeries(n, shared=shared)
     try:
         weaver = Weaver()
@@ -79,24 +82,32 @@ def run_aomp(
 
 
 def run_backend(
-    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    backend: "Backend | str" = "threads",
+    *,
+    kernel: str = "python",
 ) -> BenchmarkResult:
-    """Runtime-API port: execute :meth:`FourierSeries.run_spmd` on ``backend``."""
+    """Runtime-API port: execute :meth:`FourierSeries.run_spmd` on ``backend``.
+
+    ``kernel="vector"`` selects the numpy chunk body (GIL-releasing inner
+    integration); results agree with the pure-Python body to ~1e-12 relative.
+    """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
-    kernel = FourierSeries(n, shared=backend_obj.is_process_based)
+    bench = FourierSeries(n, shared=not backend_obj.supports_shared_locals, kernel=kernel)
     try:
         _, elapsed = timed(
-            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="Series.spmd")
+            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="Series.spmd")
         )
         return BenchmarkResult(
             "Series",
             f"backend:{backend_obj.name}",
             size,
-            kernel.checksum(),
+            bench.checksum(),
             elapsed,
             num_threads=num_threads,
-            details={"backend": backend_obj.name},
+            details={"backend": backend_obj.name, "kernel": kernel},
         )
     finally:
-        kernel.release_shared()
+        bench.release_shared()

@@ -25,11 +25,11 @@ def _iterations_for(size: "str | int") -> int:
     return ITERATIONS.get(size, 10) if isinstance(size, str) else 10
 
 
-def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+def run_sequential(size: "str | int" = "small", *, kernel: str = "python") -> BenchmarkResult:
     """Run the plain sequential base program."""
     n = resolve_size(SIZES, size)
-    kernel = SORBenchmark(n, iterations=_iterations_for(size))
-    value, elapsed = timed(kernel.run)
+    bench = SORBenchmark(n, iterations=_iterations_for(size), kernel=kernel)
+    value, elapsed = timed(bench.run)
     return BenchmarkResult("SOR", "sequential", size, value, elapsed)
 
 
@@ -83,7 +83,9 @@ def run_aomp(
     """AOmp style: weave the aspects onto the unchanged sequential kernel."""
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend) if backend is not None else None
-    shared = bool(backend_obj is not None and backend_obj.is_process_based)
+    # Shared memory whenever members do not share a Python heap (process and
+    # subinterpreter teams alike).
+    shared = bool(backend_obj is not None and not backend_obj.supports_shared_locals)
     kernel = SORBenchmark(n, iterations=_iterations_for(size), shared=shared)
     try:
         weaver = Weaver()
@@ -98,24 +100,34 @@ def run_aomp(
 
 
 def run_backend(
-    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    backend: "Backend | str" = "threads",
+    *,
+    kernel: str = "python",
 ) -> BenchmarkResult:
-    """Runtime-API port: execute :meth:`SORBenchmark.run_spmd` on ``backend``."""
+    """Runtime-API port: execute :meth:`SORBenchmark.run_spmd` on ``backend``.
+
+    ``kernel="vector"`` relaxes whole row blocks per chunk in one numpy
+    expression (bit-identical results, GIL released inside the update).
+    """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
-    kernel = SORBenchmark(n, iterations=_iterations_for(size), shared=backend_obj.is_process_based)
+    bench = SORBenchmark(
+        n, iterations=_iterations_for(size), shared=not backend_obj.supports_shared_locals, kernel=kernel
+    )
     try:
         value, elapsed = timed(
-            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="SOR.spmd")
+            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="SOR.spmd")
         )
         return BenchmarkResult(
             "SOR",
             f"backend:{backend_obj.name}",
             size,
-            kernel.total(),
+            bench.total(),
             elapsed,
             num_threads=num_threads,
-            details={"backend": backend_obj.name},
+            details={"backend": backend_obj.name, "kernel": kernel},
         )
     finally:
-        kernel.release_shared()
+        bench.release_shared()

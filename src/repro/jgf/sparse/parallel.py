@@ -14,11 +14,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core import ForWorkSharing, ParallelRegion, Weaver, call
-from repro.runtime.backend import Backend
+from repro.runtime.backend import Backend, resolve_backend
 from repro.core.weaver.joinpoint import JoinPoint
 from repro.jgf.common import BenchmarkInfo, BenchmarkResult, resolve_size, spawn_jgf_threads, timed
 from repro.jgf.sparse.kernel import SparseMatmult
 from repro.runtime import context as ctx
+from repro.runtime.team import parallel_region
 from repro.runtime.trace import EventKind
 from repro.runtime.trace import TraceRecorder
 
@@ -67,18 +68,24 @@ class RowBlockFor(ForWorkSharing):
         return result
 
 
-def run_sequential(size: "str | int" = "small") -> BenchmarkResult:
+def _iterations_for(size: "str | int") -> int:
+    return ITERATIONS.get(size, 15) if isinstance(size, str) else 15
+
+
+def run_sequential(size: "str | int" = "small", *, kernel: str = "python") -> BenchmarkResult:
     """Run the plain sequential base program."""
     n, nz = resolve_size(SIZES, size)
-    kernel = SparseMatmult(n, nz, iterations=ITERATIONS.get(size, 15) if isinstance(size, str) else 15)
-    value, elapsed = timed(kernel.run)
+    bench = SparseMatmult(n, nz, iterations=_iterations_for(size), kernel=kernel)
+    # The row-range loop is what the parallel ports work-share; running it
+    # here too keeps sequential/parallel numerics on the same code path.
+    value, elapsed = timed(bench.run if kernel == "python" else bench.run_rows)
     return BenchmarkResult("Sparse", "sequential", size, value, elapsed)
 
 
 def run_threaded(size: "str | int" = "small", num_threads: int = 4) -> BenchmarkResult:
     """JGF-MT style: hand-coded row-block partitioning and explicit threads."""
     n, nz = resolve_size(SIZES, size)
-    iterations = ITERATIONS.get(size, 15) if isinstance(size, str) else 15
+    iterations = _iterations_for(size)
     kernel = SparseMatmult(n, nz, iterations=iterations)
     bounds = kernel.row_block_bounds(num_threads)
 
@@ -126,7 +133,7 @@ def run_aomp(
 ) -> BenchmarkResult:
     """AOmp style: weave the case-specific aspect onto the unchanged kernel."""
     n, nz = resolve_size(SIZES, size)
-    kernel = SparseMatmult(n, nz, iterations=ITERATIONS.get(size, 15) if isinstance(size, str) else 15)
+    kernel = SparseMatmult(n, nz, iterations=_iterations_for(size))
     weaver = Weaver()
     weaver.weave_all(build_aspects(num_threads, recorder, backend, schedule), SparseMatmult)
     try:
@@ -134,3 +141,39 @@ def run_aomp(
     finally:
         weaver.unweave_all()
     return BenchmarkResult("Sparse", "aomp", size, value, elapsed, num_threads=num_threads, recorder=recorder)
+
+
+def run_backend(
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    backend: "Backend | str" = "threads",
+    *,
+    kernel: str = "python",
+) -> BenchmarkResult:
+    """Runtime-API port: execute :meth:`SparseMatmult.run_spmd` on ``backend``.
+
+    The SPMD body work-shares the *row-range* loop (disjoint output rows per
+    chunk under any schedule); ``kernel="vector"`` replaces the per-chunk
+    scatter with a ``reduceat`` row reduction.  The output vector is placed
+    in shared memory for isolated-heap backends.
+    """
+    n, nz = resolve_size(SIZES, size)
+    backend_obj = resolve_backend(backend)
+    bench = SparseMatmult(
+        n, nz, iterations=_iterations_for(size), shared=not backend_obj.supports_shared_locals, kernel=kernel
+    )
+    try:
+        _, elapsed = timed(
+            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="Sparse.spmd")
+        )
+        return BenchmarkResult(
+            "Sparse",
+            f"backend:{backend_obj.name}",
+            size,
+            bench.total(),
+            elapsed,
+            num_threads=num_threads,
+            details={"backend": backend_obj.name, "kernel": kernel},
+        )
+    finally:
+        bench.release_shared()

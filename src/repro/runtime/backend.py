@@ -17,6 +17,18 @@ The backend is a strategy object deciding *how* team members execute:
   thread-local reductions) transparently fall back to the thread backend via
   the :attr:`Backend.supports_shared_locals` capability flag, which the
   weaver and the worksharing layer consult.
+* :class:`~repro.runtime.subinterp.SubinterpreterBackend` (registered as
+  ``subinterp``) — runs team members in PEP-734 subinterpreters, one per
+  member, each with its own GIL: true multi-core parallelism without fork
+  or pickled data, using the same :mod:`repro.runtime.shm` data plane as
+  the process backend.  Requires CPython ≥ 3.12 with an interpreters
+  module; degrades to threads elsewhere.
+
+Capability flags describe what each backend can honour; the
+:attr:`Backend.true_parallel` flag additionally reports whether members can
+execute Python bytecode *simultaneously* — which for the thread backend is a
+property of the build (free-threaded CPython, PEP 703), detected live via
+:func:`gil_enabled`, not a constant.
 
 Backends are selected (in increasing precedence): the ``AOMP_BACKEND``
 environment variable / :class:`repro.runtime.config.RuntimeConfig` field, a
@@ -28,6 +40,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
+import sysconfig
 import threading
 import time
 import warnings
@@ -40,6 +54,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.team import Team
 
 
+def free_threaded_build() -> bool:
+    """Whether this CPython was built with ``Py_GIL_DISABLED`` (PEP 703)."""
+    return bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
+def gil_enabled() -> bool:
+    """Whether the GIL is actually active in this process.
+
+    On free-threaded builds the GIL can still be re-enabled at runtime
+    (``PYTHON_GIL=1``, or an incompatible extension forcing it back on), so
+    the live :func:`sys._is_gil_enabled` answer is authoritative where it
+    exists; regular builds lack the probe and always hold the GIL.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    if probe is not None:
+        return bool(probe())
+    return True
+
+
 class Backend:
     """Interface for parallel-region execution backends."""
 
@@ -47,9 +80,10 @@ class Backend:
 
     #: Whether team members share one Python heap: mutations of ordinary
     #: Python objects made by one member are visible to the others.  Process
-    #: backends set this to ``False``; constructs that need shared locals
-    #: (single/master broadcast, ordered, critical sections, reductions) are
-    #: routed to a fallback backend when it is unset.
+    #: and subinterpreter backends set this to ``False``; constructs that
+    #: need shared locals (single/master broadcast, ordered, critical
+    #: sections, reductions) are routed to a fallback backend when it is
+    #: unset.
     supports_shared_locals = True
 
     #: Whether members can block in multi-party barriers (False only for the
@@ -58,6 +92,24 @@ class Backend:
 
     #: Whether members execute in separate OS processes.
     is_process_based = False
+
+    #: Rough cost of spinning up this backend's team relative to spawning
+    #: threads (1.0).  The adaptive tuner multiplies its serial-fallback
+    #: cutoff by this, so an expensive-to-start backend serialises small
+    #: loops sooner and a thread team is not charged a fork's price.
+    spinup_cost_scale = 1.0
+
+    @property
+    def true_parallel(self) -> bool:
+        """Whether team members can execute Python bytecode simultaneously.
+
+        ``False`` for GIL-bound threads (pure-Python bodies serialise even on
+        many cores); ``True`` for process teams, subinterpreter teams
+        (per-interpreter GIL) and threads on a live free-threaded build.
+        Consumers — the tuner's arbitration, the benchmark report — must ask
+        the *backend*, not assume thread ⇒ GIL-bound.
+        """
+        return False
 
     def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
         """Execute ``run_member(thread_id)`` for every member of ``team``.
@@ -103,6 +155,12 @@ class ThreadBackend(Backend):
     def __init__(self, daemon: bool = True, name_prefix: str = "aomp-worker") -> None:
         self.daemon = daemon
         self.name_prefix = name_prefix
+
+    @property
+    def true_parallel(self) -> bool:
+        """Threads run Python in parallel exactly when the GIL is off (PEP 703
+        free-threaded builds); on regular builds pure-Python bodies serialise."""
+        return not gil_enabled()
 
     def run_team(self, team: "Team", run_member: Callable[[int], Any], body: Callable[[], Any] | None = None) -> Any:
         def worker(thread_id: int) -> None:
@@ -205,6 +263,15 @@ class ProcessBackend(Backend):
     name = "processes"
     supports_shared_locals = False
     is_process_based = True
+    #: fork + channel setup per region (amortised by the persistent pool, but
+    #: the first region and non-picklable bodies pay full price).
+    spinup_cost_scale = 4.0
+
+    @property
+    def true_parallel(self) -> bool:
+        """Each worker process has its own interpreter and GIL — genuinely
+        parallel wherever the backend can run at all (fork available)."""
+        return shm.fork_available()
 
     #: Seconds granted to workers beyond the barrier timeout before the
     #: parent declares them lost.
@@ -518,6 +585,10 @@ _BACKEND_ALIASES = {
     "processes": "processes",
     "proc": "processes",
     "multiprocessing": "processes",
+    "subinterp": "subinterp",
+    "subinterpreter": "subinterp",
+    "subinterpreters": "subinterp",
+    "interpreters": "subinterp",
 }
 _named_instances: Dict[str, Backend] = {}
 
@@ -531,9 +602,21 @@ def register_backend(name: str, factory: Callable[[], Backend], *, aliases: tupl
     _named_instances.pop(name, None)
 
 
+def _subinterpreter_backend() -> Backend:
+    # Imported lazily: subinterp.py imports this module for the Backend base
+    # class, so a module-level import would be circular.  The backend is
+    # registered unconditionally — on interpreters without PEP-734 support
+    # its resolve_for_region degrades to the thread fallback with a warning,
+    # so ``AOMP_BACKEND=subinterp`` stays a safe setting everywhere.
+    from repro.runtime.subinterp import SubinterpreterBackend
+
+    return SubinterpreterBackend()
+
+
 register_backend("serial", SerialBackend)
 register_backend("threads", ThreadBackend)
 register_backend("processes", ProcessBackend)
+register_backend("subinterp", _subinterpreter_backend)
 
 
 def available_backends() -> list[str]:

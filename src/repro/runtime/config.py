@@ -13,7 +13,8 @@ from dataclasses import dataclass, field, replace
 
 
 def _default_backend() -> str:
-    """Backend name from ``AOMP_BACKEND`` (``serial`` | ``threads`` | ``processes``)."""
+    """Backend name from ``AOMP_BACKEND``
+    (``serial`` | ``threads`` | ``processes`` | ``subinterp``)."""
     env = (os.environ.get("AOMP_BACKEND") or "").strip().lower()
     return env or "threads"
 
@@ -86,9 +87,9 @@ class RuntimeConfig:
     num_threads:
         Default team size for parallel regions that do not specify one.
     backend:
-        Name of the default execution backend (``"serial"``, ``"threads"`` or
-        ``"processes"``), seeded from the ``AOMP_BACKEND`` environment
-        variable.  Overridden globally by
+        Name of the default execution backend (``"serial"``, ``"threads"``,
+        ``"processes"`` or ``"subinterp"``), seeded from the ``AOMP_BACKEND``
+        environment variable.  Overridden globally by
         :func:`repro.runtime.backend.set_backend` and per-region via the
         ``backend=`` argument of ``parallel_region``.
     default_schedule:

@@ -45,6 +45,17 @@ class BrokenTeamError(AOmpError):
     """Raised when a team member died with an exception and the team is unusable."""
 
 
+class BackendError(AOmpError):
+    """Raised when an execution backend cannot be constructed or operated.
+
+    Distinct from :class:`BackendCapabilityError` (a *construct* the backend
+    cannot honour): this error means the backend itself is unusable on the
+    current platform/build — e.g. the process backend's persistent pool on a
+    platform without the ``fork`` start method, where spawn/forkserver would
+    silently break the pre-fork ``SharedArray``/arena handoff.
+    """
+
+
 class BackendCapabilityError(AOmpError):
     """Raised when a construct is used on a backend that cannot honour it.
 

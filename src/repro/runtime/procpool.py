@@ -70,6 +70,12 @@ class PersistentProcessPool:
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError(f"pool needs at least 1 worker, got {workers}")
+        # The pool's contract is fork inheritance: barrier, arenas and queues
+        # below are created first and handed to the children by address-space
+        # inheritance.  Fail loudly (BackendError) rather than let a spawn/
+        # forkserver platform break the handoff silently — _mp_context() pins
+        # the explicit "fork" context, never the ambient default.
+        shm.require_fork("the persistent process pool")
         ctx = shm._mp_context()
         self.workers = workers
         self.barrier = shm.SharedBarrier(1)

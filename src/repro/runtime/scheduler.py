@@ -85,27 +85,49 @@ _SCHEDULE_ALIASES: dict[str, Schedule] = {
 }
 
 
+def _spec_forms() -> str:
+    """The valid spec forms, for error messages (OpenMP's ``kind[,chunk]``)."""
+    return (
+        'expected "kind" or "kind,chunk" (e.g. "dynamic,4"); valid kinds: '
+        f"{', '.join(member.value for member in Schedule)}"
+    )
+
+
 @lru_cache(maxsize=32)
 def parse_schedule_spec(spec: "str | Schedule") -> "tuple[Schedule, int | None]":
     """Parse an OpenMP-style schedule spec ``"kind[,chunk]"``.
 
     ``OMP_SCHEDULE`` (and this runtime's ``AOMP_SCHEDULE``) allow a chunk size
-    after the schedule name, e.g. ``"dynamic,4"``.  Returns ``(schedule,
-    chunk)`` with ``chunk=None`` when the spec does not carry one.
+    after the schedule name, e.g. ``"dynamic,4"``; surrounding whitespace and
+    uppercase kinds (``"DYNAMIC, 4"``) are accepted, as environments tend to
+    produce both.  Returns ``(schedule, chunk)`` with ``chunk=None`` when the
+    spec does not carry one.  Malformed specs — a trailing comma, extra
+    fields, a non-integer or non-positive chunk — raise
+    :class:`SchedulingError` naming the valid forms.
     """
     if isinstance(spec, Schedule):
         return spec, None
     if isinstance(spec, str) and "," in spec:
         name, _, chunk_text = spec.partition(",")
+        chunk_text = chunk_text.strip()
+        if not chunk_text:
+            raise SchedulingError(
+                f"malformed schedule spec {spec!r}: trailing comma with no chunk; {_spec_forms()}"
+            )
+        if "," in chunk_text:
+            raise SchedulingError(
+                f"malformed schedule spec {spec!r}: too many comma-separated fields; {_spec_forms()}"
+            )
         try:
-            chunk = int(chunk_text.strip())
+            chunk = int(chunk_text)
         except ValueError:
             raise SchedulingError(
-                f"malformed schedule spec {spec!r}: chunk must be an integer "
-                "(expected \"kind\" or \"kind,chunk\", e.g. \"dynamic,4\")"
+                f"malformed schedule spec {spec!r}: chunk must be an integer; {_spec_forms()}"
             ) from None
         if chunk < 1:
-            raise SchedulingError(f"schedule spec {spec!r}: chunk must be >= 1")
+            raise SchedulingError(
+                f"malformed schedule spec {spec!r}: chunk must be >= 1; {_spec_forms()}"
+            )
         return Schedule.parse(name), chunk
     return Schedule.parse(spec), None
 

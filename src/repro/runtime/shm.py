@@ -29,7 +29,28 @@ backend does not.  This module provides the pieces that make OpenMP-style
 
 Everything here also works under the serial and thread backends (shared
 memory is just memory), which is what lets the conformance test suite assert
-identical construct behaviour across all three backends.
+identical construct behaviour across all backends.
+
+**The fork constraint.**  Every ``multiprocessing`` primitive in this module
+(barrier condition variables, arena locks, the queues of the persistent
+pool) is created *before* worker processes exist and handed to them by
+address-space inheritance — which only the ``fork`` start method provides.
+Under ``spawn`` or ``forkserver`` the children would re-import and pickle
+their arguments instead: closures and woven classes cannot be pickled, and a
+pre-created ``SharedArray`` handoff would silently attach *after* the parent
+may already have unlinked the segment.  The process backend therefore pins
+:data:`FORK_METHOD` explicitly (never the ambient default, which 3.14
+changed away from fork), degrades to the thread backend where fork is
+missing, and components that cannot degrade — the persistent pool — fail
+loudly through :func:`require_fork`.
+
+The *subinterpreter* backend (:mod:`repro.runtime.subinterp`) reuses this
+module as its data plane with one twist: ``multiprocessing`` locks and
+condition variables cannot cross an interpreter boundary, so it builds the
+same arenas over :class:`SharedArray` cell storage guarded by
+:class:`PipeLock` (an OS-pipe token mutex — file descriptors are plain ints,
+valid in every interpreter of the process) and uses the polling
+:class:`InterpBarrier` instead of :class:`SharedBarrier`.
 """
 
 from __future__ import annotations
@@ -46,6 +67,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.runtime.barrier import BrokenBarrierError
+from repro.runtime.exceptions import BackendError
 from repro.runtime.scheduler import block_counts, claim_cap, guided_claim_batch
 
 #: start method used for every process-backend primitive.  Workers must
@@ -58,6 +80,25 @@ FORK_METHOD = "fork"
 def fork_available() -> bool:
     """Whether the ``fork`` start method exists on this platform."""
     return FORK_METHOD in multiprocessing.get_all_start_methods()
+
+
+def require_fork(component: str) -> None:
+    """Fail loudly when ``component`` needs fork semantics and fork is absent.
+
+    Components that *can* degrade (the process backend itself) fall back to
+    threads instead; components whose contract is fork inheritance — the
+    persistent worker pool hands pre-created barriers, arenas and queues to
+    its children by address-space inheritance — must not be constructed at
+    all under spawn/forkserver, where the handoff would silently break.
+    """
+    if not fork_available():
+        raise BackendError(
+            f"{component} requires the {FORK_METHOD!r} multiprocessing start method "
+            "(pre-forked SharedArray/arena handoff relies on address-space "
+            "inheritance; spawn/forkserver would re-import and pickle instead), "
+            f"but this platform only offers: {', '.join(multiprocessing.get_all_start_methods())}. "
+            "Use the threads or subinterp backend here."
+        )
 
 
 #: Number of team nesting levels the arenas can namespace.  Loop ordinals are
@@ -110,9 +151,13 @@ class SharedArray:
     methods of kernels holding shared arrays can be sent to a persistent
     worker pool without copying the data.
 
-    The creating process owns the segment and unlinks it in :meth:`close`
-    (also registered with ``atexit`` as a safety net); attached processes
-    merely detach.
+    The creating process owns the segment and unlinks it in :meth:`close`;
+    attached processes merely detach.  Both register :meth:`close` with
+    ``atexit`` as a safety net — the owner's net guarantees no ``/dev/shm``
+    residue even when a region body raises before its ``finally`` cleanup
+    runs, the non-owner's guarantees a clean detach so the resource tracker
+    has nothing to complain about at interpreter shutdown — and both
+    unregister it again on an explicit close.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, shape: tuple, dtype: np.dtype, *, owner: bool) -> None:
@@ -122,8 +167,7 @@ class SharedArray:
         self._owner = owner
         self._closed = False
         self.np: np.ndarray = np.ndarray(self._shape, dtype=self._dtype, buffer=shm.buf)
-        if owner:
-            atexit.register(self.close)
+        atexit.register(self.close)
 
     # -- construction --------------------------------------------------------
 
@@ -181,23 +225,31 @@ class SharedArray:
         return self._shm.name
 
     def close(self) -> None:
-        """Detach from the segment; the owner also unlinks it."""
+        """Detach from the segment; only the owner ever unlinks it.
+
+        Safe to call twice and safe in an attached process racing the owner's
+        unlink: the non-owner path never unlinks, so the owner's unlink is the
+        single point where the segment's name disappears, and only the benign
+        double-unlink race (two exits of the *owning* process's safety nets)
+        is swallowed.
+        """
         if self._closed:
             return
         self._closed = True
+        # Symmetric with __init__ for owner *and* non-owner registrations.
+        atexit.unregister(self.close)
         # Drop the view before closing the mmap underneath it.
         self.np = None  # type: ignore[assignment]
         try:
             self._shm.close()
+        except BufferError:  # pragma: no cover - an exported view pins the mmap
+            return  # stay attached rather than crash; unlink still runs below
+        finally:
             if self._owner:
-                self._shm.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover - double unlink
-            pass
-        if self._owner:
-            try:
-                atexit.unregister(self.close)
-            except Exception:  # pragma: no cover
-                pass
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already unlinked
+                    pass
 
     def __enter__(self) -> "SharedArray":
         return self
@@ -332,6 +384,142 @@ class SharedBarrier:
             self._cond.notify_all()
 
 
+class PipeLock:
+    """A mutex built on an OS pipe holding a single token byte.
+
+    ``multiprocessing`` locks are Python objects and cannot cross a
+    subinterpreter boundary; file descriptors are process-wide integers valid
+    in *every* interpreter of the process (and, inherited across ``fork``, in
+    child processes too).  ``acquire`` blocks in ``os.read`` until the token
+    byte is available; ``release`` writes it back.  Not reentrant — exactly
+    like the ``multiprocessing`` locks it substitutes for, which the arenas
+    never nest.
+    """
+
+    __slots__ = ("_read_fd", "_write_fd", "_owner")
+
+    def __init__(self, fds: "tuple[int, int] | None" = None) -> None:
+        if fds is None:
+            self._read_fd, self._write_fd = os.pipe()
+            os.write(self._write_fd, b"\x00")  # seed the token: lock starts free
+            self._owner = True
+        else:
+            self._read_fd, self._write_fd = fds
+            self._owner = False
+
+    @property
+    def fds(self) -> "tuple[int, int]":
+        """The ``(read, write)`` descriptor pair — the lock's shareable identity."""
+        return (self._read_fd, self._write_fd)
+
+    def acquire(self) -> None:
+        os.read(self._read_fd, 1)
+
+    def release(self) -> None:
+        os.write(self._write_fd, b"\x00")
+
+    def __enter__(self) -> "PipeLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def close(self) -> None:
+        """Close the pipe (creator only: fds are shared by every attached party)."""
+        if self._owner:
+            self._owner = False
+            os.close(self._read_fd)
+            os.close(self._write_fd)
+
+
+class InterpBarrier:
+    """A cyclic barrier over :class:`SharedArray` cells and a :class:`PipeLock`.
+
+    The polling twin of :class:`SharedBarrier` for teams whose members cannot
+    share a ``multiprocessing`` condition variable (subinterpreters).  State
+    layout and semantics (``wait``/``abort``/``reset``/``parties``/``broken``)
+    are identical; waiters poll the generation counter instead of sleeping on
+    a condvar, with the same cadence the tune-plan slots already use.
+    """
+
+    _COUNT, _GENERATION, _BROKEN, _PARTIES = range(4)
+    CELLS = 4
+    POLL_INTERVAL = 0.0002
+
+    def __init__(
+        self,
+        parties: "int | None" = None,
+        *,
+        cells: Any = None,
+        lock: Any = None,
+        timeout: float = BARRIER_TIMEOUT,
+    ) -> None:
+        if cells is None:
+            if parties is None or parties < 1:
+                raise ValueError(f"barrier needs at least 1 party, got {parties}")
+            cells = SharedArray.zeros(self.CELLS, np.int64)
+            lock = PipeLock()
+            cells[self._PARTIES] = parties
+        elif lock is None:
+            raise ValueError("external cells need an external lock")
+        self._cells = cells
+        self._lock = lock
+        self._timeout = timeout
+
+    @property
+    def parties(self) -> int:
+        return int(self._cells[self._PARTIES])
+
+    @property
+    def broken(self) -> bool:
+        with self._lock:
+            return bool(self._cells[self._BROKEN])
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until all parties arrive; raises :class:`BrokenBarrierError` on abort/timeout."""
+        limit = timeout if timeout is not None else self._timeout
+        cells = self._cells
+        with self._lock:
+            if cells[self._BROKEN]:
+                raise BrokenBarrierError("barrier is broken")
+            generation = int(cells[self._GENERATION])
+            index = int(cells[self._PARTIES]) - 1 - int(cells[self._COUNT])
+            cells[self._COUNT] += 1
+            if cells[self._COUNT] == cells[self._PARTIES]:
+                cells[self._COUNT] = 0
+                cells[self._GENERATION] += 1
+                return index
+        deadline = time.monotonic() + limit
+        while True:
+            with self._lock:
+                if cells[self._BROKEN]:
+                    raise BrokenBarrierError("barrier is broken")
+                if cells[self._GENERATION] != generation:
+                    return index
+                if time.monotonic() > deadline:
+                    cells[self._BROKEN] = 1
+                    raise BrokenBarrierError("barrier wait timed out")
+            time.sleep(self.POLL_INTERVAL)
+
+    def abort(self) -> None:
+        """Break the barrier, releasing all waiters with an error."""
+        with self._lock:
+            self._cells[self._BROKEN] = 1
+
+    def reset(self, parties: Optional[int] = None) -> None:
+        """Restore the barrier to a fresh state, optionally with a new party count."""
+        with self._lock:
+            cells = self._cells
+            cells[self._COUNT] = 0
+            cells[self._GENERATION] += 1
+            cells[self._BROKEN] = 0
+            if parties is not None:
+                if parties < 1:
+                    raise ValueError(f"barrier needs at least 1 party, got {parties}")
+                cells[self._PARTIES] = parties
+
+
 class SyncArena:
     """Pre-allocated pool of shared claim counters for workshared loops.
 
@@ -343,15 +531,27 @@ class SyncArena:
     """
 
     _TAG, _NEXT = 0, 1
+    #: int64 cells per slot (for sizing external storage; see ``cells=``).
+    CELLS_PER_SLOT = 2
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, *, cells: Any = None, lock: Any = None, fresh: bool = True) -> None:
+        """``cells``/``lock`` plug in alternative storage (e.g. a
+        :class:`SharedArray` int64 view guarded by a :class:`PipeLock` for the
+        subinterpreter backend); ``fresh=False`` attaches to storage another
+        party already initialised instead of resetting it."""
         if capacity % MAX_TEAM_LEVELS:
             raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
-        ctx = _mp_context()
+        if cells is None:
+            ctx = _mp_context()
+            lock = ctx.Lock()
+            cells = ctx.Array("q", self.CELLS_PER_SLOT * capacity, lock=False)
+        elif lock is None:
+            raise ValueError("external cells need an external lock")
         self.capacity = capacity
-        self._lock = ctx.Lock()
-        self._cells = ctx.Array("q", 2 * capacity, lock=False)
-        self.reset()
+        self._lock = lock
+        self._cells = cells
+        if fresh:
+            self.reset()
 
     def reset(self) -> None:
         """Mark every slot unused (called between regions by the pool)."""
@@ -491,20 +691,33 @@ class TaskStealArena:
     _TAG, _COMPLETED = 0, 1
     _FIELDS = 2  # per-slot header cells before the per-worker (head, tail) pairs
 
-    def __init__(self, max_workers: int = 64, capacity: int = 64) -> None:
+    @staticmethod
+    def cells_needed(max_workers: int, capacity: int) -> int:
+        """Total int64 cells external storage must provide (see ``cells=``)."""
+        return (TaskStealArena._FIELDS + 2 * max_workers) * capacity
+
+    def __init__(
+        self, max_workers: int = 64, capacity: int = 64, *, cells: Any = None, lock: Any = None, fresh: bool = True
+    ) -> None:
+        """``cells``/``lock``/``fresh`` as for :class:`SyncArena`: alternative
+        storage for backends whose locks cannot cross the member boundary."""
         if max_workers < 1:
             raise ValueError(f"arena needs at least 1 worker, got {max_workers}")
         if capacity % MAX_TEAM_LEVELS:
             raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
-        ctx = _mp_context()
         self.max_workers = max_workers
         self.capacity = capacity
         self._stride = self._FIELDS + 2 * max_workers
-        self._lock = ctx.Lock()
-        self._cells = ctx.Array("q", self._stride * capacity, lock=False)
-        with self._lock:
-            for i in range(capacity):
-                self._cells[i * self._stride + self._TAG] = -1
+        if cells is None:
+            ctx = _mp_context()
+            lock = ctx.Lock()
+            cells = ctx.Array("q", self._stride * capacity, lock=False)
+        elif lock is None:
+            raise ValueError("external cells need an external lock")
+        self._lock = lock
+        self._cells = cells
+        if fresh:
+            self.reset()
 
     def reset(self) -> None:
         """Mark every slot unused (called between regions by the pool)."""
@@ -635,15 +848,25 @@ class TunePlanArena:
 
     _TAG, _SCHEDULE, _CHUNK, _FLAGS, _INVOCATION = range(5)
     _FIELDS = 5
+    #: int64 cells per slot (for sizing external storage; see ``cells=``).
+    CELLS_PER_SLOT = 5
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, *, cells: Any = None, lock: Any = None, fresh: bool = True) -> None:
+        """``cells``/``lock``/``fresh`` as for :class:`SyncArena`: alternative
+        storage for backends whose locks cannot cross the member boundary."""
         if capacity % MAX_TEAM_LEVELS:
             raise ValueError(f"capacity must be a multiple of {MAX_TEAM_LEVELS}, got {capacity}")
-        ctx = _mp_context()
+        if cells is None:
+            ctx = _mp_context()
+            lock = ctx.Lock()
+            cells = ctx.Array("q", self._FIELDS * capacity, lock=False)
+        elif lock is None:
+            raise ValueError("external cells need an external lock")
         self.capacity = capacity
-        self._lock = ctx.Lock()
-        self._cells = ctx.Array("q", self._FIELDS * capacity, lock=False)
-        self.reset()
+        self._lock = lock
+        self._cells = cells
+        if fresh:
+            self.reset()
 
     def reset(self) -> None:
         """Mark every slot unused (called between regions by the pool)."""

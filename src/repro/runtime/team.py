@@ -73,6 +73,13 @@ class Team:
         self.parent = parent
         self.members = [TeamMember(thread_id=i) for i in range(size)]
         self.process_sync = process_sync
+        #: identity of the backend that executes this team, set by
+        #: ``parallel_region`` after backend resolution (master side only —
+        #: worker-side reconstructions keep the neutral defaults, which is
+        #: fine: the tuner's plan is decided on the master and published).
+        #: ``backend_spinup_scale`` feeds the tuner's serial-fallback cutoff.
+        self.backend_name = ""
+        self.backend_spinup_scale = 1.0
         self._barrier = process_sync.barrier if process_sync is not None else CyclicBarrier(size)
         self._shared: dict[Hashable, Any] = {}
         self._shared_lock = threading.Lock()
@@ -266,6 +273,11 @@ def parallel_region(
         process_sync=backend.create_process_sync(size, body),
         parent=parent.team if parent is not None else None,
     )
+    # Record the *resolved* backend's identity: after fallback resolution this
+    # names the backend that actually runs the members, which is what the
+    # adaptive tuner keys its per-site cache and spinup costs on.
+    team.backend_name = backend.name
+    team.backend_spinup_scale = backend.spinup_cost_scale
     # From here on the backend may hold per-region resources (the process
     # backend's pool lock); every exit path below must reach finish_region.
     try:

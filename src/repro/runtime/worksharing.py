@@ -239,8 +239,9 @@ def run_for(
     if ordered and team.is_process_team:
         raise BackendCapabilityError(
             f"loop {name!r}: ordered execution needs a shared Python heap; "
-            "the process backend cannot honour it (weave with threads, or mark "
-            "the region as requiring shared locals to get the automatic fallback)"
+            "isolated-heap teams (process or subinterpreter backends) cannot "
+            "honour it (weave with threads, or mark the region as requiring "
+            "shared locals to get the automatic fallback)"
         )
 
     ordered_region: OrderedRegion | None = None
@@ -372,7 +373,13 @@ def _run_auto(
     ticket_key = None
     if (slot := team.proc_tune_slot(ordinal)) is not None:
         if thread_id == 0:
-            ticket = get_tuner().begin_invocation(name, total, team.size)
+            ticket = get_tuner().begin_invocation(
+                name,
+                total,
+                team.size,
+                backend=team.backend_name,
+                spinup_scale=team.backend_spinup_scale,
+            )
             code, size, flags = ticket.encode()
             slot.publish((code, size, flags, ticket.invocation))
             candidate = ticket.candidate
@@ -383,7 +390,13 @@ def _run_auto(
         ticket_key = _loop_encounter_key(f"{name}#auto")
         ticket = team.shared_slot(
             ticket_key,
-            lambda: get_tuner().begin_invocation(name, total, team.size),
+            lambda: get_tuner().begin_invocation(
+                name,
+                total,
+                team.size,
+                backend=team.backend_name,
+                spinup_scale=team.backend_spinup_scale,
+            ),
         )
         candidate = ticket.candidate
 

@@ -34,9 +34,14 @@ processes forked before any tuning happened seed themselves from the same
 file.  Every decision the runtime acts on is recorded as a ``TUNE_DECISION``
 trace event by the work-sharing executor.
 
-The tuner deliberately knows nothing about threads or processes: it maps
-``(site, invocation)`` to a :class:`Candidate` and consumes wall-time
-observations.  Cross-member agreement is the work-sharing executor's job
+The tuner does not execute anything itself: it maps ``(site, invocation)``
+to a :class:`Candidate` and consumes wall-time observations.  It does know
+the *identity and spin-up cost* of the backend running each site (sites are
+keyed per backend, and the serial cutoff scales with
+:attr:`repro.runtime.backend.Backend.spinup_cost_scale`) — a loop tuned
+under GIL-bound threads must not dictate the plan for the same loop under
+processes or subinterpreters.  Cross-member agreement is the work-sharing
+executor's job
 (team shared slots in-process, the shm plan-publication arena for process
 teams — see :func:`repro.runtime.worksharing.run_for`).
 """
@@ -109,14 +114,24 @@ class Candidate:
 
 @dataclass(frozen=True, slots=True)
 class SiteKey:
-    """Identity of a tune site: loop name × trip-count bucket × team size."""
+    """Identity of a tune site: loop name × trip-count bucket × team size.
+
+    ``backend`` additionally separates sites by the backend that executes the
+    team: a loop that converged to ``dynamic,64`` under threads may want the
+    serial fallback under processes (the same trip count no longer amortises
+    the spin-up), so decisions must not leak across backends.  Empty for
+    callers that never learned the backend; the cache key then keeps the
+    pre-backend format, so existing persisted caches stay valid.
+    """
 
     loop: str
     bucket: int
     team: int
+    backend: str = ""
 
     def cache_key(self) -> str:
-        return f"{self.loop}|{self.bucket}|{self.team}"
+        base = f"{self.loop}|{self.bucket}|{self.team}"
+        return f"{base}|{self.backend}" if self.backend else base
 
 
 def trip_bucket(total: int) -> int:
@@ -471,13 +486,23 @@ class LoopTuner:
 
     # -- sites -----------------------------------------------------------------
 
-    def site(self, loop: str, total: int, team: int) -> TuneSite:
-        """The tune site for ``loop`` at this trip-count bucket and team size."""
-        key = SiteKey(loop, trip_bucket(total), max(1, team))
-        with self._lock:
-            return self._site_locked(key, total)
+    def site(
+        self, loop: str, total: int, team: int, *, backend: str = "", spinup_scale: float = 1.0
+    ) -> TuneSite:
+        """The tune site for ``loop`` at this trip-count bucket and team size.
 
-    def _site_locked(self, key: SiteKey, total: int) -> TuneSite:
+        ``backend``/``spinup_scale`` carry the resolved execution backend's
+        identity and relative team spin-up cost
+        (:attr:`repro.runtime.backend.Backend.spinup_cost_scale`): sites are
+        keyed per backend, and an expensive-to-start backend's serial-fallback
+        cutoff scales up so small loops serialise sooner there.  The defaults
+        preserve the historical backend-oblivious behaviour.
+        """
+        key = SiteKey(loop, trip_bucket(total), max(1, team), backend)
+        with self._lock:
+            return self._site_locked(key, total, spinup_scale=spinup_scale)
+
+    def _site_locked(self, key: SiteKey, total: int, *, spinup_scale: float = 1.0) -> TuneSite:
         site = self._sites.get(key)
         if site is None:
             config = self.config
@@ -485,7 +510,7 @@ class LoopTuner:
                 key,
                 total,
                 samples_per_candidate=config.samples_per_candidate,
-                serial_cutoff=config.serial_cutoff(),
+                serial_cutoff=config.serial_cutoff() * max(1.0, float(spinup_scale)),
                 drift_tolerance=config.drift_tolerance,
                 drift_patience=config.drift_patience,
                 drift_floor=config.drift_floor_seconds,
@@ -505,11 +530,16 @@ class LoopTuner:
 
     # -- the two calls the executor makes --------------------------------------
 
-    def begin_invocation(self, loop: str, total: int, team: int) -> TuneTicket:
-        """Decide the schedule for the next invocation of ``loop``."""
-        key = SiteKey(loop, trip_bucket(total), max(1, team))
+    def begin_invocation(
+        self, loop: str, total: int, team: int, *, backend: str = "", spinup_scale: float = 1.0
+    ) -> TuneTicket:
+        """Decide the schedule for the next invocation of ``loop``.
+
+        See :meth:`site` for the ``backend``/``spinup_scale`` semantics.
+        """
+        key = SiteKey(loop, trip_bucket(total), max(1, team), backend)
         with self._lock:
-            return self._site_locked(key, total).decide()
+            return self._site_locked(key, total, spinup_scale=spinup_scale).decide()
 
     def observe(self, ticket: TuneTicket, elapsed: float) -> dict[str, Any]:
         """Feed a wall-time observation; returns the TUNE_DECISION payload.

@@ -1,0 +1,145 @@
+"""Equivalence tests for the opt-in vectorised kernel path (``kernel="vector"``).
+
+The vector bodies exist to release the GIL inside each work-sharing chunk;
+their *contract* is numerical: chunk-shape independence (a vectorised serial
+run and any chunked/parallel vectorised run are bit-identical) and agreement
+with the paper-faithful pure-Python path within ``values_match`` tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jgf.common import values_match
+from repro.jgf.series import parallel as series
+from repro.jgf.series.kernel import FourierSeries
+from repro.jgf.sor import parallel as sor
+from repro.jgf.sor.kernel import SORBenchmark
+from repro.jgf.sparse import parallel as sparse
+from repro.jgf.sparse.kernel import SparseMatmult
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda kernel: FourierSeries(8, kernel=kernel),
+        lambda kernel: SORBenchmark(8, kernel=kernel),
+        lambda kernel: SparseMatmult(8, 16, kernel=kernel),
+    ],
+    ids=["series", "sor", "sparse"],
+)
+def test_unknown_kernel_name_rejected(factory):
+    with pytest.raises(ValueError, match="unknown kernel"):
+        factory("simd")
+
+
+class TestSeriesVector:
+    N = 64
+
+    def test_matches_python_path(self):
+        python = FourierSeries(self.N, kernel="python")
+        vector = FourierSeries(self.N, kernel="vector")
+        python.run()
+        vector.run()
+        assert np.allclose(python.coefficients, vector.coefficients, rtol=0, atol=1e-10)
+        assert values_match(float(np.abs(python.coefficients).sum()), float(np.abs(vector.coefficients).sum()))
+
+    def test_chunking_is_bitwise_invariant(self):
+        whole = FourierSeries(self.N, kernel="vector")
+        whole.run()
+        chunked = FourierSeries(self.N, kernel="vector")
+        chunked.compute_coefficients(0, 20, 1)
+        chunked.compute_coefficients(20, 45, 1)
+        chunked.compute_coefficients(45, self.N, 1)
+        assert np.array_equal(np.asarray(whole.coefficients), np.asarray(chunked.coefficients))
+        strided = FourierSeries(self.N, kernel="vector")
+        strided.compute_coefficients(0, self.N, 2)
+        strided.compute_coefficients(1, self.N, 2)
+        assert np.array_equal(np.asarray(whole.coefficients), np.asarray(strided.coefficients))
+
+
+class TestSORVector:
+    N = 20
+
+    def test_matches_python_path_bitwise(self):
+        python = SORBenchmark(self.N, iterations=5, kernel="python")
+        vector = SORBenchmark(self.N, iterations=5, kernel="vector")
+        python.run()
+        vector.run()
+        # Same per-element arithmetic in the same order: exactly equal.
+        assert np.array_equal(np.asarray(python.grid), np.asarray(vector.grid))
+
+    def test_chunking_is_bitwise_invariant(self):
+        whole = SORBenchmark(self.N, iterations=3, kernel="vector")
+        whole.run()
+        chunked = SORBenchmark(self.N, iterations=3, kernel="vector")
+        for _ in range(3):
+            # Red rows split across two step-2 chunks, then black likewise —
+            # the shapes static worksharing would produce for a team of two.
+            chunked.relax_rows(1, 9, 2)
+            chunked.relax_rows(9, self.N - 1, 2)
+            chunked.relax_rows(2, 10, 2)
+            chunked.relax_rows(10, self.N - 1, 2)
+        assert np.array_equal(np.asarray(whole.grid), np.asarray(chunked.grid))
+
+
+class TestSparseVector:
+    N, NZ = 60, 300
+
+    def test_matches_python_path(self):
+        python = SparseMatmult(self.N, self.NZ, iterations=3, kernel="python")
+        vector = SparseMatmult(self.N, self.NZ, iterations=3, kernel="vector")
+        python.run_rows()
+        vector.run_rows()
+        assert np.allclose(python.y, vector.y, rtol=0, atol=1e-10)
+        assert values_match(python.total(), vector.total())
+
+    def test_chunking_is_bitwise_invariant(self):
+        whole = SparseMatmult(self.N, self.NZ, kernel="vector")
+        whole.multiply_rows(0, self.N, 1)
+        chunked = SparseMatmult(self.N, self.NZ, kernel="vector")
+        chunked.multiply_rows(0, 17, 1)
+        chunked.multiply_rows(17, 40, 1)
+        chunked.multiply_rows(40, self.N, 1)
+        assert np.array_equal(np.asarray(whole.y), np.asarray(chunked.y))
+
+    def test_strided_path_matches_contiguous(self):
+        whole = SparseMatmult(self.N, self.NZ, kernel="vector")
+        whole.multiply_rows(0, self.N, 1)
+        strided = SparseMatmult(self.N, self.NZ, kernel="vector")
+        strided.multiply_rows(0, self.N, 2)
+        strided.multiply_rows(1, self.N, 2)
+        assert np.array_equal(np.asarray(whole.y), np.asarray(strided.y))
+
+    def test_empty_rows_handled(self):
+        # With nz == n and random row indices, collisions guarantee empty
+        # rows (deterministic under the fixed default seed) — the reduceat
+        # quirk this guards against: a zero-length segment would contribute
+        # ``products[offset]`` instead of 0.
+        python = SparseMatmult(50, 50, kernel="python")
+        vector = SparseMatmult(50, 50, kernel="vector")
+        counts = np.diff(python.row_ptr)
+        assert (counts == 0).any(), "fixture must contain empty rows"
+        python.multiply_rows(0, 50, 1)
+        vector.multiply_rows(0, 50, 1)
+        assert np.allclose(python.y, vector.y, rtol=0, atol=1e-12)
+        # Rows with no non-zeros stay exactly zero.
+        assert not np.asarray(vector.y)[counts == 0].any()
+
+
+class TestVectorDrivers:
+    """The ``kernel=`` knob through the benchmark drivers themselves."""
+
+    @pytest.mark.parametrize("module", [series, sor, sparse], ids=["series", "sor", "sparse"])
+    def test_sequential_vector_matches_python(self, module):
+        python = module.run_sequential("tiny", kernel="python")
+        vector = module.run_sequential("tiny", kernel="vector")
+        assert values_match(python.value, vector.value)
+
+    @pytest.mark.parametrize("module", [series, sor, sparse], ids=["series", "sor", "sparse"])
+    def test_run_backend_vector_path(self, module):
+        reference = module.run_sequential("tiny", kernel="vector")
+        result = module.run_backend("tiny", num_threads=2, backend="threads", kernel="vector")
+        assert result.details["kernel"] == "vector"
+        assert values_match(result.value, reference.value)

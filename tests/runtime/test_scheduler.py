@@ -15,6 +15,7 @@ from repro.runtime.scheduler import (
     StaticBlockScheduler,
     StaticCyclicScheduler,
     make_scheduler,
+    parse_schedule_spec,
 )
 
 
@@ -113,8 +114,6 @@ class TestSchedule:
                 assert member.value in message
 
     def test_parse_schedule_spec_with_chunk(self):
-        from repro.runtime.scheduler import parse_schedule_spec
-
         assert parse_schedule_spec("dynamic,4") == (Schedule.DYNAMIC, 4)
         assert parse_schedule_spec("guided") == (Schedule.GUIDED, None)
         assert parse_schedule_spec("auto") == (Schedule.AUTO, None)
@@ -123,6 +122,52 @@ class TestSchedule:
             parse_schedule_spec("dynamic,zero")
         with pytest.raises(SchedulingError):
             parse_schedule_spec("dynamic,0")
+
+
+class TestScheduleSpecHardening:
+    """Environment-shaped specs (``OMP_SCHEDULE`` style) parse leniently on
+    form, strictly on content — malformed specs fail naming the valid forms
+    instead of half-applying."""
+
+    def test_whitespace_and_case_accepted(self):
+        assert parse_schedule_spec("  DYNAMIC , 4 ") == (Schedule.DYNAMIC, 4)
+        assert parse_schedule_spec("Guided") == (Schedule.GUIDED, None)
+        assert parse_schedule_spec("STATIC-BLOCK") == (Schedule.STATIC_BLOCK, None)
+        assert parse_schedule_spec("\tcyclic,8\n") == (Schedule.STATIC_CYCLIC, 8)
+
+    @pytest.mark.parametrize(
+        "spec,detail",
+        [
+            ("dynamic,", "trailing comma"),
+            ("dynamic,4,8", "too many comma-separated fields"),
+            ("dynamic,four", "chunk must be an integer"),
+            ("dynamic,0", "chunk must be >= 1"),
+            ("dynamic,-3", "chunk must be >= 1"),
+        ],
+    )
+    def test_malformed_specs_name_the_valid_forms(self, spec, detail):
+        with pytest.raises(SchedulingError) as excinfo:
+            parse_schedule_spec(spec)
+        message = str(excinfo.value)
+        assert detail in message
+        # Every error teaches the fix: the spec grammar and the valid kinds.
+        assert 'expected "kind" or "kind,chunk"' in message
+        assert "valid kinds" in message
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        member=st.sampled_from(list(Schedule)),
+        chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)),
+        pads=st.lists(st.sampled_from(["", " ", "  ", "\t"]), min_size=4, max_size=4),
+        upper=st.booleans(),
+    )
+    def test_round_trip_property(self, member, chunk, pads, upper):
+        kind = member.value.upper() if upper else member.value
+        if chunk is None:
+            spec = f"{pads[0]}{kind}{pads[1]}"
+        else:
+            spec = f"{pads[0]}{kind}{pads[1]},{pads[2]}{chunk}{pads[3]}"
+        assert parse_schedule_spec(spec) == (member, chunk)
 
 
 class TestStaticBlock:

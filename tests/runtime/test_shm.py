@@ -205,3 +205,88 @@ def test_fork_available_reports_platform_truth():
     import multiprocessing
 
     assert fork_available() == ("fork" in multiprocessing.get_all_start_methods())
+
+
+def test_require_fork_is_silent_where_fork_exists():
+    if fork_available():
+        shm.require_fork("a component under test")  # must not raise
+
+
+class TestSharedArrayLifecycle:
+    """Regressions for the owner-only-unlink / atexit-symmetry contract."""
+
+    def test_owner_close_unlinks_the_segment(self):
+        arr = shared_zeros(4)
+        name = arr.name
+        arr.close()
+        with pytest.raises(FileNotFoundError):
+            shm._attach_shared_array(name, (4,), "<f8")
+
+    def test_non_owner_close_never_unlinks(self):
+        arr = shared_zeros(4)
+        try:
+            clone = pickle.loads(pickle.dumps(arr))
+            clone.close()
+            # The segment survives the attached party's close: a fresh attach
+            # still reaches the same pages.
+            again = pickle.loads(pickle.dumps(arr))
+            try:
+                again[0] = 7.0
+                assert arr[0] == 7.0
+            finally:
+                again.close()
+        finally:
+            arr.close()
+
+    def test_double_close_safe_for_owner_and_attached(self):
+        arr = shared_zeros(4)
+        clone = pickle.loads(pickle.dumps(arr))
+        # Explicit close unregisters the atexit net for both roles, so the
+        # second close (what the net would have done) must be a no-op.
+        clone.close()
+        clone.close()
+        arr.close()
+        arr.close()
+
+    def test_interpreter_exit_without_close_leaves_no_residue(self):
+        """The atexit net unlinks segments a raising body never closed."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        if not Path("/dev/shm").is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        src = str(Path(shm.__file__).resolve().parents[2])
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {src!r})\n"
+            "from repro.runtime import shm\n"
+            "arr = shm.shared_zeros(64)\n"
+            "print(arr.name, flush=True)\n"
+            "raise ValueError('body raised before cleanup')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, timeout=60
+        )
+        assert proc.returncode != 0
+        name = proc.stdout.strip()
+        assert name.startswith("aomp_")
+        assert not (Path("/dev/shm") / name).exists()
+
+    @pytest.mark.skipif(not fork_available(), reason="process backend needs fork")
+    def test_failing_process_region_leaves_no_new_segments(self):
+        from pathlib import Path
+
+        from repro.runtime.team import parallel_region
+
+        if not Path("/dev/shm").is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        before = {path.name for path in Path("/dev/shm").glob("aomp_*")}
+
+        def body():
+            raise ValueError("boom")
+
+        with pytest.raises(Exception):
+            parallel_region(body, num_threads=2, backend="processes")
+        after = {path.name for path in Path("/dev/shm").glob("aomp_*")}
+        assert after <= before

@@ -181,3 +181,52 @@ class TestEncoding:
     )
     def test_shm_plan_roundtrip(self, candidate):
         assert Candidate.decode(*candidate.encode()) == candidate
+
+
+class TestBackendKeyedSites:
+    """Sites are keyed per execution backend, with spinup-scaled cutoffs."""
+
+    def test_cache_key_separates_backends_and_keeps_legacy_format(self):
+        from repro.tune.tuner import SiteKey
+
+        legacy = SiteKey("loop", 10, 4)
+        assert legacy.cache_key() == "loop|10|4"  # pre-backend caches stay valid
+        threads = SiteKey("loop", 10, 4, "threads")
+        subinterp = SiteKey("loop", 10, 4, "subinterp")
+        assert threads.cache_key() == "loop|10|4|threads"
+        assert threads.cache_key() != subinterp.cache_key()
+
+    def test_sites_are_independent_per_backend(self):
+        tuner = LoopTuner(TunerConfig(), cache_path=None)
+        threads_site = tuner.site("loop", 1000, 4, backend="threads")
+        subinterp_site = tuner.site("loop", 1000, 4, backend="subinterp")
+        legacy_site = tuner.site("loop", 1000, 4)
+        assert len({id(threads_site), id(subinterp_site), id(legacy_site)}) == 3
+        # A decision learned on one backend never leaks into another's site.
+        converge(tuner, make_costs(candidates_for(1000, 4)[0]), loop="loop")
+        assert not tuner.site("loop", 1000, 4, backend="threads").converged
+
+    def test_spinup_scale_raises_the_serial_cutoff(self):
+        tuner = LoopTuner(TunerConfig(), cache_path=None)
+        cheap = tuner.site("cheap", 1000, 4, backend="threads", spinup_scale=1.0)
+        costly = tuner.site("costly", 1000, 4, backend="subinterp", spinup_scale=6.0)
+        assert costly._serial_cutoff == pytest.approx(cheap._serial_cutoff * 6.0)
+
+    def test_scale_below_one_never_lowers_the_cutoff(self):
+        tuner = LoopTuner(TunerConfig(), cache_path=None)
+        base = tuner.site("base", 1000, 4)
+        clamped = tuner.site("clamped", 1000, 4, spinup_scale=0.25)
+        assert clamped._serial_cutoff == pytest.approx(base._serial_cutoff)
+
+    def test_spinup_scale_flips_the_serialise_decision(self):
+        """One wall time, two backends: serial where teams are expensive."""
+        cutoff = TunerConfig().serial_cutoff()
+        elapsed = cutoff * 3  # above the plain cutoff, below the 6x-scaled one
+        tuner = LoopTuner(TunerConfig(), cache_path=None)
+        ticket = tuner.begin_invocation("flip", 1000, 4, backend="threads", spinup_scale=1.0)
+        tuner.observe(ticket, elapsed)
+        assert not tuner.site("flip", 1000, 4, backend="threads").converged
+        ticket = tuner.begin_invocation("flip", 1000, 4, backend="subinterp", spinup_scale=6.0)
+        tuner.observe(ticket, elapsed)
+        site = tuner.site("flip", 1000, 4, backend="subinterp")
+        assert site.converged and site.choice.serial
