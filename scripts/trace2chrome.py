@@ -71,6 +71,9 @@ _ARG_KEYS = {
     EventKind.BARRIER: ("label",),
     EventKind.REDUCTION: ("field", "count"),
     EventKind.SECTION: ("sections", "index", "method"),
+    EventKind.WORKER_DEAD: ("member", "pid", "exitcode", "signal"),
+    EventKind.FAULT_INJECTED: ("action", "site", "member", "fault_region", "rule"),
+    EventKind.REGION_RETRY: ("name", "action", "attempt", "backend", "from_backend", "delay"),
 }
 
 

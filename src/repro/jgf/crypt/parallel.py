@@ -100,21 +100,33 @@ def run_aomp(
 
 
 def run_backend(
-    size: "str | int" = "small", num_threads: int = 4, backend: "Backend | str" = "threads"
+    size: "str | int" = "small",
+    num_threads: int = 4,
+    backend: "Backend | str" = "threads",
+    *,
+    on_failure: "str | None" = None,
 ) -> BenchmarkResult:
     """Runtime-API port: execute :meth:`CryptBenchmark.run_spmd` on ``backend``.
 
     This is the entry point :mod:`benchmarks.bench_backends` compares across
     serial/threads/processes; the body is picklable (all mutable state in
     shared memory under the process backend), so the persistent worker pool
-    path is exercised.
+    path is exercised.  ``on_failure`` forwards the recovery policy (each
+    block is encrypted/decrypted by pure assignment, so replay is safe).
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
     kernel = CryptBenchmark(n, shared=not backend_obj.supports_shared_locals)
     try:
         _, elapsed = timed(
-            lambda: parallel_region(kernel.run_spmd, num_threads=num_threads, backend=backend_obj, name="Crypt.spmd")
+            lambda: parallel_region(
+                kernel.run_spmd,
+                num_threads=num_threads,
+                backend=backend_obj,
+                name="Crypt.spmd",
+                on_failure=on_failure,
+                retry_safe=True,
+            )
         )
         return BenchmarkResult(
             "Crypt",

@@ -87,18 +87,28 @@ def run_backend(
     backend: "Backend | str" = "threads",
     *,
     kernel: str = "python",
+    on_failure: "str | None" = None,
 ) -> BenchmarkResult:
     """Runtime-API port: execute :meth:`FourierSeries.run_spmd` on ``backend``.
 
     ``kernel="vector"`` selects the numpy chunk body (GIL-releasing inner
     integration); results agree with the pure-Python body to ~1e-12 relative.
+    ``on_failure`` forwards the recovery policy (the SPMD body recomputes its
+    coefficient rows from scratch, so replaying the region is safe).
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
     bench = FourierSeries(n, shared=not backend_obj.supports_shared_locals, kernel=kernel)
     try:
         _, elapsed = timed(
-            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="Series.spmd")
+            lambda: parallel_region(
+                bench.run_spmd,
+                num_threads=num_threads,
+                backend=backend_obj,
+                name="Series.spmd",
+                on_failure=on_failure,
+                retry_safe=True,
+            )
         )
         return BenchmarkResult(
             "Series",

@@ -105,11 +105,15 @@ def run_backend(
     backend: "Backend | str" = "threads",
     *,
     kernel: str = "python",
+    on_failure: "str | None" = None,
 ) -> BenchmarkResult:
     """Runtime-API port: execute :meth:`SORBenchmark.run_spmd` on ``backend``.
 
     ``kernel="vector"`` relaxes whole row blocks per chunk in one numpy
     expression (bit-identical results, GIL released inside the update).
+    ``on_failure`` forwards the recovery policy; the relaxation mutates the
+    grid in place across sweeps, so the body is not marked ``retry_safe`` —
+    a replay request is refused rather than over-relaxing the grid.
     """
     n = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
@@ -118,7 +122,13 @@ def run_backend(
     )
     try:
         value, elapsed = timed(
-            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="SOR.spmd")
+            lambda: parallel_region(
+                bench.run_spmd,
+                num_threads=num_threads,
+                backend=backend_obj,
+                name="SOR.spmd",
+                on_failure=on_failure,
+            )
         )
         return BenchmarkResult(
             "SOR",

@@ -149,13 +149,17 @@ def run_backend(
     backend: "Backend | str" = "threads",
     *,
     kernel: str = "python",
+    on_failure: "str | None" = None,
 ) -> BenchmarkResult:
     """Runtime-API port: execute :meth:`SparseMatmult.run_spmd` on ``backend``.
 
     The SPMD body work-shares the *row-range* loop (disjoint output rows per
     chunk under any schedule); ``kernel="vector"`` replaces the per-chunk
     scatter with a ``reduceat`` row reduction.  The output vector is placed
-    in shared memory for isolated-heap backends.
+    in shared memory for isolated-heap backends.  ``on_failure`` forwards the
+    recovery policy; the body *accumulates* into the output vector across
+    iterations, so it is deliberately not marked ``retry_safe`` — a replay
+    request is refused rather than silently double-adding.
     """
     n, nz = resolve_size(SIZES, size)
     backend_obj = resolve_backend(backend)
@@ -164,7 +168,13 @@ def run_backend(
     )
     try:
         _, elapsed = timed(
-            lambda: parallel_region(bench.run_spmd, num_threads=num_threads, backend=backend_obj, name="Sparse.spmd")
+            lambda: parallel_region(
+                bench.run_spmd,
+                num_threads=num_threads,
+                backend=backend_obj,
+                name="Sparse.spmd",
+                on_failure=on_failure,
+            )
         )
         return BenchmarkResult(
             "Sparse",

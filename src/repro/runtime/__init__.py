@@ -45,6 +45,7 @@ from repro.runtime.backend import (
     set_backend,
 )
 from repro.runtime.shm import (
+    HeartbeatArena,
     SharedArray,
     SharedBarrier,
     SyncArena,
@@ -53,6 +54,14 @@ from repro.runtime.shm import (
     fork_available,
     is_shared,
     shared_zeros,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultRule,
+    WorkerMonitor,
+    parse_fault_spec,
+    reset_fault_plan,
+    set_fault_plan,
 )
 from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
 from repro.runtime.locks import LockRegistry, ReadWriteLock, StripedLocks, global_locks
@@ -107,6 +116,8 @@ from repro.runtime.exceptions import (
     AOmpError,
     BackendCapabilityError,
     BrokenTeamError,
+    FaultSpecError,
+    InjectedFault,
     NotInParallelRegionError,
     PointcutError,
     ReductionError,
@@ -220,11 +231,21 @@ __all__ = [
     "global_tracing_active",
     "NO_REGION",
     "merge_traces",
+    # faults
+    "FaultPlan",
+    "FaultRule",
+    "HeartbeatArena",
+    "WorkerMonitor",
+    "parse_fault_spec",
+    "set_fault_plan",
+    "reset_fault_plan",
     # errors
     "AOmpError",
     "BackendCapabilityError",
     "WorkerProcessError",
     "BrokenTeamError",
+    "FaultSpecError",
+    "InjectedFault",
     "NotInParallelRegionError",
     "PointcutError",
     "ReductionError",

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import sys
 import sysconfig
 import threading
@@ -47,7 +48,7 @@ import time
 import warnings
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
-from repro.runtime import shm
+from repro.runtime import faults, shm
 from repro.runtime.exceptions import WorkerProcessError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -330,7 +331,12 @@ class ProcessBackend(Backend):
             if pool is not None:
                 pool.prepare(size)
                 sync = shm.ProcessSync(
-                    pool.barrier, pool.arena, pooled=True, steal=pool.steal, tune=pool.tune
+                    pool.barrier,
+                    pool.arena,
+                    pooled=True,
+                    steal=pool.steal,
+                    tune=pool.tune,
+                    heartbeat=pool.heartbeat,
                 )
                 sync.body_bytes = body_bytes  # type: ignore[attr-defined]
                 return sync
@@ -341,6 +347,7 @@ class ProcessBackend(Backend):
             pooled=False,
             steal=shm.TaskStealArena(max_workers=max(size, 2)),
             tune=shm.TunePlanArena(),
+            heartbeat=shm.HeartbeatArena(),
         )
 
     def finish_region(self, team: "Team") -> None:
@@ -378,6 +385,20 @@ class ProcessBackend(Backend):
         for worker in workers:
             worker.start()
 
+        def dead_workers() -> list:
+            # Fork path: worker i *is* member i+1, and a worker that finished
+            # cleanly exits 0 — only abnormal exits are deaths.
+            return [
+                (member.thread_id, worker.pid, worker.exitcode)
+                for member, worker in zip(team.members[1:], workers)
+                if worker.exitcode not in (None, 0)
+            ]
+
+        sync = team.process_sync
+        monitor = faults.WorkerMonitor(
+            team, dead_workers, heartbeat=sync.heartbeat if sync is not None else None
+        )
+        monitor.start()
         master_result: Any = None
         try:
             master_result = run_member(0)
@@ -386,24 +407,40 @@ class ProcessBackend(Backend):
             # (cross-process) barrier so workers fail fast.
             pass
         finally:
-            payloads = self._collect(channel, workers, expected=team.size - 1, abort=team.abort)
-            self._apply_payloads(team, payloads)
+            payloads = self._collect(
+                channel, workers, expected=team.size - 1, abort=team.abort, tripped=lambda: monitor.tripped
+            )
+            monitor.stop()
+            self._apply_payloads(team, payloads, deaths=monitor.deaths, stalled=monitor.stalled)
+            # A failed region may leave a wedged worker behind (e.g. a member
+            # stalled in a long sleep): don't wait out its sleep, reap it.
+            failed = any(member.exception is not None for member in team.members)
             for worker in workers:
-                worker.join(timeout=5.0)
+                worker.join(timeout=0.5 if failed else 5.0)
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=1.0)
         return master_result
 
     def _run_pooled(self, team: "Team", run_member: Callable[[int], Any], sync: "shm.ProcessSync") -> Any:
         pool = self._pool
         assert pool is not None
         ticket = pool.submit_region(team, sync.body_bytes)  # type: ignore[attr-defined]
+        monitor = faults.WorkerMonitor(team, pool.dead_workers, heartbeat=pool.heartbeat)
+        monitor.start()
         master_result: Any = None
         try:
             master_result = run_member(0)
         except BaseException:
             pass
         finally:
-            payloads = pool.collect(ticket, expected=team.size - 1, abort=team.abort)
-            self._apply_payloads(team, payloads)
+            payloads = pool.collect(
+                ticket, expected=team.size - 1, abort=team.abort, tripped=lambda: monitor.tripped
+            )
+            monitor.stop()
+            if monitor.stalled:
+                pool.condemn()
+            self._apply_payloads(team, payloads, deaths=monitor.deaths, stalled=monitor.stalled)
         return master_result
 
     # -- helpers --------------------------------------------------------------
@@ -428,9 +465,16 @@ class ProcessBackend(Backend):
         from repro.runtime.procpool import PersistentProcessPool
 
         pool = self._pool
-        if pool is not None and (not pool.healthy or pool.workers < needed_workers):
+        if pool is not None and pool.workers < needed_workers:
             pool.shutdown()
             pool = self._pool = None
+        elif pool is not None and not pool.healthy:
+            # Self-healing first: respawn dead workers in place, keeping the
+            # warm shared primitives — unless a casualty poisoned them (died
+            # holding an arena lock), in which case rebuild from scratch.
+            if not pool.heal():
+                pool.shutdown()
+                pool = self._pool = None
         if pool is None:
             default = self._pool_workers or max(needed_workers, (os.cpu_count() or 2) - 1)
             try:
@@ -440,7 +484,15 @@ class ProcessBackend(Backend):
             self._pool = pool
         return pool
 
-    def _collect(self, channel, workers, *, expected: int, abort: Callable[[], None]) -> dict:
+    def _collect(
+        self,
+        channel,
+        workers,
+        *,
+        expected: int,
+        abort: Callable[[], None],
+        tripped: "Callable[[], bool] | None" = None,
+    ) -> dict:
         """Drain member payloads, guarding against workers that died silently."""
         return collect_member_payloads(
             channel,
@@ -449,14 +501,34 @@ class ProcessBackend(Backend):
             abort=abort,
             timeout=shm.BARRIER_TIMEOUT + self.JOIN_GRACE,
             accept=lambda item: (item[0], (item[1], item[2])),
+            tripped=tripped,
         )
 
-    def _apply_payloads(self, team: "Team", payloads: dict) -> None:
+    def _apply_payloads(
+        self, team: "Team", payloads: dict, deaths: "list | None" = None, stalled: "list | None" = None
+    ) -> None:
+        death_info = {m: (pid, code) for m, pid, code in (deaths or ()) if m is not None}
+        sync = team.process_sync
+        heartbeat = sync.heartbeat if sync is not None else None
         for member in team.members[1:]:
             payload = payloads.get(member.thread_id)
             if payload is None:
+                pid, exitcode = death_info.get(member.thread_id, (None, None))
+                if pid is None and heartbeat is not None:
+                    pid = heartbeat.pid(member.thread_id) or None
+                if stalled and member.thread_id in stalled:
+                    message = (
+                        f"worker process (pid {pid}) for member {member.thread_id} of team "
+                        f"{team.name!r} (level {team.nesting_level}) stopped heartbeating "
+                        "past AOMP_HEARTBEAT_TIMEOUT and was abandoned"
+                    )
+                else:
+                    message = _worker_death_message(team, member.thread_id, pid, exitcode)
                 member.exception = WorkerProcessError(
-                    f"worker process for thread {member.thread_id} of {team.name} died without reporting"
+                    message,
+                    member=member.thread_id,
+                    pid=pid,
+                    exitcode=exitcode,
                 )
                 continue
             result, exc = payload
@@ -478,6 +550,22 @@ class ProcessBackend(Backend):
             warnings.warn(f"ProcessBackend: {message}", RuntimeWarning, stacklevel=3)
 
 
+def _worker_death_message(team: "Team", member: int, pid: "int | None", exitcode: "int | None") -> str:
+    """Diagnose a worker that died before reporting: who, where, and how."""
+    where = f"member {member} of team {team.name!r} (level {team.nesting_level})"
+    who = f"worker process (pid {pid})" if pid else "worker process"
+    if exitcode is not None and exitcode < 0:
+        number = -exitcode
+        try:
+            signame = signal.Signals(number).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            signame = f"signal {number}"
+        return f"{who} for {where} was killed by {signame} (signal {number}) before reporting"
+    if exitcode is not None:
+        return f"{who} for {where} exited with code {exitcode} before reporting"
+    return f"{who} for {where} died without reporting"
+
+
 # ---------------------------------------------------------------------------
 # Shared member-payload collection (fork path and persistent pool).
 # ---------------------------------------------------------------------------
@@ -492,16 +580,25 @@ def collect_member_payloads(
     timeout: float,
     accept: Callable[[tuple], "tuple[int, tuple] | None"],
     on_give_up: Callable[[], None] | None = None,
+    give_up_grace: float = 2.0,
+    tripped: Callable[[], bool] | None = None,
 ) -> dict:
     """Drain ``expected`` member payloads from a result channel.
 
     ``accept`` maps a raw queue item to ``(thread_id, payload)`` or ``None``
     to discard it (the pool uses this to filter stale region tickets).  When
-    the workers die or ``timeout`` passes, ``on_give_up`` fires (the pool
-    poisons itself), the team is aborted to release any members still blocked
-    in a barrier, and the channel is drained one last time after a short
-    grace period so a member that reported moments too late is not
-    misclassified as having died silently.
+    the workers die, ``timeout`` passes, or ``tripped`` reports that the
+    worker monitor already aborted the team (a *stalled* member stays alive
+    but will never report, so waiting out the deadline would reintroduce the
+    very hang the monitor exists to prevent), ``on_give_up`` fires (the pool
+    poisons itself) and the team is aborted to release any members still
+    blocked in a barrier.  Survivors of a sibling's death then need a moment
+    to error out of the broken barrier and report: the give-up path keeps
+    draining for up to ``give_up_grace`` seconds — exiting early once the
+    channel has been idle for half a second — so late reporters are not
+    misclassified as having died silently, while a genuinely dead member
+    costs well under the barrier timeout (the monitor's abort makes the
+    whole detection path land in fractions of a second).
     """
     payloads: dict[int, tuple] = {}
 
@@ -519,12 +616,19 @@ def collect_member_payloads(
         drained = drain()
         if len(payloads) >= expected:
             break
-        if not alive() or time.monotonic() > deadline:
+        if not alive() or (tripped is not None and tripped()) or time.monotonic() > deadline:
             if on_give_up is not None:
                 on_give_up()
             abort()
-            time.sleep(0.05)
-            drain()
+            grace_deadline = time.monotonic() + give_up_grace
+            last_progress = time.monotonic()
+            while len(payloads) < expected and time.monotonic() < grace_deadline:
+                if drain():
+                    last_progress = time.monotonic()
+                elif time.monotonic() - last_progress > 0.5:
+                    break
+                else:
+                    time.sleep(0.01)
             break
         if not drained:
             time.sleep(0.001)

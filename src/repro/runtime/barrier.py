@@ -143,12 +143,16 @@ class CyclicBarrier:
                 if self._broken:
                     break
                 if not self._cond.wait(timeout):
+                    arrived = self._waiting
                     self._broken = True
                     self._broken_generations.add(generation)
                     self._waiting = 0
                     self._generation += 1
                     self._cond.notify_all()
-                    raise BrokenBarrierError("barrier wait timed out")
+                    raise BrokenBarrierError(
+                        f"barrier wait timed out after {timeout:g}s "
+                        f"({arrived} of {self._parties} parties arrived)"
+                    )
             if self._broken or generation in self._broken_generations:
                 raise BrokenBarrierError("barrier is broken")
             return index

@@ -50,6 +50,40 @@ def _default_num_threads() -> int:
 _TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
 _FALSE_WORDS = frozenset({"0", "false", "no", "off"})
 
+ON_FAILURE_POLICIES = ("raise", "retry", "degrade")
+
+
+def _default_on_failure() -> str:
+    """Region failure policy from ``AOMP_ON_FAILURE`` (``raise``/``retry``/``degrade``)."""
+    env = (os.environ.get("AOMP_ON_FAILURE") or "").strip().lower()
+    return env if env in ON_FAILURE_POLICIES else "raise"
+
+
+def _default_max_retries() -> int:
+    """Retry budget per backend level from ``AOMP_MAX_RETRIES`` (>= 0)."""
+    env = os.environ.get("AOMP_MAX_RETRIES")
+    if env:
+        try:
+            value = int(env)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+    return 2
+
+
+def _default_retry_backoff() -> float:
+    """Base retry delay in seconds from ``AOMP_RETRY_BACKOFF`` (doubles per attempt)."""
+    env = os.environ.get("AOMP_RETRY_BACKOFF")
+    if env:
+        try:
+            value = float(env)
+            if value >= 0.0:
+                return value
+        except ValueError:
+            pass
+    return 0.05
+
 
 def _default_nested() -> bool:
     """Whether nested regions create real teams, from ``AOMP_NESTED``/``OMP_NESTED``."""
@@ -118,6 +152,21 @@ class RuntimeConfig:
     tracing:
         Whether the runtime records :class:`~repro.runtime.trace.TraceRecorder`
         events (needed by :mod:`repro.perf`).
+    on_failure:
+        Default region failure policy (``"raise"``, ``"retry"`` or
+        ``"degrade"``), seeded from ``AOMP_ON_FAILURE``.  ``retry`` re-runs a
+        region whose failure was recoverable infrastructure (dead worker,
+        broken barrier, injected fault) with exponential backoff; ``degrade``
+        additionally walks down the backend fallback chain (processes →
+        threads → serial) once the retry budget is exhausted.  Both only act
+        on bodies marked ``retry_safe`` — see
+        :func:`repro.runtime.team.parallel_region`.
+    max_retries:
+        Retry budget per backend level under ``retry``/``degrade``, seeded
+        from ``AOMP_MAX_RETRIES``.
+    retry_backoff:
+        Base delay in seconds before a retry (doubling each attempt), seeded
+        from ``AOMP_RETRY_BACKOFF``.
     """
 
     num_threads: int = field(default_factory=_default_num_threads)
@@ -128,6 +177,9 @@ class RuntimeConfig:
     nested: bool = field(default_factory=_default_nested)
     max_active_levels: int = field(default_factory=_default_max_active_levels)
     tracing: bool = True
+    on_failure: str = field(default_factory=_default_on_failure)
+    max_retries: int = field(default_factory=_default_max_retries)
+    retry_backoff: float = field(default_factory=_default_retry_backoff)
 
     def with_updates(self, **kwargs) -> "RuntimeConfig":
         """Return a copy of this configuration with the given fields replaced."""

@@ -42,7 +42,23 @@ class TaskError(AOmpError):
 
 
 class BrokenTeamError(AOmpError):
-    """Raised when a team member died with an exception and the team is unusable."""
+    """Raised when a team member died with an exception and the team is unusable.
+
+    Carries the full failure roster so the region-level recovery policy
+    (``parallel_region(on_failure=...)``) can distinguish infrastructure
+    failures — dead worker processes, broken barriers, injected faults —
+    from deterministic body exceptions that would fail again on retry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failures: "list[tuple[int, BaseException]] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: ``(member_id, exception)`` per failing member, in member order.
+        self.failures: list[tuple[int, BaseException]] = failures or []
 
 
 class BackendError(AOmpError):
@@ -69,4 +85,42 @@ class BackendCapabilityError(AOmpError):
 class WorkerProcessError(AOmpError):
     """Raised when a process-backend worker failed in a way that cannot be
     reconstructed in the parent (died silently, or its exception was not
-    picklable)."""
+    picklable).
+
+    When the failure was a worker *death* detected by the heartbeat monitor,
+    the structured fields identify the casualty: ``member`` (team-relative
+    id), ``pid`` and ``exitcode`` (negative = killed by that signal number).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        member: "int | None" = None,
+        pid: "int | None" = None,
+        exitcode: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.member = member
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+class FaultSpecError(AOmpError):
+    """Raised for malformed ``AOMP_FAULTS`` fault-injection specs."""
+
+
+class InjectedFault(AOmpError):
+    """Raised by the fault-injection layer (:mod:`repro.runtime.faults`).
+
+    Either directly (``raise`` actions, and ``kill`` actions fired in a
+    member that shares the master's process, where a real ``SIGKILL`` would
+    take down the whole program) — always deliberate, never a product bug.
+    The region recovery policy treats it as a recoverable infrastructure
+    failure.
+    """
+
+    def __init__(self, message: str, *, action: str = "raise", site: str = "member") -> None:
+        super().__init__(message)
+        self.action = action
+        self.site = site

@@ -1,0 +1,534 @@
+"""Deterministic fault injection and fast failure detection.
+
+The robustness floor for the runtime's failure story has two halves:
+
+**Injection** — the ``AOMP_FAULTS`` environment variable (or a plan installed
+programmatically with :func:`set_fault_plan`) describes *deterministic* faults
+the runtime fires at well-defined sites, so tests and chaos runs can reproduce
+a failure exactly::
+
+    AOMP_FAULTS="kill:member=1,region=2"          # SIGKILL member 1's process
+                                                  # in the 3rd region
+    AOMP_FAULTS="raise:chunk=3"                   # raise InjectedFault on the
+                                                  # 4th dispatched loop chunk
+    AOMP_FAULTS="stall:barrier=1,seconds=5"       # sleep 5s at the 2nd barrier
+    AOMP_FAULTS="raise:member=1,p=0.5;seed:42"    # probabilistic, seeded
+
+A spec is a ``;``-separated list of rules, each ``action:key=value,...``:
+
+===========  ================================================================
+``kill``     SIGKILL the member's worker process.  *Backend-aware*: when the
+             member shares the master's process (threads, subinterpreters,
+             serial — or the master itself), a real SIGKILL would take down
+             the whole program, so the action degrades to raising
+             :class:`~repro.runtime.exceptions.InjectedFault` instead.
+``raise``    Raise :class:`InjectedFault` in the member.
+``stall``    Sleep ``seconds`` (default 1.0) at the site, simulating a hung
+             member so heartbeat/timeout paths can be exercised.
+===========  ================================================================
+
+Selectors: ``member=N`` (team-relative id), ``region=N`` (the N-th region
+*executed while the plan is active*, counted per process), ``chunk=N`` /
+``barrier=N`` (the member's N-th chunk dispatch / barrier arrival — these
+also pick the injection *site*; without them a rule fires at member start).
+All occurrence indices are 0-based like member ids: ``region=0`` is the
+process's first region.  Remaining selectors:
+``backend=NAME``, ``times=N`` (how often the rule may fire, default 1),
+``p=F`` (fire with probability F, drawn from the plan's seeded RNG; add a
+``seed:N`` rule for reproducibility).
+
+**Detection** — :class:`WorkerMonitor` is a daemon thread the process backend
+runs alongside each process-backed region.  The master normally learns about
+a dead worker only after its own barrier wait times out (120s); the monitor
+polls worker liveness every :func:`heartbeat_interval` seconds and *aborts
+the team barrier* the moment a worker dies, converting the hang into a
+diagnosed :class:`~repro.runtime.exceptions.WorkerProcessError` within
+fractions of a second.  Optionally (``AOMP_HEARTBEAT_TIMEOUT``) it also
+treats a member whose :class:`~repro.runtime.shm.HeartbeatArena` cell has
+gone stale as lost, catching live-but-wedged workers.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import random
+import signal
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from repro.runtime.exceptions import FaultSpecError, InjectedFault
+from repro.runtime.trace import EventKind
+
+ACTIONS = ("kill", "raise", "stall")
+SITES = ("member", "chunk", "barrier")
+
+_INT_KEYS = frozenset({"member", "region", "chunk", "barrier", "times"})
+_FLOAT_KEYS = frozenset({"seconds", "p"})
+
+
+def heartbeat_interval() -> float:
+    """Worker liveness poll period in seconds (``AOMP_HEARTBEAT_INTERVAL``)."""
+    env = os.environ.get("AOMP_HEARTBEAT_INTERVAL")
+    if env:
+        try:
+            value = float(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return 0.25
+
+
+def heartbeat_timeout() -> "float | None":
+    """Stale-heartbeat cutoff in seconds (``AOMP_HEARTBEAT_TIMEOUT``), or ``None``.
+
+    Disabled by default: a member legitimately blocked in a long chunk beats
+    only at barriers, so a stall cutoff is an opt-in for workloads that know
+    their cadence.
+    """
+    env = os.environ.get("AOMP_HEARTBEAT_TIMEOUT")
+    if env:
+        try:
+            value = float(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return None
+
+
+class FaultRule:
+    """One parsed ``action:selectors`` rule of an ``AOMP_FAULTS`` spec."""
+
+    __slots__ = ("action", "site", "member", "region", "index", "backend", "seconds", "times", "p", "fired")
+
+    def __init__(
+        self,
+        action: str,
+        *,
+        site: str = "member",
+        member: "int | None" = None,
+        region: "int | None" = None,
+        index: "int | None" = None,
+        backend: "str | None" = None,
+        seconds: float = 1.0,
+        times: int = 1,
+        p: "float | None" = None,
+    ) -> None:
+        if action not in ACTIONS:
+            raise FaultSpecError(f"unknown fault action {action!r}; valid actions: {', '.join(ACTIONS)}")
+        if site not in SITES:
+            raise FaultSpecError(f"unknown fault site {site!r}; valid sites: {', '.join(SITES)}")
+        if times < 1:
+            raise FaultSpecError(f"times must be >= 1, got {times}")
+        if p is not None and not 0.0 < p <= 1.0:
+            raise FaultSpecError(f"p must be in (0, 1], got {p}")
+        if seconds < 0:
+            raise FaultSpecError(f"seconds must be >= 0, got {seconds}")
+        self.action = action
+        self.site = site
+        self.member = member
+        self.region = region
+        self.index = index
+        self.backend = backend
+        self.seconds = seconds
+        self.times = times
+        self.p = p
+        self.fired = 0
+
+    def matches(self, *, site: str, seq: int, member: int, region: "int | None", backend: "str | None") -> bool:
+        if site != self.site:
+            return False
+        if self.member is not None and member != self.member:
+            return False
+        if self.region is not None and region != self.region:
+            return False
+        if self.index is not None and seq != self.index:
+            return False
+        if self.backend is not None and backend != self.backend:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.member is not None:
+            parts.append(f"member={self.member}")
+        if self.region is not None:
+            parts.append(f"region={self.region}")
+        if self.index is not None:
+            parts.append(f"{self.site}={self.index}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
+        if self.action == "stall":
+            parts.append(f"seconds={self.seconds}")
+        if self.times != 1:
+            parts.append(f"times={self.times}")
+        if self.p is not None:
+            parts.append(f"p={self.p}")
+        return f"{self.action}:{','.join(parts)}" if parts else self.action
+
+
+class FaultPlan:
+    """A set of fault rules plus the per-process state needed to fire them.
+
+    Chunk/barrier occurrence counters are kept *per (site, member)* so a
+    selector like ``chunk=3`` means "this member's 4th chunk dispatch",
+    deterministic regardless of how members interleave.  The plan also owns
+    the region occurrence counter that ``region=N`` selectors match against
+    (stamped on each team as ``fault_region`` and shipped to worker
+    processes/interpreters with the region descriptor).
+    """
+
+    def __init__(self, rules: Iterable[FaultRule], *, seed: "int | None" = None) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        self.origin_pid = os.getpid()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, int], int] = {}
+        self._region_counter = 0
+
+    def next_region(self) -> int:
+        """Claim the next region occurrence index (0-based)."""
+        with self._lock:
+            index = self._region_counter
+            self._region_counter += 1
+            return index
+
+    def fire(
+        self,
+        site: str,
+        *,
+        member: int,
+        region: "int | None" = None,
+        backend: "str | None" = None,
+        team: Any = None,
+    ) -> None:
+        """Fire the first armed rule matching this occurrence, if any.
+
+        ``kill`` sends a real SIGKILL only when the calling member runs in a
+        *different process* than the one that created the plan; in-process
+        members (threads, subinterpreters, the master) raise
+        :class:`InjectedFault` instead so the program under test survives.
+        """
+        with self._lock:
+            key = (site, member)
+            seq = self._counters[key] = self._counters.get(key, -1) + 1
+            chosen: "FaultRule | None" = None
+            for rule in self.rules:
+                if rule.fired >= rule.times:
+                    continue
+                if not rule.matches(site=site, seq=seq, member=member, region=region, backend=backend):
+                    continue
+                if rule.p is not None and self._rng.random() >= rule.p:
+                    continue
+                rule.fired += 1
+                chosen = rule
+                break
+        if chosen is None:
+            return
+        if team is not None and getattr(team, "tracing", False):
+            team.record(
+                EventKind.FAULT_INJECTED,
+                action=chosen.action,
+                site=site,
+                member=member,
+                fault_region=region,
+                rule=repr(chosen),
+            )
+        if chosen.action == "stall":
+            time.sleep(chosen.seconds)
+            return
+        if chosen.action == "kill" and os.getpid() != self.origin_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - not reached
+        raise InjectedFault(
+            f"injected {chosen.action!r} fault at {site} site "
+            f"(member {member}, region {region}): {chosen!r}",
+            action=chosen.action,
+            site=site,
+        )
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse an ``AOMP_FAULTS`` spec string into a :class:`FaultPlan`."""
+    rules: list[FaultRule] = []
+    seed: "int | None" = None
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        action, _, selector_text = raw.partition(":")
+        action = action.strip().lower()
+        if action == "seed":
+            try:
+                seed = int(selector_text.strip())
+            except ValueError:
+                raise FaultSpecError(f"seed needs an integer, got {selector_text.strip()!r}") from None
+            continue
+        selectors: dict[str, Any] = {}
+        for pair in filter(None, (p.strip() for p in selector_text.split(","))):
+            key, eq, value = pair.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if not eq or not value:
+                raise FaultSpecError(f"malformed selector {pair!r} in rule {raw!r} (expected key=value)")
+            if key in _INT_KEYS:
+                try:
+                    selectors[key] = int(value)
+                except ValueError:
+                    raise FaultSpecError(f"selector {key!r} needs an integer, got {value!r}") from None
+            elif key in _FLOAT_KEYS:
+                try:
+                    selectors[key] = float(value)
+                except ValueError:
+                    raise FaultSpecError(f"selector {key!r} needs a number, got {value!r}") from None
+            elif key == "backend":
+                selectors[key] = value.lower()
+            else:
+                raise FaultSpecError(
+                    f"unknown selector {key!r} in rule {raw!r}; valid selectors: "
+                    "member, region, chunk, barrier, backend, seconds, times, p"
+                )
+        if "chunk" in selectors and "barrier" in selectors:
+            raise FaultSpecError(f"rule {raw!r} names both chunk and barrier sites")
+        site, index = "member", None
+        if "chunk" in selectors:
+            site, index = "chunk", selectors.pop("chunk")
+        elif "barrier" in selectors:
+            site, index = "barrier", selectors.pop("barrier")
+        rules.append(
+            FaultRule(
+                action,
+                site=site,
+                index=index,
+                member=selectors.get("member"),
+                region=selectors.get("region"),
+                backend=selectors.get("backend"),
+                seconds=selectors.get("seconds", 1.0),
+                times=selectors.get("times", 1),
+                p=selectors.get("p"),
+            )
+        )
+    if not rules:
+        raise FaultSpecError(f"fault spec {spec!r} contains no rules")
+    return FaultPlan(rules, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Module-level plan: resolved lazily from AOMP_FAULTS, overridable by tests.
+# The hot path (one active() call per region / workshared loop / barrier)
+# must stay a plain attribute read once resolved.
+# ---------------------------------------------------------------------------
+
+_plan: "FaultPlan | None" = None
+_resolved = False
+_state_lock = threading.Lock()
+
+
+def _resolve() -> "FaultPlan | None":
+    global _plan, _resolved
+    with _state_lock:
+        if not _resolved:
+            spec = (os.environ.get("AOMP_FAULTS") or "").strip()
+            _plan = parse_fault_spec(spec) if spec else None
+            _resolved = True
+    return _plan
+
+
+def active() -> bool:
+    """Whether a fault plan is installed (fast check for injection hooks)."""
+    if not _resolved:
+        _resolve()
+    return _plan is not None
+
+
+def current_plan() -> "FaultPlan | None":
+    """The installed fault plan, resolving ``AOMP_FAULTS`` on first use."""
+    if not _resolved:
+        return _resolve()
+    return _plan
+
+
+def set_fault_plan(plan: "FaultPlan | None") -> "FaultPlan | None":
+    """Install ``plan`` (``None`` disarms injection); returns the previous plan.
+
+    Tests install parsed plans directly instead of mutating the environment;
+    worker *processes* inherit the parent's installed plan through fork,
+    while pool workers forked before the plan existed fall back to their own
+    ``AOMP_FAULTS`` resolution.
+    """
+    global _plan, _resolved
+    with _state_lock:
+        previous = _plan if _resolved else None
+        _plan = plan
+        _resolved = True
+    return previous
+
+
+def reset_fault_plan() -> None:
+    """Forget any resolved plan so ``AOMP_FAULTS`` is re-read on next use."""
+    global _plan, _resolved
+    with _state_lock:
+        _plan = None
+        _resolved = False
+
+
+def next_region() -> int:
+    """Region occurrence index for a region starting now (0 when inactive)."""
+    plan = current_plan()
+    return plan.next_region() if plan is not None else 0
+
+
+def fire(
+    site: str,
+    *,
+    member: int,
+    region: "int | None" = None,
+    backend: "str | None" = None,
+    team: Any = None,
+) -> None:
+    """Injection hook: delegate to the installed plan, no-op when inactive."""
+    plan = current_plan()
+    if plan is not None:
+        plan.fire(site, member=member, region=region, backend=backend, team=team)
+
+
+def wrap_chunk_body(body: Callable[..., Any], *, member: int, team: Any) -> Callable[..., Any]:
+    """Wrap a loop body so each chunk dispatch passes the chunk fault site.
+
+    Installed by ``run_for`` only while a plan is active, so inactive runs
+    pay exactly one ``active()`` check per loop.
+    """
+    region = getattr(team, "fault_region", None)
+    backend = getattr(team, "backend_name", "") or None
+
+    @functools.wraps(body)
+    def fault_body(*args: Any, **kwargs: Any) -> Any:
+        fire("chunk", member=member, region=region, backend=backend, team=team)
+        return body(*args, **kwargs)
+
+    return fault_body
+
+
+# ---------------------------------------------------------------------------
+# Fast failure detection
+# ---------------------------------------------------------------------------
+
+
+class WorkerMonitor:
+    """Watch a process-backed team's workers and abort the barrier on death.
+
+    Without it, the master learns of a dead worker only when its own barrier
+    wait times out (120s).  The monitor polls ``dead_workers`` — a callable
+    returning ``(member_id_or_None, pid, exitcode)`` triples for exited
+    workers — every ``interval`` seconds; on the first death (or, when a
+    stall cutoff is configured, the first stale heartbeat) it records a
+    ``WORKER_DEAD`` trace event, aborts the team, and exits.  The region
+    driver reads :attr:`deaths` afterwards to attach pid/signal diagnostics
+    to the resulting ``WorkerProcessError``.
+    """
+
+    def __init__(
+        self,
+        team: Any,
+        dead_workers: Callable[[], "list[tuple[Optional[int], Optional[int], Optional[int]]]"],
+        *,
+        heartbeat: Any = None,
+        interval: "float | None" = None,
+        stall_timeout: "float | None" = None,
+    ) -> None:
+        self._team = team
+        self._dead_workers = dead_workers
+        self._heartbeat = heartbeat
+        self._interval = interval if interval is not None else heartbeat_interval()
+        self._stall_timeout = stall_timeout if stall_timeout is not None else heartbeat_timeout()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        #: ``(member_id_or_None, pid, exitcode)`` per dead worker; filled once.
+        self.deaths: list[tuple[Optional[int], Optional[int], Optional[int]]] = []
+        #: member ids whose heartbeat went stale past the configured cutoff.
+        self.stalled: list[int] = []
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the monitor already diagnosed a loss and aborted the team."""
+        return bool(self.deaths or self.stalled)
+
+    def start(self) -> None:
+        thread = threading.Thread(
+            target=self._watch, name=f"aomp-monitor-{self._team.name}", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _watch(self) -> None:
+        team = self._team
+        while not self._stop.wait(self._interval):
+            try:
+                dead = list(self._dead_workers())
+            except Exception:  # pragma: no cover - teardown race
+                return
+            if dead:
+                self.deaths = [self._identify(member, pid, code) for member, pid, code in dead]
+                self._record_deaths()
+                team.abort()
+                return
+            if self._stall_timeout is not None and self._heartbeat is not None:
+                stalled = [
+                    member.thread_id
+                    for member in team.members[1:]
+                    if (age := self._heartbeat.age(member.thread_id)) is not None
+                    and age > self._stall_timeout
+                ]
+                if stalled:
+                    self.stalled = stalled
+                    self._record_deaths()
+                    team.abort()
+                    return
+
+    def _identify(
+        self, member: "int | None", pid: "int | None", exitcode: "int | None"
+    ) -> "tuple[int | None, int | None, int | None]":
+        if member is None and pid is not None and self._heartbeat is not None:
+            member = self._heartbeat.member_for_pid(pid)
+        return (member, pid, exitcode)
+
+    def _record_deaths(self) -> None:
+        team = self._team
+        if not getattr(team, "tracing", False):
+            return
+        for member, pid, exitcode in self.deaths:
+            sig = None
+            if exitcode is not None and exitcode < 0:
+                try:
+                    sig = signal.Signals(-exitcode).name
+                except ValueError:
+                    sig = str(-exitcode)
+            team.recorder.record(
+                EventKind.WORKER_DEAD,
+                team.region_id,
+                member if member is not None else 0,
+                member=member,
+                pid=pid,
+                exitcode=exitcode,
+                signal=sig,
+            )
+        for member in self.stalled:
+            team.recorder.record(
+                EventKind.WORKER_DEAD,
+                team.region_id,
+                member,
+                member=member,
+                pid=self._heartbeat.pid(member) or None if self._heartbeat is not None else None,
+                exitcode=None,
+                signal="stalled",
+            )

@@ -19,7 +19,7 @@ import itertools
 import pickle
 from typing import Any, Callable, Dict, Tuple
 
-from repro.runtime import shm
+from repro.runtime import faults, shm
 from repro.runtime.backend import _encode_exception, _encode_result
 
 #: sentinel telling workers to exit
@@ -39,7 +39,7 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
         task = task_queue.get()
         if task is _STOP:
             break
-        ticket, thread_id, size, nesting_level, region_id, name, body_bytes = task
+        ticket, thread_id, size, nesting_level, region_id, name, fault_region, body_bytes = task
         try:
             body = pickle.loads(body_bytes)
             team = Team(
@@ -49,9 +49,19 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
                 nesting_level=nesting_level,
                 process_sync=sync,
             )
+            team.fault_region = fault_region
+            team.backend_name = "processes"
+            if sync.heartbeat is not None:
+                # Pool workers pick members per region: the heartbeat cell is
+                # how the master maps this process back to the member it ran.
+                sync.heartbeat.register(thread_id)
             frame = ctx.ExecutionContext(team=team, thread_id=thread_id, nesting_level=nesting_level)
             ctx.push_context(frame)
             try:
+                if faults.active():
+                    faults.fire(
+                        "member", member=thread_id, region=fault_region, backend="processes", team=team
+                    )
                 result = body()
             finally:
                 ctx.pop_context()
@@ -82,7 +92,10 @@ class PersistentProcessPool:
         self.arena = shm.SyncArena()
         self.steal = shm.TaskStealArena()
         self.tune = shm.TunePlanArena()
-        self._sync = shm.ProcessSync(self.barrier, self.arena, pooled=True, steal=self.steal, tune=self.tune)
+        self.heartbeat = shm.HeartbeatArena()
+        self._sync = shm.ProcessSync(
+            self.barrier, self.arena, pooled=True, steal=self.steal, tune=self.tune, heartbeat=self.heartbeat
+        )
         self._tasks = ctx.SimpleQueue()
         self._results = ctx.SimpleQueue()
         self._tickets = itertools.count(1)
@@ -99,6 +112,7 @@ class PersistentProcessPool:
             proc.start()
         self._shutdown = False
         self._broken = False
+        self._condemned = False
 
     @property
     def healthy(self) -> bool:
@@ -115,6 +129,7 @@ class PersistentProcessPool:
         self.arena.reset()
         self.steal.reset()
         self.tune.reset()
+        self.heartbeat.reset()
 
     def submit_region(self, team, body_bytes: bytes) -> int:
         """Dispatch one task per non-master member; returns the region ticket."""
@@ -128,10 +143,101 @@ class PersistentProcessPool:
                     team.nesting_level,
                     team.region_id,
                     team.name,
+                    team.fault_region,
                     body_bytes,
                 )
             )
         return ticket
+
+    def dead_workers(self) -> "list[tuple[int | None, int | None, int | None]]":
+        """``(member, pid, exitcode)`` per exited worker (member via heartbeat).
+
+        Unlike the fork path, a pool worker has no fixed member identity —
+        the heartbeat arena's pid cells, written at region entry, provide
+        the mapping; a worker that died before claiming a member maps to
+        ``None`` (the monitor still aborts the team).
+        """
+        dead = []
+        for proc in self._procs:
+            if proc.exitcode is not None:
+                dead.append((self.heartbeat.member_for_pid(proc.pid), proc.pid, proc.exitcode))
+        return dead
+
+    def condemn(self) -> None:
+        """Mark the pool unhealable (a live worker is wedged in a dead region).
+
+        :meth:`heal` can only replace *exited* workers; a member that stopped
+        heartbeating but never died would survive a heal still stuck in the
+        old region's body, then collide with the next region's reset barrier.
+        Condemning forces the backend down the shutdown-and-rebuild path.
+        """
+        self._broken = True
+        self._condemned = True
+
+    def heal(self) -> bool:
+        """Rebuild the pool's workers in place; ``False`` if it cannot be saved.
+
+        A worker killed *while holding* one of the shared synchronisation
+        locks (an arena lock, the barrier's condition) leaves it locked
+        forever; each is probed with a short timeout and any poisoned lock
+        vetoes healing — those are the warm, preallocated primitives whose
+        reuse the pool exists for.  The task/result queues cannot be probed
+        the same way: an idle worker blocks inside ``SimpleQueue.get()``
+        *holding* the queue's reader lock by design, so a worker SIGKILLed
+        while idle may have poisoned it undetectably.  They are therefore
+        replaced wholesale, every worker (dead or alive) is reaped, and a
+        fresh generation is forked against the new queues — forks are cheap,
+        and a survivor still wedged in the old region's body must not meet
+        the next region's reset barrier anyway.
+        """
+        if self._shutdown or self._condemned:
+            return False
+        if not self._probe_locks():
+            return False
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - unkillable worker
+                proc.kill()
+                proc.join(timeout=1.0)
+        ctx = shm._mp_context()
+        self._tasks = ctx.SimpleQueue()
+        self._results = ctx.SimpleQueue()
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(self._tasks, self._results, self._sync),
+                daemon=True,
+                name=f"aomp-pool-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._broken = False
+        return self.healthy
+
+    def _probe_locks(self, timeout: float = 0.5) -> bool:
+        locks = (
+            getattr(self.barrier, "_cond", None),
+            getattr(self.arena, "_lock", None),
+            getattr(self.steal, "_lock", None),
+            getattr(self.tune, "_lock", None),
+        )
+        for lock in locks:
+            acquire = getattr(lock, "acquire", None)
+            if acquire is None:
+                continue
+            try:
+                acquired = acquire(timeout=timeout)
+            except TypeError:  # pragma: no cover - lock without timeout support
+                continue
+            if not acquired:
+                return False
+            lock.release()
+        return True
 
     def collect(
         self,
@@ -140,6 +246,7 @@ class PersistentProcessPool:
         expected: int,
         abort: Callable[[], None],
         timeout: float | None = None,
+        tripped: "Callable[[], bool] | None" = None,
     ) -> Dict[int, Tuple[Any, Any]]:
         """Gather ``expected`` member payloads for ``ticket``.
 
@@ -163,6 +270,7 @@ class PersistentProcessPool:
             timeout=timeout if timeout is not None else shm.BARRIER_TIMEOUT + 30.0,
             accept=lambda item: (item[1], (item[2], item[3])) if item[0] == ticket else None,
             on_give_up=give_up,
+            tripped=tripped,
         )
 
     def shutdown(self) -> None:

@@ -359,7 +359,10 @@ class SharedBarrier:
                 if not self._cond.wait(limit):
                     state[self._BROKEN] = 1
                     self._cond.notify_all()
-                    raise BrokenBarrierError("barrier wait timed out")
+                    raise BrokenBarrierError(
+                        f"barrier wait timed out after {limit:g}s "
+                        f"({int(state[self._COUNT])} of {int(state[self._PARTIES])} parties arrived)"
+                    )
             if state[self._BROKEN]:
                 raise BrokenBarrierError("barrier is broken")
             return int(index)
@@ -382,6 +385,104 @@ class SharedBarrier:
                     raise ValueError(f"barrier needs at least 1 party, got {parties}")
                 state[self._PARTIES] = parties
             self._cond.notify_all()
+
+
+class HeartbeatArena:
+    """Per-member liveness cells shared across the team's processes.
+
+    Three int64 cells per member: the member's OS **pid** (written once at
+    region entry), a monotonic-nanosecond **beat** refreshed at every team
+    barrier, and a **barrier-arrival counter**.  Each member writes only its
+    own cells and every write is an aligned 8-byte store, so no lock is
+    needed; readers (the master's :class:`~repro.runtime.faults.WorkerMonitor`
+    and error-enrichment paths) tolerate slightly stale values by design.
+
+    The pid cell lets the master map a dead worker process back to the team
+    member it was executing (pool workers pick members per region, so the
+    process list alone cannot); the beat cell drives optional stale-member
+    detection (``AOMP_HEARTBEAT_TIMEOUT``); the arrival counter feeds
+    "which members had arrived" barrier-failure diagnostics.
+
+    Like the other arenas, storage is pluggable: the subinterpreter backend
+    passes a :class:`SharedArray` int64 view via ``cells=`` (with
+    ``fresh=False`` on the attaching side).
+    """
+
+    _PID, _BEAT, _ARRIVALS = range(3)
+    #: int64 cells per member (for sizing external storage; see ``cells=``).
+    CELLS_PER_MEMBER = 3
+    DEFAULT_CAPACITY = 64
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, cells: Any = None, fresh: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"heartbeat arena needs at least 1 member slot, got {capacity}")
+        if cells is None:
+            ctx = _mp_context()
+            cells = ctx.Array("q", self.CELLS_PER_MEMBER * capacity, lock=False)
+        self.capacity = capacity
+        self._cells = cells
+        if fresh:
+            self.reset()
+
+    @property
+    def cells(self) -> Any:
+        """The backing int64 cell storage (for attaching a second arena)."""
+        return self._cells
+
+    def reset(self) -> None:
+        """Clear every member slot (called between regions by the pool)."""
+        for i in range(self.CELLS_PER_MEMBER * self.capacity):
+            self._cells[i] = 0
+
+    def register(self, member: int) -> None:
+        """Record the calling process as the owner of ``member``'s slot."""
+        if member >= self.capacity:
+            return
+        base = self.CELLS_PER_MEMBER * member
+        self._cells[base + self._PID] = os.getpid()
+        self._cells[base + self._BEAT] = time.monotonic_ns()
+
+    def beat(self, member: int) -> None:
+        """Refresh ``member``'s liveness timestamp."""
+        if member >= self.capacity:
+            return
+        self._cells[self.CELLS_PER_MEMBER * member + self._BEAT] = time.monotonic_ns()
+
+    def note_arrival(self, member: int) -> None:
+        """Count a barrier arrival for ``member`` (also refreshes its beat)."""
+        if member >= self.capacity:
+            return
+        base = self.CELLS_PER_MEMBER * member
+        self._cells[base + self._ARRIVALS] += 1
+        self._cells[base + self._BEAT] = time.monotonic_ns()
+
+    def pid(self, member: int) -> int:
+        """OS pid registered for ``member`` (0 = never registered)."""
+        if member >= self.capacity:
+            return 0
+        return int(self._cells[self.CELLS_PER_MEMBER * member + self._PID])
+
+    def age(self, member: int) -> "float | None":
+        """Seconds since ``member``'s last beat, or ``None`` if unregistered."""
+        if member >= self.capacity:
+            return None
+        beat = int(self._cells[self.CELLS_PER_MEMBER * member + self._BEAT])
+        if beat == 0:
+            return None
+        return (time.monotonic_ns() - beat) / 1e9
+
+    def arrivals(self, size: int) -> list[int]:
+        """Barrier-arrival counts for the first ``size`` members."""
+        size = min(size, self.capacity)
+        return [int(self._cells[self.CELLS_PER_MEMBER * m + self._ARRIVALS]) for m in range(size)]
+
+    def member_for_pid(self, pid: int) -> "int | None":
+        """Team member registered by the process ``pid``, or ``None``."""
+        if pid:
+            for member in range(self.capacity):
+                if int(self._cells[self.CELLS_PER_MEMBER * member + self._PID]) == pid:
+                    return member
+        return None
 
 
 class PipeLock:
@@ -499,7 +600,10 @@ class InterpBarrier:
                     return index
                 if time.monotonic() > deadline:
                     cells[self._BROKEN] = 1
-                    raise BrokenBarrierError("barrier wait timed out")
+                    raise BrokenBarrierError(
+                        f"barrier wait timed out after {limit:g}s "
+                        f"({int(cells[self._COUNT])} of {int(cells[self._PARTIES])} parties arrived)"
+                    )
             time.sleep(self.POLL_INTERVAL)
 
     def abort(self) -> None:
@@ -1005,3 +1109,7 @@ class ProcessSync:
     pooled: bool = False
     steal: "TaskStealArena | None" = None
     tune: "TunePlanArena | None" = None
+    #: per-member liveness cells (pid / beat / barrier arrivals) consulted by
+    #: the worker monitor and the barrier-failure diagnostics; ``None`` only
+    #: for legacy constructions — the backends always provide one.
+    heartbeat: "HeartbeatArena | None" = None

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
-from repro.runtime import shm
+from repro.runtime import faults, shm
 from repro.runtime.backend import (
     Backend,
     ThreadBackend,
@@ -246,7 +246,13 @@ def _attach_sync(descriptor: dict) -> "shm.ProcessSync":
         lock=shm.PipeLock(fds=tuple(t_fds)),
         fresh=False,
     )
-    return shm.ProcessSync(barrier, arena, pooled=False, steal=steal, tune=tune)
+    hb_name, hb_members = descriptor["heartbeat"]
+    heartbeat = shm.HeartbeatArena(
+        hb_members,
+        cells=shm._attach_shared_array(hb_name, (shm.HeartbeatArena.CELLS_PER_MEMBER * hb_members,), "<i8"),
+        fresh=False,
+    )
+    return shm.ProcessSync(barrier, arena, pooled=False, steal=steal, tune=tune, heartbeat=heartbeat)
 
 
 def _member_main(descriptor: dict) -> None:
@@ -280,12 +286,27 @@ def _member_main(descriptor: dict) -> None:
         # decisions must match the master's live configuration, not this
         # fresh interpreter's environment defaults.  Nested regions spawned
         # inside a worker run as thread sub-teams, like the process backend.
+        team.fault_region = int(descriptor.get("fault_region", 0))
+        team.backend_name = "subinterp"
+        if sync.heartbeat is not None:
+            sync.heartbeat.register(thread_id)
         with config_override(tracing=False, backend="threads", **descriptor["config"]):
             frame = ctx.ExecutionContext(
                 team=team, thread_id=thread_id, nesting_level=int(descriptor["nesting_level"])
             )
             ctx.push_context(frame)
             try:
+                if faults.active():
+                    # Subinterpreter members share the master's OS process: a
+                    # "kill" action degrades to InjectedFault inside the plan
+                    # (same pid), so the host process survives by design.
+                    faults.fire(
+                        "member",
+                        member=thread_id,
+                        region=team.fault_region,
+                        backend="subinterp",
+                        team=team,
+                    )
                 result = body()
             finally:
                 ctx.pop_context()
@@ -385,6 +406,7 @@ class SubinterpreterBackend(Backend):
         max_workers = max(size, 2)
         steal_cells = shm.SharedArray.zeros(shm.TaskStealArena.cells_needed(max_workers, STEAL_CAPACITY), np.int64)
         tune_cells = shm.SharedArray.zeros(shm.TunePlanArena.CELLS_PER_SLOT * TUNE_CAPACITY, np.int64)
+        heartbeat_cells = shm.SharedArray.zeros(shm.HeartbeatArena.CELLS_PER_MEMBER * max_workers, np.int64)
         locks = [shm.PipeLock() for _ in range(4)]
         barrier = shm.InterpBarrier(cells=barrier_cells, lock=locks[0])
         barrier.reset(size)
@@ -394,14 +416,16 @@ class SubinterpreterBackend(Backend):
             pooled=False,
             steal=shm.TaskStealArena(max_workers, STEAL_CAPACITY, cells=steal_cells, lock=locks[2]),
             tune=shm.TunePlanArena(TUNE_CAPACITY, cells=tune_cells, lock=locks[3]),
+            heartbeat=shm.HeartbeatArena(max_workers, cells=heartbeat_cells),
         )
         sync.body_bytes = body_bytes  # type: ignore[attr-defined]
-        sync.resources = [barrier_cells, arena_cells, steal_cells, tune_cells, *locks]  # type: ignore[attr-defined]
+        sync.resources = [barrier_cells, arena_cells, steal_cells, tune_cells, heartbeat_cells, *locks]  # type: ignore[attr-defined]
         sync.shareable = {  # type: ignore[attr-defined]
             "barrier": (barrier_cells.name, locks[0].fds),
             "arena": (arena_cells.name, locks[1].fds),
             "steal": (steal_cells.name, locks[2].fds, max_workers),
             "tune": (tune_cells.name, locks[3].fds),
+            "heartbeat": (heartbeat_cells.name, max_workers),
         }
         return sync
 
@@ -425,6 +449,7 @@ class SubinterpreterBackend(Backend):
             "region_id": team.region_id,
             "name": team.name,
             "nesting_level": team.nesting_level,
+            "fault_region": team.fault_region,
             "body": sync.body_bytes,  # type: ignore[attr-defined]
             "config": config,
             **sync.shareable,  # type: ignore[attr-defined]

@@ -16,13 +16,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
 from repro.runtime import context as ctx
+from repro.runtime import faults
 from repro.runtime import shm
 from repro.runtime import tasks
-from repro.runtime.backend import Backend, resolve_backend
-from repro.runtime.barrier import CyclicBarrier
-from repro.runtime.config import get_config
-from repro.runtime.exceptions import BrokenTeamError
-from repro.runtime.trace import EventKind, TraceRecorder, get_global_recorder
+from repro.runtime.backend import Backend, backend_by_name, resolve_backend
+from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
+from repro.runtime.config import ON_FAILURE_POLICIES, get_config
+from repro.runtime.exceptions import BrokenTeamError, InjectedFault, WorkerProcessError
+from repro.runtime.trace import NO_REGION, EventKind, TraceRecorder, get_global_recorder
 
 
 @dataclass
@@ -80,7 +81,15 @@ class Team:
         #: ``backend_spinup_scale`` feeds the tuner's serial-fallback cutoff.
         self.backend_name = ""
         self.backend_spinup_scale = 1.0
+        #: occurrence index matched by ``AOMP_FAULTS`` ``region=`` selectors,
+        #: stamped by the region driver while a fault plan is active (and
+        #: shipped to worker processes/interpreters with the region
+        #: descriptor so the SPMD sides agree).
+        self.fault_region = 0
         self._barrier = process_sync.barrier if process_sync is not None else CyclicBarrier(size)
+        #: in-process barrier-arrival counts (process teams use the heartbeat
+        #: arena's cells instead — see ``arrival_counts``).
+        self._arrivals = [0] * size
         self._shared: dict[Hashable, Any] = {}
         self._shared_lock = threading.Lock()
 
@@ -128,17 +137,50 @@ class Team:
         """Block the calling member until all team members have arrived.
 
         Records a ``BARRIER`` trace event per member (the perf model uses
-        barriers to delimit phases).
+        barriers to delimit phases), counts the arrival for failure
+        diagnostics (and, on process teams, refreshes the member's heartbeat
+        cell), and enriches any :class:`BrokenBarrierError` with the team,
+        member and per-member arrival counts — a bare "barrier is broken"
+        names none of the actors.
         """
+        member = ctx.get_thread_id()
         if self.tracing:
             self.recorder.record(
                 EventKind.BARRIER,
                 self.region_id,
-                ctx.get_thread_id(),
+                member,
                 label=label,
             )
+        sync = self.process_sync
+        if sync is not None and sync.heartbeat is not None:
+            sync.heartbeat.note_arrival(member)
+        elif member < len(self._arrivals):
+            self._arrivals[member] += 1
+        if faults.active():
+            faults.fire(
+                "barrier",
+                member=member,
+                region=self.fault_region,
+                backend=self.backend_name or None,
+                team=self,
+            )
         if self.size > 1:
-            self._barrier.wait()
+            try:
+                self._barrier.wait()
+            except BrokenBarrierError as exc:
+                detail = f"label {label!r}, " if label else ""
+                raise BrokenBarrierError(
+                    f"{exc} [{detail}team {self.name!r}, level {self.nesting_level}, "
+                    f"member {member} of {self.size}; barrier arrivals by member: "
+                    f"{self.arrival_counts()}]"
+                ) from exc
+
+    def arrival_counts(self) -> list[int]:
+        """Barrier arrivals per member so far (diagnostic for barrier failures)."""
+        sync = self.process_sync
+        if sync is not None and sync.heartbeat is not None:
+            return sync.heartbeat.arrivals(self.size)
+        return list(self._arrivals)
 
     def abort(self) -> None:
         """Break the team barrier so that members blocked in it fail fast."""
@@ -206,6 +248,52 @@ def _resolve_num_threads(num_threads: int | None, parent: "ctx.ExecutionContext 
     return max(1, int(n))
 
 
+def _body_retry_safe(body: Callable[[], Any]) -> bool:
+    """Whether ``body`` (or its bound owner) is marked ``retry_safe``."""
+    flag = getattr(body, "retry_safe", None)
+    if flag is None:
+        flag = getattr(getattr(body, "__self__", None), "retry_safe", None)
+    return bool(flag)
+
+
+#: failure types the recovery policy may retry: infrastructure breakage
+#: (a worker process died, a barrier was aborted/timed out, a deliberately
+#: injected fault) — never a deterministic body exception, which would fail
+#: identically on every attempt.
+_RECOVERABLE_TYPES = (WorkerProcessError, BrokenBarrierError, InjectedFault)
+
+
+def _infrastructure_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` (or anything along its cause chain) is recoverable."""
+    seen: set[int] = set()
+    node: BaseException | None = exc
+    while node is not None and id(node) not in seen:
+        if isinstance(node, _RECOVERABLE_TYPES):
+            return True
+        seen.add(id(node))
+        node = node.__cause__
+    return False
+
+
+def _recoverable(error: BrokenTeamError) -> bool:
+    """Whether *every* member failure behind ``error`` is infrastructure."""
+    failures = error.failures
+    if not failures:
+        cause = error.__cause__
+        return cause is not None and _infrastructure_failure(cause)
+    return all(_infrastructure_failure(exc) for _, exc in failures)
+
+
+def _degraded_backend(backend: Backend) -> "Backend | None":
+    """Next backend down the fallback chain (processes → threads → serial)."""
+    fallback = getattr(backend, "fallback", None)
+    if isinstance(fallback, Backend) and fallback is not backend:
+        return fallback
+    if backend.name != "serial":
+        return backend_by_name("serial")
+    return None
+
+
 def parallel_region(
     body: Callable[[], Any],
     *,
@@ -214,6 +302,10 @@ def parallel_region(
     recorder: TraceRecorder | None = None,
     name: str | None = None,
     requires_shared_locals: bool = False,
+    on_failure: str | None = None,
+    max_retries: int | None = None,
+    retry_backoff: float | None = None,
+    retry_safe: bool | None = None,
 ) -> Any:
     """Execute ``body`` as a parallel region and return the master's result.
 
@@ -245,7 +337,114 @@ def parallel_region(
         reductions).  Backends lacking that capability (processes) then fall
         back to their in-process fallback backend.  Set automatically by the
         weaver from the aspects woven alongside a parallel-region aspect.
+    on_failure:
+        Failure policy (default from the configuration / ``AOMP_ON_FAILURE``):
+        ``"raise"`` propagates a :class:`BrokenTeamError` immediately;
+        ``"retry"`` re-runs the region — with exponential backoff, up to
+        ``max_retries`` times — when every member failure was *recoverable
+        infrastructure* (a dead worker process, a broken barrier, an injected
+        fault; deterministic body exceptions always raise); ``"degrade"``
+        additionally walks down the backend fallback chain (processes →
+        threads → serial, each with its own retry budget) before giving up.
+    max_retries / retry_backoff:
+        Retry budget per backend level and base delay in seconds (doubling
+        per attempt); default from the configuration.
+    retry_safe:
+        Retries re-execute the body, so they are gated on an explicit
+        idempotence marker: pass ``retry_safe=True``, or set a ``retry_safe``
+        attribute on the body or its bound owner.  Unmarked bodies raise even
+        under ``retry``/``degrade`` (the error gains a note saying why).
     """
+    config = get_config()
+    policy = on_failure if on_failure is not None else config.on_failure
+    if policy not in ON_FAILURE_POLICIES:
+        raise ValueError(
+            f"on_failure must be one of {', '.join(map(repr, ON_FAILURE_POLICIES))}, got {policy!r}"
+        )
+    if policy == "raise":
+        return _execute_region(
+            body,
+            num_threads=num_threads,
+            backend=backend,
+            recorder=recorder,
+            name=name,
+            requires_shared_locals=requires_shared_locals,
+        )
+
+    safe = retry_safe if retry_safe is not None else _body_retry_safe(body)
+    retries = max_retries if max_retries is not None else config.max_retries
+    backoff = retry_backoff if retry_backoff is not None else config.retry_backoff
+    current = resolve_backend(backend)
+    attempt = 0
+    while True:
+        try:
+            return _execute_region(
+                body,
+                num_threads=num_threads,
+                backend=current,
+                recorder=recorder,
+                name=name,
+                requires_shared_locals=requires_shared_locals,
+            )
+        except BrokenTeamError as exc:
+            if not safe:
+                if hasattr(exc, "add_note"):  # pragma: no branch - 3.11+
+                    exc.add_note(
+                        f"on_failure={policy!r} ignored: the region body is not marked "
+                        "retry_safe (pass retry_safe=True or set a retry_safe attribute "
+                        "on the body/its owner)"
+                    )
+                raise
+            if not _recoverable(exc):
+                raise
+            rec = recorder
+            if rec is None and config.tracing:
+                rec = get_global_recorder()
+            if attempt < retries:
+                delay = backoff * (2**attempt)
+                attempt += 1
+                if rec is not None:
+                    rec.record(
+                        EventKind.REGION_RETRY,
+                        NO_REGION,
+                        ctx.get_thread_id(),
+                        name=name,
+                        action="retry",
+                        attempt=attempt,
+                        backend=current.name,
+                        delay=delay,
+                    )
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            degraded = _degraded_backend(current) if policy == "degrade" else None
+            if degraded is None:
+                raise
+            if rec is not None:
+                rec.record(
+                    EventKind.REGION_RETRY,
+                    NO_REGION,
+                    ctx.get_thread_id(),
+                    name=name,
+                    action="degrade",
+                    attempt=attempt,
+                    backend=degraded.name,
+                    from_backend=current.name,
+                )
+            current = degraded
+            attempt = 0
+
+
+def _execute_region(
+    body: Callable[[], Any],
+    *,
+    num_threads: int | None,
+    backend: "Backend | str | None",
+    recorder: TraceRecorder | None,
+    name: str | None,
+    requires_shared_locals: bool,
+) -> Any:
+    """One attempt at a parallel region (the pre-recovery ``parallel_region``)."""
     parent = ctx.current_context()
     nesting_level = parent.nesting_level + 1 if parent is not None else 0
     size = _resolve_num_threads(num_threads, parent)
@@ -278,6 +477,8 @@ def parallel_region(
     # adaptive tuner keys its per-site cache and spinup costs on.
     team.backend_name = backend.name
     team.backend_spinup_scale = backend.spinup_cost_scale
+    if faults.active():
+        team.fault_region = faults.next_region()
     # From here on the backend may hold per-region resources (the process
     # backend's pool lock); every exit path below must reach finish_region.
     try:
@@ -313,6 +514,21 @@ def parallel_region(
             ctx.push_context(frame)
             start = time.perf_counter()
             try:
+                sync = team.process_sync
+                if sync is not None and sync.heartbeat is not None:
+                    # Claim the member's liveness cell: on the fork path this
+                    # runs in the freshly forked child, so the cell carries
+                    # the worker's own pid (the monitor maps dead pids back
+                    # to members through it).
+                    sync.heartbeat.register(thread_id)
+                if faults.active():
+                    faults.fire(
+                        "member",
+                        member=thread_id,
+                        region=team.fault_region,
+                        backend=team.backend_name or None,
+                        team=team,
+                    )
                 member.result = body()
                 # Implicit end-of-region task scheduling point: every member
                 # helps finish deferred tasks before the region's barrier, so
@@ -344,11 +560,27 @@ def parallel_region(
     finally:
         backend.finish_region(team)
 
-    failures = [m for m in team.members if m.exception is not None]
+    failures = [(m.thread_id, m.exception) for m in team.members if m.exception is not None]
     if failures:
-        first = failures[0]
+        # Primary-cause selection: when a worker dies, every survivor reports
+        # a knock-on BrokenBarrierError — the diagnosis is the
+        # WorkerProcessError naming the casualty, so prefer it (then any
+        # non-barrier failure) as the chained cause.
+        primary_id, primary = failures[0]
+        for thread_id, exc in failures:
+            if isinstance(exc, WorkerProcessError):
+                primary_id, primary = thread_id, exc
+                break
+        else:
+            for thread_id, exc in failures:
+                if not isinstance(exc, BrokenBarrierError):
+                    primary_id, primary = thread_id, exc
+                    break
+        roster = ", ".join(f"member {tid}: {type(exc).__name__}" for tid, exc in failures)
         raise BrokenTeamError(
-            f"{len(failures)} team member(s) of {team.name} failed; first failure from "
-            f"thread {first.thread_id}: {first.exception!r}"
-        ) from first.exception
+            f"{len(failures)} of {team.size} member(s) of team {team.name!r} "
+            f"(level {team.nesting_level}, backend {team.backend_name or '?'}) failed "
+            f"[{roster}]; first diagnosed failure from member {primary_id}: {primary!r}",
+            failures=failures,
+        ) from primary
     return result

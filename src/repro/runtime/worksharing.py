@@ -32,6 +32,7 @@ import time
 from typing import Any, Callable, Hashable
 
 from repro.runtime import context as ctx
+from repro.runtime import faults
 from repro.runtime.config import get_config
 from repro.runtime.exceptions import BackendCapabilityError, SchedulingError
 from repro.runtime.ordered import OrderedRegion, install_ordered_region
@@ -243,6 +244,12 @@ def run_for(
             "honour it (weave with threads, or mark the region as requiring "
             "shared locals to get the automatic fallback)"
         )
+
+    if faults.active():
+        # One wrapper install per loop while a fault plan is armed: each chunk
+        # dispatch then passes the "chunk" injection site.  Inactive runs pay
+        # exactly the active() flag check above.
+        body = faults.wrap_chunk_body(body, member=context.thread_id, team=team)
 
     ordered_region: OrderedRegion | None = None
     previous_ordered: OrderedRegion | None = None

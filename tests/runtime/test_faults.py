@@ -1,0 +1,609 @@
+"""Fault injection, fast failure detection, and region-level recovery.
+
+Covers the fault subsystem end to end:
+
+* ``AOMP_FAULTS`` spec parsing (:func:`repro.runtime.faults.parse_fault_spec`);
+* deterministic injection at the member / chunk / barrier sites, with the
+  backend-aware ``kill`` degradation for in-process members;
+* the :class:`~repro.runtime.shm.HeartbeatArena` data plane;
+* the SIGKILL regression the subsystem exists for: a worker process killed
+  mid-region must surface a diagnosed ``WorkerProcessError`` in seconds (not
+  the 120s barrier timeout), on both the fork-per-region path and the
+  persistent pool (which must then self-heal);
+* the ``on_failure="retry"|"degrade"`` recovery policies, including the
+  ``retry_safe`` gate and the non-recoverable (application error) veto.
+
+Process-killing scenarios run in tier-1 but stay under a couple of seconds;
+the broader multi-fault scenarios carry the ``chaos`` marker and run in the
+dedicated (non-blocking) CI job.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import context as ctx
+from repro.runtime import faults, shm
+from repro.runtime.backend import ProcessBackend, SerialBackend, ThreadBackend
+from repro.runtime.barrier import BrokenBarrierError
+from repro.runtime.exceptions import (
+    BrokenTeamError,
+    FaultSpecError,
+    InjectedFault,
+    WorkerProcessError,
+)
+from repro.runtime.faults import FaultPlan, FaultRule, parse_fault_spec, set_fault_plan
+from repro.runtime.team import parallel_region
+from repro.runtime.trace import EventKind
+from repro.runtime.worksharing import run_for
+
+requires_fork = pytest.mark.skipif(not shm.fork_available(), reason="process scenarios need fork")
+
+#: generous bound for "fast" detection — the acceptance criterion is < 5s
+#: against a 120s barrier timeout; observed latency is well under 1s.
+DETECTION_BOUND = 5.0
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_plan():
+    """No fault plan leaks into or out of a test (conftest doesn't cover this)."""
+    previous = set_fault_plan(None)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def process_backend():
+    backend = ProcessBackend()
+    yield backend
+    backend.shutdown()
+
+
+def install(spec: str) -> FaultPlan:
+    plan = parse_fault_spec(spec)
+    set_fault_plan(plan)
+    return plan
+
+
+class SharedFillBody:
+    """Picklable ``process_safe`` SPMD owner writing disjoint shared slots.
+
+    Pool dispatch requires a *bound method* of a ``process_safe`` owner
+    (``body.run``); the fork path takes anything, including closures.
+    """
+
+    process_safe = True
+    retry_safe = True
+
+    def __init__(self, n: int) -> None:
+        self.out = shm.shared_zeros(n)
+
+    def run(self) -> None:
+        run_for(self.fill, 0, len(self.out.view()), 1, loop_name="faults.fill")
+
+    def fill(self, start: int, end: int, step: int) -> None:
+        view = self.out.view()
+        for i in range(start, end, step):
+            view[i] = i * 2.0
+
+    def expected(self) -> np.ndarray:
+        return np.arange(len(self.out.view())) * 2.0
+
+    def close(self) -> None:
+        self.out.close()
+
+
+class TestParseFaultSpec:
+    def test_member_rule(self):
+        plan = parse_fault_spec("raise:member=1,region=2")
+        (rule,) = plan.rules
+        assert (rule.action, rule.site, rule.member, rule.region) == ("raise", "member", 1, 2)
+        assert rule.times == 1 and rule.p is None
+
+    def test_chunk_and_barrier_selectors_pick_the_site(self):
+        chunk, barrier = parse_fault_spec("raise:chunk=3;stall:barrier=1,seconds=0.5").rules
+        assert (chunk.site, chunk.index) == ("chunk", 3)
+        assert (barrier.site, barrier.index, barrier.seconds) == ("barrier", 1, 0.5)
+
+    def test_seed_rule_and_multiple_rules(self):
+        plan = parse_fault_spec("seed:42; raise:member=0,p=0.5; kill:member=1,times=3")
+        assert plan.seed == 42
+        assert [r.action for r in plan.rules] == ["raise", "kill"]
+        assert plan.rules[1].times == 3
+
+    def test_repr_round_trips_through_the_parser(self):
+        plan = parse_fault_spec("stall:member=1,region=0,seconds=2,times=2")
+        (reparsed,) = parse_fault_spec(repr(plan.rules[0])).rules
+        original = plan.rules[0]
+        for slot in ("action", "site", "member", "region", "index", "seconds", "times", "p"):
+            assert getattr(reparsed, slot) == getattr(original, slot)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",  # no rules
+            "explode:member=1",  # unknown action
+            "raise:wat=1",  # unknown selector
+            "raise:member",  # missing value
+            "raise:member=x",  # non-integer
+            "raise:p=nope",  # non-number
+            "raise:chunk=1,barrier=2",  # two sites
+            "seed:xyz",  # malformed seed
+            "raise:times=0",  # times < 1
+            "raise:p=1.5",  # p out of range
+            "stall:seconds=-1",  # negative stall
+        ],
+    )
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+    def test_rule_validation_direct(self):
+        with pytest.raises(FaultSpecError):
+            FaultRule("raise", site="nowhere")
+
+
+class TestInjectionInProcess:
+    """Thread/serial-backend injection: everything shares the master's process."""
+
+    def test_raise_fires_on_selected_member_and_region(self):
+        install("raise:member=1,region=0")
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(lambda: None, num_threads=2, name="inject")
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        assert [(m, type(e)) for m, e in excinfo.value.failures] == [(1, InjectedFault)]
+        # region=0 was consumed (times=1 default): the next region is clean.
+        parallel_region(lambda: None, num_threads=2, name="inject-after")
+
+    def test_kill_degrades_to_injected_fault_in_process(self):
+        # Threads share the plan's origin pid; a real SIGKILL would take the
+        # test process down, so the action must degrade to InjectedFault.
+        install("kill:member=1,region=0")
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(lambda: None, num_threads=2, name="kill-threads")
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, InjectedFault)
+        assert cause.action == "kill"
+
+    def test_region_selector_skips_earlier_regions(self):
+        install("raise:member=0,region=1")
+        parallel_region(lambda: None, num_threads=2, name="region-0")
+        with pytest.raises(BrokenTeamError):
+            parallel_region(lambda: None, num_threads=2, name="region-1")
+
+    def test_backend_selector(self):
+        install("raise:member=0,backend=serial")
+        parallel_region(lambda: None, num_threads=2, name="not-serial")  # threads: no match
+        with pytest.raises(BrokenTeamError):
+            parallel_region(lambda: None, num_threads=1, backend=SerialBackend(), name="serial")
+
+    def test_chunk_site_counts_per_member_dispatches(self):
+        # static_cyclic with chunk=2 over [0, 8) gives member 0 exactly two
+        # dispatches ([0,2) then [4,6)) — deterministic, unlike dynamic.
+        install("raise:chunk=1,member=0")
+        seen = []
+
+        def body():
+            run_for(
+                lambda s, e, st: seen.append((ctx.get_thread_id(), s, e)),
+                0,
+                8,
+                1,
+                schedule="static_cyclic",
+                chunk=2,
+            )
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=2, name="chunk-site")
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, InjectedFault) and cause.site == "chunk"
+        # member 0 completed exactly its first chunk before its 2nd dispatch fired
+        assert [(s, e) for tid, s, e in seen if tid == 0] == [(0, 2)]
+
+    def test_barrier_site_fires_on_nth_arrival(self):
+        install("raise:barrier=1,member=1")
+
+        def body():
+            team = ctx.current_team()
+            team.barrier(label="first")  # arrival 0: no fault
+            team.barrier(label="second")  # arrival 1: member 1 faults
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=2, name="barrier-site")
+        assert any(isinstance(e, InjectedFault) and e.site == "barrier" for _, e in excinfo.value.failures)
+
+    def test_stall_delays_but_does_not_fail(self):
+        install("stall:member=1,region=0,seconds=0.2")
+        start = time.monotonic()
+        parallel_region(lambda: None, num_threads=2, name="stall")
+        assert time.monotonic() - start >= 0.2
+
+    def test_times_bounds_firing(self):
+        install("raise:member=1,times=2")
+        for name in ("t0", "t1"):
+            with pytest.raises(BrokenTeamError):
+                parallel_region(lambda: None, num_threads=2, name=name)
+        parallel_region(lambda: None, num_threads=2, name="t2")  # rule exhausted
+
+    def test_seeded_probability_is_deterministic(self):
+        def fired_pattern() -> list[bool]:
+            plan = parse_fault_spec("seed:7;raise:member=0,times=100,p=0.5")
+            pattern = []
+            for _ in range(20):
+                try:
+                    plan.fire("member", member=0, region=0, backend="threads")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+            return pattern
+
+        first, second = fired_pattern(), fired_pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_fault_injected_trace_event(self, recorder):
+        install("raise:member=1,region=0")
+        with pytest.raises(BrokenTeamError):
+            parallel_region(lambda: None, num_threads=2, name="traced")
+        events = [e for e in recorder.events() if e.kind is EventKind.FAULT_INJECTED]
+        assert len(events) == 1
+        assert events[0].data["action"] == "raise"
+        assert events[0].data["member"] == 1
+
+    def test_env_spec_is_resolved_lazily(self, monkeypatch):
+        monkeypatch.setenv("AOMP_FAULTS", "raise:member=0,region=0")
+        faults.reset_fault_plan()
+        try:
+            assert faults.active()
+            with pytest.raises(BrokenTeamError):
+                parallel_region(lambda: None, num_threads=2, name="env-spec")
+        finally:
+            monkeypatch.delenv("AOMP_FAULTS")
+            faults.reset_fault_plan()
+
+
+class TestHeartbeatArena:
+    def test_register_beat_and_age(self):
+        arena = shm.HeartbeatArena(capacity=4)
+        arena.register(2)
+        assert arena.pid(2) == os.getpid()
+        assert arena.member_for_pid(os.getpid()) == 2
+        age = arena.age(2)
+        assert age is not None and 0 <= age < 1.0
+        assert arena.age(1) is None  # never registered
+
+    def test_arrivals_accumulate_and_reset(self):
+        arena = shm.HeartbeatArena(capacity=4)
+        arena.register(0)
+        arena.note_arrival(0)
+        arena.note_arrival(0)
+        arena.note_arrival(1)
+        assert arena.arrivals(4) == [2, 1, 0, 0]
+        arena.reset()
+        assert arena.arrivals(4) == [0, 0, 0, 0]
+        assert arena.pid(0) == 0
+
+    def test_out_of_capacity_members_are_ignored(self):
+        arena = shm.HeartbeatArena(capacity=2)
+        arena.register(5)  # silently ignored, not an IndexError
+        arena.beat(5)
+        arena.note_arrival(5)
+        assert arena.pid(5) == 0 and arena.age(5) is None
+
+    def test_attach_to_existing_cells(self):
+        arena = shm.HeartbeatArena(capacity=4)
+        arena.register(1)
+        attached = shm.HeartbeatArena(capacity=4, cells=arena.cells, fresh=False)
+        assert attached.pid(1) == os.getpid()
+
+
+class TestBarrierDiagnostics:
+    def test_broken_barrier_carries_team_context(self):
+        def body():
+            team = ctx.current_team()
+            if ctx.get_thread_id() == 1:
+                raise ValueError("member 1 exploded")
+            team.barrier(label="sync")
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=2, name="diagnosed")
+        # Primary cause prefers the application error over the broken barrier.
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        broken = [e for _, e in excinfo.value.failures if isinstance(e, BrokenBarrierError)]
+        assert broken, "the member stuck at the barrier must be reported too"
+        message = str(broken[0])
+        assert "team 'diagnosed'" in message
+        assert "arrivals by member" in message
+
+    def test_broken_team_message_names_team_and_members(self):
+        install("raise:member=1,region=0")
+        with pytest.raises(BrokenTeamError, match=r"team 'roster'.*member 1.*InjectedFault"):
+            parallel_region(lambda: None, num_threads=2, name="roster")
+
+
+@requires_fork
+class TestWorkerDeathForkPath:
+    def test_sigkill_mid_region_is_diagnosed_fast(self, process_backend, recorder):
+        """The headline regression: SIGKILL surfaces in seconds, fully named."""
+        install("kill:member=1,region=0")
+        marker = object()  # closure capture forces the fork-per-region path
+
+        def body():
+            assert marker is not None
+            time.sleep(0.05)
+
+        start = time.monotonic()
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=3, backend=process_backend, name="fork-kill")
+        elapsed = time.monotonic() - start
+        assert elapsed < DETECTION_BOUND, f"detection took {elapsed:.1f}s"
+
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, WorkerProcessError)
+        assert cause.member == 1
+        assert cause.pid is not None
+        assert "SIGKILL" in str(cause)
+        assert "team 'fork-kill'" in str(cause)
+
+        dead = [e for e in recorder.events() if e.kind is EventKind.WORKER_DEAD]
+        assert dead and dead[0].data["member"] == 1
+        assert dead[0].data["signal"] == "SIGKILL"
+
+    def test_survivors_of_a_sibling_death_still_report(self, process_backend):
+        install("kill:member=1,region=0")
+        marker = object()
+
+        def body():
+            assert marker is not None
+
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=4, backend=process_backend, name="survivors")
+        by_member = dict(excinfo.value.failures)
+        assert isinstance(by_member[1], WorkerProcessError)
+        # Members 2 and 3 were alive: they must not be misdiagnosed as dead.
+        for member in (2, 3):
+            if member in by_member:  # reported a broken barrier, not a death
+                assert not isinstance(by_member[member], WorkerProcessError)
+
+
+@requires_fork
+class TestWorkerDeathPoolPath:
+    def test_pool_worker_sigkill_is_diagnosed_and_pool_heals(self, process_backend):
+        body = SharedFillBody(32)
+        try:
+            install("kill:member=1,region=0")
+            start = time.monotonic()
+            with pytest.raises(BrokenTeamError) as excinfo:
+                parallel_region(body.run, num_threads=3, backend=process_backend, name="pool-kill")
+            elapsed = time.monotonic() - start
+            assert elapsed < DETECTION_BOUND, f"detection took {elapsed:.1f}s"
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, WorkerProcessError)
+            assert "SIGKILL" in str(cause)
+
+            # The backend must replace/heal the poisoned pool: the next region
+            # on the same backend instance runs to completion.
+            set_fault_plan(None)
+            body.out.view()[:] = 0.0
+            parallel_region(body.run, num_threads=3, backend=process_backend, name="pool-after")
+            assert np.array_equal(body.out.view(), body.expected())
+        finally:
+            body.close()
+
+    def test_heal_respawns_worker_killed_mid_region(self, process_backend):
+        """A worker killed *in the body* holds no locks: heal replaces it in place."""
+        body = SharedFillBody(16)
+        try:
+            install("kill:member=1,region=0")
+            with pytest.raises(BrokenTeamError):
+                parallel_region(body.run, num_threads=3, backend=process_backend, name="heal-prep")
+            pool = process_backend._pool
+            dead_pids = {proc.pid for proc in pool._procs if not proc.is_alive()}
+            assert dead_pids and not pool.healthy
+            assert pool.heal()
+            assert pool.healthy
+            assert dead_pids.isdisjoint(proc.pid for proc in pool._procs)
+        finally:
+            body.close()
+
+    def test_heal_replaces_a_worker_killed_while_idle(self):
+        from repro.runtime.procpool import PersistentProcessPool
+
+        # An idle worker dies blocked inside SimpleQueue.get(), possibly
+        # holding the queue's reader lock — heal replaces the queues and the
+        # whole worker generation, so the poison cannot carry over.
+        pool = PersistentProcessPool(2)
+        try:
+            victim = pool._procs[0]
+            os.kill(victim.pid, 9)
+            victim.join(timeout=5.0)
+            assert not pool.healthy
+            assert pool.heal()
+            assert pool.healthy
+            assert victim.pid not in {proc.pid for proc in pool._procs}
+        finally:
+            pool.shutdown()
+
+    def test_heal_vetoes_a_poisoned_arena_lock(self):
+        from repro.runtime.procpool import PersistentProcessPool
+
+        pool = PersistentProcessPool(1)
+        try:
+            # Simulate a worker that died holding the claim arena's lock.
+            pool.arena._lock.acquire()
+            try:
+                assert not pool.heal()
+            finally:
+                pool.arena._lock.release()
+            assert pool.heal()
+        finally:
+            pool.shutdown()
+
+    def test_heal_refuses_after_shutdown(self):
+        from repro.runtime.procpool import PersistentProcessPool
+
+        pool = PersistentProcessPool(1)
+        pool.shutdown()
+        assert not pool.heal()
+
+
+class TestRecoveryPolicy:
+    def test_invalid_policy_is_rejected(self):
+        with pytest.raises(ValueError, match="on_failure"):
+            parallel_region(lambda: None, num_threads=2, on_failure="panic")
+
+    def test_retry_reruns_to_clean_result(self, recorder):
+        install("raise:member=1,region=0")
+        runs = []
+
+        def body():
+            runs.append(ctx.get_thread_id())
+
+        body.retry_safe = True
+        parallel_region(body, num_threads=2, name="retry-ok", on_failure="retry")
+        # first attempt faulted on member 1; the retry ran the full team.
+        assert runs.count(1) == 1 and runs.count(0) == 2
+        retries = [e for e in recorder.events() if e.kind is EventKind.REGION_RETRY]
+        assert len(retries) == 1
+        assert retries[0].data["action"] == "retry"
+
+    def test_retry_requires_retry_safe(self):
+        install("raise:member=1,region=0")
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(lambda: None, num_threads=2, name="unsafe", on_failure="retry")
+        assert any("retry_safe" in note for note in getattr(excinfo.value, "__notes__", []))
+
+    def test_retry_safe_attribute_on_body_owner(self):
+        install("raise:member=1,region=0")
+        body = SharedFillBody(8)  # class sets retry_safe = True
+        try:
+            parallel_region(body.run, num_threads=2, name="owner-safe", on_failure="retry")
+            assert np.array_equal(body.out.view(), body.expected())
+        finally:
+            body.close()
+
+    def test_application_errors_are_not_retried(self):
+        attempts = []
+
+        def body():
+            if ctx.get_thread_id() == 1:
+                attempts.append(1)
+                raise ValueError("a real bug")
+
+        body.retry_safe = True
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=2, name="app-error", on_failure="retry")
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert attempts == [1], "an application error must not be replayed"
+
+    def test_retries_are_bounded(self):
+        install("raise:member=1,times=99")  # fires on every attempt
+
+        def body():
+            pass
+
+        body.retry_safe = True
+        start = time.monotonic()
+        with pytest.raises(BrokenTeamError):
+            parallel_region(
+                body, num_threads=2, name="bounded", on_failure="retry", max_retries=2, retry_backoff=0.01
+            )
+        assert time.monotonic() - start < DETECTION_BOUND
+        plan = faults.current_plan()
+        assert plan.rules[0].fired == 3  # initial attempt + 2 retries
+
+    def test_degrade_walks_the_fallback_chain_to_serial(self, recorder):
+        install("raise:member=1,times=99")  # any team with a member 1 faults
+        witness = []
+
+        def body():
+            witness.append((ctx.get_thread_id(), ctx.get_num_team_threads()))
+
+        body.retry_safe = True
+        parallel_region(body, num_threads=2, name="degrade", on_failure="degrade", max_retries=0)
+        assert witness[-1] == (0, 1), "only the serial team-of-one can finish"
+        degrades = [
+            e for e in recorder.events() if e.kind is EventKind.REGION_RETRY and e.data["action"] == "degrade"
+        ]
+        assert degrades, "the degrade decision must be traced"
+        assert degrades[-1].data["backend"] == "serial"
+
+    def test_policy_default_comes_from_config(self, monkeypatch):
+        from repro.runtime.config import RuntimeConfig, set_config
+
+        install("raise:member=1,region=0")
+        set_config(RuntimeConfig(num_threads=2, on_failure="retry"))
+
+        def body():
+            pass
+
+        body.retry_safe = True
+        parallel_region(body, num_threads=2, name="config-default")  # no explicit policy
+
+
+@requires_fork
+@pytest.mark.chaos
+class TestChaosScenarios:
+    """Broader fault scenarios for the non-blocking CI chaos job."""
+
+    def test_pool_retry_after_sigkill_matches_serial(self, process_backend):
+        """Acceptance scenario: kill a pool member, retry, compare to serial."""
+        body = SharedFillBody(128)
+        try:
+            install("kill:member=1,region=0")
+            parallel_region(body.run, num_threads=4, backend=process_backend, name="chaos-retry", on_failure="retry")
+            assert np.array_equal(body.out.view(), body.expected())
+        finally:
+            body.close()
+
+    def test_repeated_kills_degrade_to_completion(self, process_backend):
+        body = SharedFillBody(64)
+        try:
+            install("kill:member=1,times=99")
+            parallel_region(
+                body.run,
+                num_threads=3,
+                backend=process_backend,
+                name="chaos-degrade",
+                on_failure="degrade",
+                max_retries=1,
+                retry_backoff=0.01,
+            )
+            assert np.array_equal(body.out.view(), body.expected())
+        finally:
+            body.close()
+
+    def test_two_simultaneous_deaths(self, process_backend):
+        install("kill:member=1,region=0;kill:member=2,region=0")
+        marker = object()
+
+        def body():
+            assert marker is not None
+            time.sleep(0.05)
+
+        start = time.monotonic()
+        with pytest.raises(BrokenTeamError) as excinfo:
+            parallel_region(body, num_threads=4, backend=process_backend, name="chaos-two")
+        assert time.monotonic() - start < DETECTION_BOUND
+        dead = [m for m, e in excinfo.value.failures if isinstance(e, WorkerProcessError)]
+        assert set(dead) == {1, 2}
+
+    def test_stalled_worker_hits_heartbeat_timeout(self, process_backend, monkeypatch):
+        monkeypatch.setenv("AOMP_HEARTBEAT_TIMEOUT", "0.5")
+        monkeypatch.setenv("AOMP_HEARTBEAT_INTERVAL", "0.1")
+        install("stall:member=1,region=0,seconds=30")
+        marker = object()
+
+        def body():
+            assert marker is not None
+            team = ctx.current_team()
+            team.barrier(label="rendezvous")
+
+        start = time.monotonic()
+        with pytest.raises(BrokenTeamError):
+            parallel_region(body, num_threads=3, backend=process_backend, name="chaos-stall")
+        assert time.monotonic() - start < DETECTION_BOUND

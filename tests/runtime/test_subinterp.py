@@ -14,6 +14,7 @@ import os
 import struct
 import threading
 import time
+import warnings
 from types import SimpleNamespace
 
 import numpy as np
@@ -99,6 +100,58 @@ class TestResolution:
             assert backend.resolve_for_region(size=4, nesting_level=0, requires_shared_locals=False) is fallback
 
 
+class TestProbeFailureFallback:
+    """A failed availability probe degrades gracefully — on *every* platform.
+
+    These monkeypatch the cached probe result itself (not the wrapper
+    function), so the real ``subinterpreters_available()`` logic runs against
+    a build where the one-time probe came back ``False`` — the exact path a
+    3.11 interpreter or a numpy-without-subinterpreter-support build takes.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _failed_probe(self, monkeypatch):
+        monkeypatch.setattr(subinterp, "_probe_result", False)
+
+    def test_true_parallel_is_false(self):
+        backend = SubinterpreterBackend()
+        assert subinterpreters_available() is False
+        assert backend.true_parallel is False
+
+    def test_first_resolution_warns_and_falls_back_to_threads(self):
+        backend = SubinterpreterBackend()
+        with pytest.warns(RuntimeWarning, match="SubinterpreterBackend.*interpreters module"):
+            resolved = backend.resolve_for_region(size=4, nesting_level=0, requires_shared_locals=False)
+        assert resolved is backend.fallback
+        assert isinstance(resolved, ThreadBackend)
+
+    def test_warning_fires_once_then_resolution_is_silent(self):
+        backend = SubinterpreterBackend()
+        with pytest.warns(RuntimeWarning):
+            backend.resolve_for_region(size=4, nesting_level=0, requires_shared_locals=False)
+        # Second resolution: same fallback, no second warning (warn-once key).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = backend.resolve_for_region(size=4, nesting_level=0, requires_shared_locals=False)
+        assert resolved is backend.fallback
+
+    def test_region_still_produces_correct_results(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                seen.append(ctx.get_thread_id())
+
+        with pytest.warns(RuntimeWarning):
+            parallel_region(body, num_threads=3, backend=SubinterpreterBackend(), name="probe.fallback")
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_no_process_sync_without_workers(self):
+        backend = SubinterpreterBackend()
+        assert backend.create_process_sync(4, lambda: None) is None
+
+
 class TestProcessSync:
     def test_non_process_safe_body_yields_no_sync(self, monkeypatch):
         monkeypatch.setattr(subinterp, "subinterpreters_available", lambda: True)
@@ -119,7 +172,7 @@ class TestProcessSync:
             kernel = SharedFillKernel(array)
             sync = backend.create_process_sync(3, kernel.fill)
             assert sync is not None
-            assert set(sync.shareable) == {"barrier", "arena", "steal", "tune"}
+            assert set(sync.shareable) == {"barrier", "arena", "steal", "tune", "heartbeat"}
             assert sync.barrier.parties == 3
             assert isinstance(sync.body_bytes, bytes)
 
@@ -133,7 +186,7 @@ class TestProcessSync:
             assert sync.barrier.broken
 
             segment_names = [res.name for res in sync.resources if isinstance(res, shm.SharedArray)]
-            assert len(segment_names) == 4
+            assert len(segment_names) == 5
             backend.finish_region(SimpleNamespace(process_sync=sync))
             for name in segment_names:
                 with pytest.raises(FileNotFoundError):
