@@ -43,6 +43,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_backends  # noqa: E402  (path set up above)
+import bench_dataplane  # noqa: E402
 import bench_overhead  # noqa: E402
 import bench_tune  # noqa: E402
 
@@ -226,6 +227,50 @@ def run_backends_smoke() -> int:
     return 0
 
 
+def run_dataplane_smoke() -> int:
+    """Plumbing check of the socket data-plane benchmark (smoke sizes).
+
+    Exercises the production coordinator/worker-session wire path end to end
+    and validates the payload shape plus one structural invariant: a batched
+    claim's per-chunk cost must undercut a lone proxy round-trip (that
+    amortisation is the design premise of distributed dynamic/guided loops;
+    the ~``batch``x headroom makes the comparison robust to runner noise).
+    Absolute round-trip *targets* are not gated — loopback latency varies
+    wildly across runners — the honest numbers live in the benchmark output.
+    """
+    payload = bench_dataplane.run_suite(mode="smoke")
+    metrics = payload["metrics"]
+    problems: list[str] = []
+    if payload.get("schema_version") != bench_dataplane.SCHEMA_VERSION:
+        problems.append("schema_version mismatch")
+    for op, key in (("ping", "rtt_seconds"), ("barrier", "seconds_per_barrier")):
+        if not metrics.get(op, {}).get(key, 0) > 0:
+            problems.append(f"bogus {op} timing")
+    fetch = metrics.get("fetch_add", {})
+    if not fetch.get("proxy_rtt_seconds", 0) > 0 or not fetch.get("direct_seconds", 0) > 0:
+        problems.append("bogus fetch_add timings")
+    batch = metrics.get("claim_batch", {})
+    if not batch.get("seconds_per_chunk", float("inf")) < fetch.get("proxy_rtt_seconds", 0):
+        problems.append(
+            "batched claims do not amortise the round-trip "
+            f"({batch.get('seconds_per_chunk')}s/chunk vs {fetch.get('proxy_rtt_seconds')}s/claim)"
+        )
+    arrays = metrics.get("arrays", {})
+    if not arrays.get("gather_seconds_per_element", 0) > 0 or not arrays.get("publish_seconds_per_element", 0) > 0:
+        problems.append("bogus array movement timings")
+
+    if problems:
+        print(f"FAIL: data-plane smoke: {'; '.join(problems)}")
+        return 1
+    rtt_us = metrics["ping"]["rtt_seconds"] * 1e6
+    per_chunk_us = metrics["claim_batch"]["seconds_per_chunk"] * 1e6
+    print(
+        f"OK: data-plane smoke (schema v{bench_dataplane.SCHEMA_VERSION}, ping {rtt_us:.0f}us, "
+        f"batched claim {per_chunk_us:.1f}us/chunk)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -259,6 +304,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the backend-comparison smoke check (bench_backends.py plumbing)",
     )
+    parser.add_argument(
+        "--skip-dataplane",
+        action="store_true",
+        help="skip the socket data-plane smoke check (bench_dataplane.py plumbing)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -277,6 +327,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_backends:
         print()
         status = status or run_backends_smoke()
+    if not args.skip_dataplane:
+        print()
+        status = status or run_dataplane_smoke()
     return status
 
 

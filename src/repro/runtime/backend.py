@@ -49,6 +49,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.runtime import faults, shm
+from repro.runtime.dataplane import ShmDataPlane
 from repro.runtime.exceptions import WorkerProcessError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -286,6 +287,7 @@ class ProcessBackend(Backend):
         use_pool: bool = True,
     ) -> None:
         self._fallback = fallback if fallback is not None else ThreadBackend(name_prefix="aomp-proc-fallback")
+        self._plane = ShmDataPlane()
         self._pool_workers = pool_workers
         self._use_pool = use_pool
         self._pool = None
@@ -341,14 +343,7 @@ class ProcessBackend(Backend):
                 sync.body_bytes = body_bytes  # type: ignore[attr-defined]
                 return sync
             self._pool_lock.release()
-        return shm.ProcessSync(
-            shm.SharedBarrier(size),
-            shm.SyncArena(),
-            pooled=False,
-            steal=shm.TaskStealArena(max_workers=max(size, 2)),
-            tune=shm.TunePlanArena(),
-            heartbeat=shm.HeartbeatArena(),
-        )
+        return self._plane.create_sync(size)
 
     def finish_region(self, team: "Team") -> None:
         sync = team.process_sync
@@ -507,35 +502,7 @@ class ProcessBackend(Backend):
     def _apply_payloads(
         self, team: "Team", payloads: dict, deaths: "list | None" = None, stalled: "list | None" = None
     ) -> None:
-        death_info = {m: (pid, code) for m, pid, code in (deaths or ()) if m is not None}
-        sync = team.process_sync
-        heartbeat = sync.heartbeat if sync is not None else None
-        for member in team.members[1:]:
-            payload = payloads.get(member.thread_id)
-            if payload is None:
-                pid, exitcode = death_info.get(member.thread_id, (None, None))
-                if pid is None and heartbeat is not None:
-                    pid = heartbeat.pid(member.thread_id) or None
-                if stalled and member.thread_id in stalled:
-                    message = (
-                        f"worker process (pid {pid}) for member {member.thread_id} of team "
-                        f"{team.name!r} (level {team.nesting_level}) stopped heartbeating "
-                        "past AOMP_HEARTBEAT_TIMEOUT and was abandoned"
-                    )
-                else:
-                    message = _worker_death_message(team, member.thread_id, pid, exitcode)
-                member.exception = WorkerProcessError(
-                    message,
-                    member=member.thread_id,
-                    pid=pid,
-                    exitcode=exitcode,
-                )
-                continue
-            result, exc = payload
-            if exc is not None:
-                member.exception = _decode_exception(exc)
-            else:
-                member.result = _decode_result(result)
+        apply_member_payloads(team, payloads, deaths=deaths, stalled=stalled)
 
     def shutdown(self) -> None:
         """Stop the persistent worker pool (used by tests and at interpreter exit)."""
@@ -548,6 +515,55 @@ class ProcessBackend(Backend):
         if key not in self._warned_fallback:
             self._warned_fallback.add(key)
             warnings.warn(f"ProcessBackend: {message}", RuntimeWarning, stacklevel=3)
+
+
+def apply_member_payloads(
+    team: "Team",
+    payloads: dict,
+    *,
+    deaths: "list | None" = None,
+    stalled: "list | None" = None,
+    heartbeat=None,
+) -> None:
+    """Record collected member payloads (results/exceptions) on the team.
+
+    A member without a payload is diagnosed as a silent death or — when the
+    worker monitor flagged it — a heartbeat stall, and receives a
+    :class:`WorkerProcessError`.  Shared by every process-based backend
+    (forked, pooled, and socket-distributed); ``heartbeat`` overrides the
+    team sync's arena for backends whose authoritative liveness cells live
+    elsewhere (the distributed coordinator).
+    """
+    death_info = {m: (pid, code) for m, pid, code in (deaths or ()) if m is not None}
+    if heartbeat is None:
+        sync = team.process_sync
+        heartbeat = sync.heartbeat if sync is not None else None
+    for member in team.members[1:]:
+        payload = payloads.get(member.thread_id)
+        if payload is None:
+            pid, exitcode = death_info.get(member.thread_id, (None, None))
+            if pid is None and heartbeat is not None:
+                pid = heartbeat.pid(member.thread_id) or None
+            if stalled and member.thread_id in stalled:
+                message = (
+                    f"worker process (pid {pid}) for member {member.thread_id} of team "
+                    f"{team.name!r} (level {team.nesting_level}) stopped heartbeating "
+                    "past AOMP_HEARTBEAT_TIMEOUT and was abandoned"
+                )
+            else:
+                message = _worker_death_message(team, member.thread_id, pid, exitcode)
+            member.exception = WorkerProcessError(
+                message,
+                member=member.thread_id,
+                pid=pid,
+                exitcode=exitcode,
+            )
+            continue
+        result, exc = payload
+        if exc is not None:
+            member.exception = _decode_exception(exc)
+        else:
+            member.result = _decode_result(result)
 
 
 def _worker_death_message(team: "Team", member: int, pid: "int | None", exitcode: "int | None") -> str:
@@ -717,10 +733,19 @@ def _subinterpreter_backend() -> Backend:
     return SubinterpreterBackend()
 
 
+def _distributed_backend() -> Backend:
+    # Lazily imported for the same circularity reason as the subinterpreter
+    # backend: distributed.py needs the Backend base class from this module.
+    from repro.runtime.distributed import DistributedBackend
+
+    return DistributedBackend()
+
+
 register_backend("serial", SerialBackend)
 register_backend("threads", ThreadBackend)
 register_backend("processes", ProcessBackend)
 register_backend("subinterp", _subinterpreter_backend)
+register_backend("distributed", _distributed_backend, aliases=("dist", "sockets", "socket"))
 
 
 def available_backends() -> list[str]:

@@ -33,15 +33,18 @@ def _default_barrier_timeout() -> "float | None":
 
     Read at *barrier construction* time (not import time), so setting the
     variable mid-process affects teams created afterwards.  ``0`` or a
-    negative value disables the bound (wait forever); unset or unparsable
-    falls back to :data:`DEFAULT_BARRIER_TIMEOUT`.
+    negative value disables the bound (wait forever); unset falls back to
+    :data:`DEFAULT_BARRIER_TIMEOUT`, anything unparsable is rejected loudly
+    (a typo here must not silently re-enable a two-minute hang bound).
     """
     env = (os.environ.get("AOMP_BARRIER_TIMEOUT") or "").strip()
     if env:
         try:
             value = float(env)
         except ValueError:
-            return DEFAULT_BARRIER_TIMEOUT
+            raise ValueError(
+                f"AOMP_BARRIER_TIMEOUT must be a number of seconds (<= 0 disables the bound); got {env!r}"
+            ) from None
         return None if value <= 0 else value
     return DEFAULT_BARRIER_TIMEOUT
 
@@ -68,6 +71,11 @@ class CyclicBarrier:
         ``AOMP_BARRIER_TIMEOUT`` environment variable at construction time
         (falling back to :data:`DEFAULT_BARRIER_TIMEOUT`).  Pass ``None``
         explicitly to wait forever (not recommended outside tests).
+    transport:
+        Optional label naming the data plane/transport this barrier
+        synchronises (e.g. the socket data plane's coordinator barrier).
+        Appended to timeout messages so a distributed-mode stall does not
+        misreport itself as an in-process problem.
     """
 
     def __init__(
@@ -76,12 +84,14 @@ class CyclicBarrier:
         action: Optional[Callable[[], None]] = None,
         *,
         timeout: "float | None | object" = _UNSET,
+        transport: Optional[str] = None,
     ) -> None:
         if parties < 1:
             raise ValueError(f"barrier needs at least 1 party, got {parties}")
         self._parties = parties
         self._action = action
         self._timeout = _default_barrier_timeout() if timeout is _UNSET else timeout
+        self.transport = transport
         self._cond = threading.Condition()
         self._generation = 0
         self._waiting = 0
@@ -149,9 +159,10 @@ class CyclicBarrier:
                     self._waiting = 0
                     self._generation += 1
                     self._cond.notify_all()
+                    where = f" [{self.transport}]" if self.transport else ""
                     raise BrokenBarrierError(
                         f"barrier wait timed out after {timeout:g}s "
-                        f"({arrived} of {self._parties} parties arrived)"
+                        f"({arrived} of {self._parties} parties arrived){where}"
                     )
             if self._broken or generation in self._broken_generations:
                 raise BrokenBarrierError("barrier is broken")

@@ -12,9 +12,32 @@ import threading
 from dataclasses import dataclass, field, replace
 
 
+def _env_pair(primary: str, fallback: "str | None" = None) -> "tuple[str, str | None]":
+    """``(variable_name, value)`` for the first of two variables that is set.
+
+    The variable *name* travels with the value so a parse failure can blame
+    the exact variable the user set — every ``AOMP_*`` parser here rejects
+    garbage loudly rather than silently substituting a default (a typo'd
+    setting that silently does nothing is worse than a crash at import).
+    """
+    env = os.environ.get(primary)
+    if env:
+        return primary, env
+    if fallback is not None:
+        env = os.environ.get(fallback)
+        if env:
+            return fallback, env
+    return primary, None
+
+
 def _default_backend() -> str:
-    """Backend name from ``AOMP_BACKEND``
-    (``serial`` | ``threads`` | ``processes`` | ``subinterp``)."""
+    """Backend name from ``AOMP_BACKEND`` (``serial`` | ``threads`` |
+    ``processes`` | ``subinterp`` | ``distributed``).
+
+    Validity is checked loudly — but *at use*, by ``backend_by_name`` (which
+    names the valid set), so plugin backends registered after import still
+    resolve.
+    """
     env = (os.environ.get("AOMP_BACKEND") or "").strip().lower()
     return env or "threads"
 
@@ -36,14 +59,16 @@ def _default_tune_cache() -> "str | None":
 
 
 def _default_num_threads() -> int:
-    env = os.environ.get("AOMP_NUM_THREADS") or os.environ.get("OMP_NUM_THREADS")
+    """Default team size from ``AOMP_NUM_THREADS``/``OMP_NUM_THREADS`` (int >= 1)."""
+    name, env = _env_pair("AOMP_NUM_THREADS", "OMP_NUM_THREADS")
     if env:
         try:
             value = int(env)
-            if value >= 1:
-                return value
         except ValueError:
-            pass
+            raise ValueError(f"{name} must be an integer >= 1; got {env!r}") from None
+        if value < 1:
+            raise ValueError(f"{name} must be an integer >= 1; got {env!r}")
+        return value
     return max(1, os.cpu_count() or 1)
 
 
@@ -56,7 +81,13 @@ ON_FAILURE_POLICIES = ("raise", "retry", "degrade")
 def _default_on_failure() -> str:
     """Region failure policy from ``AOMP_ON_FAILURE`` (``raise``/``retry``/``degrade``)."""
     env = (os.environ.get("AOMP_ON_FAILURE") or "").strip().lower()
-    return env if env in ON_FAILURE_POLICIES else "raise"
+    if not env:
+        return "raise"
+    if env not in ON_FAILURE_POLICIES:
+        raise ValueError(
+            f"AOMP_ON_FAILURE must be one of {', '.join(ON_FAILURE_POLICIES)}; got {env!r}"
+        )
+    return env
 
 
 def _default_max_retries() -> int:
@@ -65,10 +96,11 @@ def _default_max_retries() -> int:
     if env:
         try:
             value = int(env)
-            if value >= 0:
-                return value
         except ValueError:
-            pass
+            raise ValueError(f"AOMP_MAX_RETRIES must be an integer >= 0; got {env!r}") from None
+        if value < 0:
+            raise ValueError(f"AOMP_MAX_RETRIES must be an integer >= 0; got {env!r}")
+        return value
     return 2
 
 
@@ -78,21 +110,28 @@ def _default_retry_backoff() -> float:
     if env:
         try:
             value = float(env)
-            if value >= 0.0:
-                return value
         except ValueError:
-            pass
+            raise ValueError(f"AOMP_RETRY_BACKOFF must be a number of seconds >= 0; got {env!r}") from None
+        if value < 0.0:
+            raise ValueError(f"AOMP_RETRY_BACKOFF must be a number of seconds >= 0; got {env!r}")
+        return value
     return 0.05
 
 
 def _default_nested() -> bool:
     """Whether nested regions create real teams, from ``AOMP_NESTED``/``OMP_NESTED``."""
-    env = (os.environ.get("AOMP_NESTED") or os.environ.get("OMP_NESTED") or "").strip().lower()
-    if env in _TRUE_WORDS:
+    name, env = _env_pair("AOMP_NESTED", "OMP_NESTED")
+    if env is None or not env.strip():
         return True
-    if env in _FALSE_WORDS:
+    word = env.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
         return False
-    return True
+    raise ValueError(
+        f"{name} must be a boolean word ({'/'.join(sorted(_TRUE_WORDS))} or "
+        f"{'/'.join(sorted(_FALSE_WORDS))}); got {env!r}"
+    )
 
 
 def _default_max_active_levels() -> int:
@@ -101,14 +140,15 @@ def _default_max_active_levels() -> int:
     Counts *active* levels — enclosing teams with more than one member —
     exactly like OpenMP's ``omp_set_max_active_levels``.
     """
-    env = os.environ.get("AOMP_MAX_ACTIVE_LEVELS") or os.environ.get("OMP_MAX_ACTIVE_LEVELS")
+    name, env = _env_pair("AOMP_MAX_ACTIVE_LEVELS", "OMP_MAX_ACTIVE_LEVELS")
     if env:
         try:
             value = int(env)
-            if value >= 1:
-                return value
         except ValueError:
-            pass
+            raise ValueError(f"{name} must be an integer >= 1; got {env!r}") from None
+        if value < 1:
+            raise ValueError(f"{name} must be an integer >= 1; got {env!r}")
+        return value
     return 4
 
 

@@ -74,10 +74,11 @@ def heartbeat_interval() -> float:
     if env:
         try:
             value = float(env)
-            if value > 0:
-                return value
         except ValueError:
-            pass
+            raise ValueError(f"AOMP_HEARTBEAT_INTERVAL must be a number of seconds > 0; got {env!r}") from None
+        if value <= 0:
+            raise ValueError(f"AOMP_HEARTBEAT_INTERVAL must be a number of seconds > 0; got {env!r}")
+        return value
     return 0.25
 
 
@@ -86,16 +87,19 @@ def heartbeat_timeout() -> "float | None":
 
     Disabled by default: a member legitimately blocked in a long chunk beats
     only at barriers, so a stall cutoff is an opt-in for workloads that know
-    their cadence.
+    their cadence.  ``0`` or negative disables explicitly; garbage is
+    rejected loudly.
     """
     env = os.environ.get("AOMP_HEARTBEAT_TIMEOUT")
     if env:
         try:
             value = float(env)
-            if value > 0:
-                return value
         except ValueError:
-            pass
+            raise ValueError(
+                f"AOMP_HEARTBEAT_TIMEOUT must be a number of seconds (<= 0 disables); got {env!r}"
+            ) from None
+        if value > 0:
+            return value
     return None
 
 

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Tuple
 
 from repro.runtime import faults, shm
 from repro.runtime.backend import _encode_exception, _encode_result
+from repro.runtime.dataplane import ShmDataPlane
 
 #: sentinel telling workers to exit
 _STOP = None
@@ -35,11 +36,13 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
     from repro.runtime import context as ctx
     from repro.runtime.team import Team
 
+    from repro.runtime.config import config_override
+
     while True:
         task = task_queue.get()
         if task is _STOP:
             break
-        ticket, thread_id, size, nesting_level, region_id, name, fault_region, body_bytes = task
+        ticket, thread_id, size, nesting_level, region_id, name, fault_region, cfg, body_bytes = task
         try:
             body = pickle.loads(body_bytes)
             team = Team(
@@ -62,7 +65,13 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
                     faults.fire(
                         "member", member=thread_id, region=fault_region, backend="processes", team=team
                     )
-                result = body()
+                # Long-lived workers keep the config captured when the pool
+                # forked; the region's *current* schedule/nesting settings
+                # travel in the task message so master and workers always
+                # partition loops identically (a stale default_schedule here
+                # silently corrupts work-shared results).
+                with config_override(**cfg):
+                    result = body()
             finally:
                 ctx.pop_context()
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
@@ -88,14 +97,15 @@ class PersistentProcessPool:
         shm.require_fork("the persistent process pool")
         ctx = shm._mp_context()
         self.workers = workers
-        self.barrier = shm.SharedBarrier(1)
-        self.arena = shm.SyncArena()
-        self.steal = shm.TaskStealArena()
-        self.tune = shm.TunePlanArena()
-        self.heartbeat = shm.HeartbeatArena()
-        self._sync = shm.ProcessSync(
-            self.barrier, self.arena, pooled=True, steal=self.steal, tune=self.tune, heartbeat=self.heartbeat
-        )
+        # Constructed through the shm data plane (the barrier starts with one
+        # party and is reset per region; the steal arena gets the full
+        # 64-worker width because pool team sizes vary region to region).
+        self._sync = ShmDataPlane().create_sync(1, pooled=True, max_workers=64)
+        self.barrier = self._sync.barrier
+        self.arena = self._sync.arena
+        self.steal = self._sync.steal
+        self.tune = self._sync.tune
+        self.heartbeat = self._sync.heartbeat
         self._tasks = ctx.SimpleQueue()
         self._results = ctx.SimpleQueue()
         self._tickets = itertools.count(1)
@@ -133,7 +143,10 @@ class PersistentProcessPool:
 
     def submit_region(self, team, body_bytes: bytes) -> int:
         """Dispatch one task per non-master member; returns the region ticket."""
+        from repro.runtime.subinterp import _spmd_config_fields
+
         ticket = next(self._tickets)
+        cfg = _spmd_config_fields()
         for member in team.members[1:]:
             self._tasks.put(
                 (
@@ -144,6 +157,7 @@ class PersistentProcessPool:
                     team.region_id,
                     team.name,
                     team.fault_region,
+                    cfg,
                     body_bytes,
                 )
             )

@@ -94,10 +94,12 @@ def require_fork(component: str) -> None:
     if not fork_available():
         raise BackendError(
             f"{component} requires the {FORK_METHOD!r} multiprocessing start method "
-            "(pre-forked SharedArray/arena handoff relies on address-space "
-            "inheritance; spawn/forkserver would re-import and pickle instead), "
+            "(the shm data plane hands pre-created SharedArray/arena state to "
+            "workers by address-space inheritance; spawn/forkserver would "
+            "re-import and pickle instead), "
             f"but this platform only offers: {', '.join(multiprocessing.get_all_start_methods())}. "
-            "Use the threads or subinterp backend here."
+            "Use the threads or subinterp backend here, or the distributed "
+            "backend (socket data plane), which does not fork."
         )
 
 
@@ -262,7 +264,15 @@ def _segment_name() -> str:
     return f"aomp_{os.getpid()}_{secrets.token_hex(4)}"
 
 
-def _attach_shared_array(name: str, shape: tuple, dtype_str: str) -> SharedArray:
+#: Attach redirection hook installed by the socket data plane
+#: (:class:`repro.runtime.dataplane.WorkerSession`): in a distributed worker
+#: process the master's ``/dev/shm`` segments are a different host in
+#: principle, so unpickled :class:`SharedArray` references resolve to
+#: socket-backed mirrors instead of attaching locally.
+_attach_hook = None
+
+
+def _attach_shared_array(name: str, shape: tuple, dtype_str: str):
     """Re-attach to an existing segment (pickle support for worker processes).
 
     Attaching registers the segment with the resource tracker (CPython
@@ -270,7 +280,13 @@ def _attach_shared_array(name: str, shape: tuple, dtype_str: str) -> SharedArray
     workers attaching the same segment confuses the tracker at shutdown.
     Lifetime is managed by the creating process alone, so registration is
     suppressed for the duration of the attach.
+
+    When a data-plane attach hook is installed (socket-plane worker), the
+    reference resolves through it instead of touching local shared memory.
     """
+    if _attach_hook is not None:
+        return _attach_hook(name, shape, dtype_str)
+
     def _suppress_register(*args: Any, **kwargs: Any) -> None:
         return None
 
@@ -361,7 +377,8 @@ class SharedBarrier:
                     self._cond.notify_all()
                     raise BrokenBarrierError(
                         f"barrier wait timed out after {limit:g}s "
-                        f"({int(state[self._COUNT])} of {int(state[self._PARTIES])} parties arrived)"
+                        f"({int(state[self._COUNT])} of {int(state[self._PARTIES])} parties arrived) "
+                        "[shm data plane, fork-inherited condition barrier]"
                     )
             if state[self._BROKEN]:
                 raise BrokenBarrierError("barrier is broken")
@@ -434,12 +451,17 @@ class HeartbeatArena:
         for i in range(self.CELLS_PER_MEMBER * self.capacity):
             self._cells[i] = 0
 
-    def register(self, member: int) -> None:
-        """Record the calling process as the owner of ``member``'s slot."""
+    def register(self, member: int, pid: "int | None" = None) -> None:
+        """Record the owner of ``member``'s slot.
+
+        ``pid`` defaults to the calling process — the fork/subinterp planes
+        register in-process — but the socket plane's coordinator registers on
+        a remote worker's behalf and passes the pid from its hello frame.
+        """
         if member >= self.capacity:
             return
         base = self.CELLS_PER_MEMBER * member
-        self._cells[base + self._PID] = os.getpid()
+        self._cells[base + self._PID] = os.getpid() if pid is None else pid
         self._cells[base + self._BEAT] = time.monotonic_ns()
 
     def beat(self, member: int) -> None:
@@ -602,7 +624,8 @@ class InterpBarrier:
                     cells[self._BROKEN] = 1
                     raise BrokenBarrierError(
                         f"barrier wait timed out after {limit:g}s "
-                        f"({int(cells[self._COUNT])} of {int(cells[self._PARTIES])} parties arrived)"
+                        f"({int(cells[self._COUNT])} of {int(cells[self._PARTIES])} parties arrived) "
+                        "[shm data plane, pipe-lock polling barrier]"
                     )
             time.sleep(self.POLL_INTERVAL)
 

@@ -307,7 +307,8 @@ class TestBarrierTimeoutConfig:
         monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "0")
         assert _default_barrier_timeout() is None  # disabled: wait forever
         monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "junk")
-        assert _default_barrier_timeout() == 120.0
+        with pytest.raises(ValueError, match="AOMP_BARRIER_TIMEOUT"):
+            _default_barrier_timeout()
 
     def test_explicit_none_waits_past_default(self):
         """timeout=None is a true unbounded wait, distinct from the default."""

@@ -1,0 +1,396 @@
+"""The data-plane abstraction and its socket transport.
+
+Three layers of proof, cheapest first:
+
+* **wire/unit** — framing round-trips, token auth, proxy-vs-real arena
+  equivalence and RemoteArray coherence, all against an in-process
+  :class:`~repro.runtime.dataplane.Coordinator` (no worker processes);
+* **conformance** — Series and Crypt on ``backend="distributed"`` (real
+  spawned, non-forked worker processes talking TCP) must produce results
+  identical to ``backend="processes"`` across static/cyclic/dynamic
+  schedules, which is the acceptance bar for the socket plane;
+* **liveness** — a SIGKILLed remote member must surface as a diagnosed
+  :class:`~repro.runtime.exceptions.WorkerProcessError` within seconds via
+  the dropped-connection signal, not the barrier timeout.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import dataplane, shm
+from repro.runtime.backend import available_backends, backend_by_name
+from repro.runtime.barrier import BrokenBarrierError
+from repro.runtime.config import config_override
+from repro.runtime.distributed import DistributedBackend
+from repro.runtime.exceptions import BrokenTeamError, WorkerProcessError
+from repro.runtime.faults import parse_fault_spec, set_fault_plan
+from repro.runtime.team import parallel_region
+
+#: acceptance bound for dead-member detection (against a 120s barrier timeout).
+DETECTION_BOUND = 5.0
+
+#: schedules the conformance acceptance criterion names explicitly.
+CONFORMANCE_SCHEDULES = ("static_block", "static_cyclic", "dynamic,2")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_plan():
+    previous = set_fault_plan(None)
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def coordinator():
+    coord = dataplane.Coordinator(2)
+    coord.start()
+    yield coord
+    coord.shutdown()
+
+
+@pytest.fixture
+def session(coordinator):
+    sess = dataplane.WorkerSession(
+        dataplane.LOOPBACK_HOST, coordinator.port, coordinator.token, 1, install_hook=False
+    )
+    yield sess
+    sess.close()
+
+
+class TestWireFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            for payload in (("ping",), ("op", 1, None, b"\x00bytes"), {"k": [1.5, "v"]}, 0):
+                dataplane.send_message(a, payload)
+                assert dataplane.recv_message(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_peer_is_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError, match="closed"):
+                dataplane.recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_is_refused(self):
+        """A corrupt length header must not make the receiver allocate GBs."""
+        a, b = socket.socketpair()
+        try:
+            a.sendall(dataplane._HEADER.pack(dataplane.MAX_FRAME_BYTES + 1))
+            with pytest.raises(ConnectionError, match="exceeds"):
+                dataplane.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestShmPlane:
+    """The shm plane is a constructor shim: components are the historical types."""
+
+    def test_components_are_the_historical_types(self):
+        plane = dataplane.ShmDataPlane()
+        sync = plane.create_sync(3)
+        assert isinstance(sync.barrier, shm.SharedBarrier)
+        assert isinstance(sync.arena, shm.SyncArena)
+        assert isinstance(sync.steal, shm.TaskStealArena)
+        assert isinstance(sync.tune, shm.TunePlanArena)
+        assert isinstance(sync.heartbeat, shm.HeartbeatArena)
+        assert sync.barrier.parties == 3
+        assert sync.pooled is False
+
+    def test_pool_construction_knobs(self):
+        sync = dataplane.ShmDataPlane().create_sync(1, pooled=True, max_workers=64)
+        assert sync.pooled is True
+        assert sync.steal.max_workers == 64
+
+    def test_release_is_a_no_op(self):
+        plane = dataplane.ShmDataPlane()
+        plane.release_sync(plane.create_sync(2))  # must not raise
+
+
+class TestCoordinatorRPC:
+    def test_ping_echo(self, session):
+        assert session.call("ping", "marco") == "marco"
+
+    def test_hello_must_come_first(self, coordinator):
+        sock = socket.create_connection((dataplane.LOOPBACK_HOST, coordinator.port), timeout=5.0)
+        try:
+            dataplane.send_message(sock, ("ping",))
+            ok, payload = dataplane.recv_message(sock)
+            assert not ok and isinstance(payload, PermissionError)
+        finally:
+            sock.close()
+
+    def test_bad_token_rejected_without_marking_a_member_lost(self, coordinator):
+        with pytest.raises(PermissionError, match="token"):
+            dataplane.WorkerSession(
+                dataplane.LOOPBACK_HOST, coordinator.port, "wrong-token", 1, install_hook=False
+            )
+        # The impostor's disconnect must not be mistaken for a worker death.
+        time.sleep(0.05)
+        assert coordinator.lost_members() == []
+
+    def test_unknown_op_raises_client_side(self, session):
+        with pytest.raises(ValueError, match="unknown data-plane op"):
+            session.call("no-such-op")
+
+    def test_proxy_and_real_arena_share_one_counter(self, coordinator, session):
+        proxy = dataplane.ProxySyncArena(session).slot(0)
+        real = coordinator.arena.slot(0)
+        assert proxy.fetch_add(4) == 0
+        assert real.fetch_add(4) == 4
+        assert proxy.fetch_add(0) == 8
+
+    def test_claim_sequences_match_a_private_shm_arena(self, coordinator, session):
+        """The coordinator hosts the *same* arena code, so any interleaved
+        claim sequence through the proxy must equal the sequence a plain
+        in-process arena produces — chunk boundaries identical by construction."""
+        reference = shm.SyncArena(cells=[0] * (shm.SyncArena.CELLS_PER_SLOT * 256), lock=threading.Lock())
+        proxy = dataplane.ProxySyncArena(session).slot(1)
+        ref = reference.slot(1)
+        for _ in range(10):
+            assert proxy.claim_batch(3, 2, 25) == ref.claim_batch(3, 2, 25)
+        proxy_g, ref_g = dataplane.ProxySyncArena(session).slot(2), reference.slot(2)
+        while True:
+            mine, theirs = proxy_g.claim_guided(100, 4, 2), ref_g.claim_guided(100, 4, 2)
+            assert mine == theirs
+            if mine is None:
+                break
+
+    def test_steal_slot_round_trip(self, coordinator, session):
+        deck = dataplane.ProxyStealArena(session).slot(0, 2, 8)
+        tiles = []
+        while (tile := deck.claim_local(1)) is not None:
+            tiles.append(tile)
+            deck.mark_done()
+        assert tiles == [4, 5, 6, 7]  # worker 1's half of the 8-tile deck
+        stolen = deck.claim_steal(1)
+        assert stolen is not None and stolen[0] == 0  # victim is worker 0
+        assert deck.finished() is False
+
+    def test_tune_slot_publish_and_read(self, coordinator, session):
+        coordinator.tune.slot(0).publish((2, 7, 1, 3))
+        assert dataplane.ProxyTuneArena(session).slot(0).read(timeout=2.0) == (2, 7, 1, 3)
+
+    def test_rpcs_refresh_the_heartbeat(self, coordinator, session):
+        session.call("ping")
+        assert coordinator.heartbeat.pid(1) != 0
+        age = coordinator.heartbeat.age(1)
+        assert age is not None and age < 2.0
+
+
+class TestRemoteArrayCoherence:
+    def test_gather_flush_refresh(self, coordinator, session):
+        master = shm.shared_zeros(8)
+        try:
+            master.np[:] = np.arange(8.0)
+            mirror = session.attach_array(master.name, (8,), master.np.dtype.str)
+            assert np.array_equal(np.asarray(mirror), np.arange(8.0))
+            mirror[3] = 99.0
+            session.flush_arrays()
+            assert master.np[3] == 99.0
+            master.np[0] = -1.0
+            session.refresh_arrays()
+            assert mirror[0] == -1.0 and mirror[3] == 99.0
+        finally:
+            coordinator.shutdown()  # release the master-side attachment first
+            master.close()
+
+    def test_untouched_elements_are_never_republished(self, coordinator, session):
+        """The stale-overwrite guard: a concurrent master write to an element
+        this worker never touched must survive the worker's flush."""
+        master = shm.shared_zeros(4)
+        try:
+            mirror = session.attach_array(master.name, (4,), master.np.dtype.str)
+            mirror[1] = 5.0  # worker's own chunk
+            master.np[2] = 7.0  # master races ahead on a different element
+            session.flush_arrays()
+            assert master.np[1] == 5.0
+            assert master.np[2] == 7.0  # not clobbered back to the stale 0.0
+        finally:
+            coordinator.shutdown()
+            master.close()
+
+
+class TestSocketBarrier:
+    def test_master_and_remote_meet_at_the_barrier(self, coordinator, session):
+        barrier = dataplane.SocketBarrier(session, 2)
+        indices = []
+
+        def master_side():
+            indices.append(coordinator.barrier.wait())
+
+        thread = threading.Thread(target=master_side)
+        thread.start()
+        indices.append(barrier.wait(timeout=10.0))
+        thread.join(timeout=10.0)
+        assert sorted(indices) == [0, 1]
+        assert barrier.parties == 2 and barrier.broken is False
+        # The handler counted the remote member's arrival server-side.
+        assert coordinator.heartbeat.arrivals(2)[1] == 1
+
+    def test_dropped_connection_marks_the_member_lost_and_breaks_the_barrier(self, coordinator, session):
+        session._sock.close()  # simulate a worker dying mid-region
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not coordinator.lost_members():
+            time.sleep(0.01)
+        lost = coordinator.lost_members()
+        assert lost and lost[0][0] == 1
+        assert coordinator.barrier.broken
+
+    def test_timeout_message_names_the_socket_transport(self):
+        barrier = dataplane.CyclicBarrier(2, timeout=0.05, transport=dataplane.SOCKET_TRANSPORT)
+        with pytest.raises(BrokenBarrierError, match=r"socket data plane"):
+            barrier.wait()
+
+    def test_shm_barrier_timeout_names_its_plane(self):
+        if not shm.fork_available():
+            pytest.skip("shm barrier needs multiprocessing primitives")
+        barrier = shm.SharedBarrier(2, timeout=0.05)
+        with pytest.raises(BrokenBarrierError, match=r"shm data plane"):
+            barrier.wait()
+
+
+class TestTransportNamedDiagnostics:
+    def test_require_fork_names_both_planes(self, monkeypatch):
+        monkeypatch.setattr(shm, "fork_available", lambda: False)
+        with pytest.raises(Exception, match="shm data plane") as excinfo:
+            shm.require_fork("the persistent process pool")
+        assert "socket data plane" in str(excinfo.value)  # points at the alternative
+
+
+class TestDistributedBackendResolution:
+    def test_registered_with_aliases(self):
+        assert "distributed" in available_backends()
+        backend = backend_by_name("distributed")
+        assert isinstance(backend, DistributedBackend)
+        for alias in ("dist", "sockets", "socket"):
+            assert isinstance(backend_by_name(alias), DistributedBackend)
+
+    def test_size_one_runs_inline(self):
+        backend = DistributedBackend()
+        assert backend.resolve_for_region(size=1, requires_shared_locals=False, nesting_level=0) is backend
+        assert backend.create_process_sync(1, lambda: None) is None
+
+    def test_nested_regions_fall_back_to_threads(self):
+        backend = DistributedBackend()
+        resolved = backend.resolve_for_region(size=2, requires_shared_locals=False, nesting_level=1)
+        assert resolved is backend.fallback
+
+    def test_shared_locals_warn_and_fall_back(self):
+        backend = DistributedBackend()
+        with pytest.warns(RuntimeWarning, match="DistributedBackend"):
+            resolved = backend.resolve_for_region(size=2, requires_shared_locals=True, nesting_level=0)
+        assert resolved is backend.fallback
+
+    def test_unpicklable_body_warns_and_runs_on_threads(self):
+        backend = DistributedBackend()
+        lock = threading.Lock()  # closures over locks cannot pickle
+
+        def body():
+            with lock:
+                return 42
+
+        with pytest.warns(RuntimeWarning, match="DistributedBackend"):
+            result = parallel_region(body, num_threads=2, backend=backend, name="dist-unpicklable")
+        assert result == 42  # parallel_region returns the master's result
+
+
+class _SharedFillBody:
+    """Picklable ``process_safe`` SPMD owner writing disjoint shared slots."""
+
+    process_safe = True
+    retry_safe = True
+
+    def __init__(self, n: int) -> None:
+        self.out = shm.shared_zeros(n)
+
+    def run(self) -> None:
+        from repro.runtime.worksharing import run_for
+
+        run_for(self.fill, 0, len(self.out.view()), 1, loop_name="dataplane.fill")
+
+    def fill(self, start: int, end: int, step: int) -> None:
+        view = self.out.view()
+        for i in range(start, end, step):
+            view[i] = i * 2.0
+
+    def close(self) -> None:
+        self.out.close()
+
+
+class TestDistributedExecution:
+    def test_spmd_loop_fills_a_shared_array(self):
+        backend = DistributedBackend()
+        body = _SharedFillBody(24)
+        try:
+            parallel_region(body.run, num_threads=3, backend=backend, name="dist-fill")
+            assert np.array_equal(body.out.view(), np.arange(24) * 2.0)
+        finally:
+            body.close()
+
+    @pytest.mark.parametrize("schedule", CONFORMANCE_SCHEDULES)
+    def test_series_matches_processes(self, schedule):
+        from repro.jgf.series import parallel as series
+
+        with config_override(default_schedule=schedule):
+            expected = series.run_backend("tiny", num_threads=3, backend="processes")
+            actual = series.run_backend("tiny", num_threads=3, backend="distributed")
+        assert actual.value == expected.value
+
+    @pytest.mark.parametrize("schedule", CONFORMANCE_SCHEDULES)
+    def test_crypt_matches_processes(self, schedule):
+        from repro.jgf.crypt import parallel as crypt
+
+        with config_override(default_schedule=schedule):
+            expected = crypt.run_backend("tiny", num_threads=3, backend="processes")
+            actual = crypt.run_backend("tiny", num_threads=3, backend="distributed")
+        assert actual.value == expected.value
+
+
+class TestDeadMemberDetection:
+    def test_sigkilled_remote_member_is_diagnosed_fast(self):
+        """Acceptance bar: socket close + missed beats -> WorkerProcessError
+        well inside 5s, with the member and signal named."""
+        set_fault_plan(parse_fault_spec("kill:member=1,region=0"))
+        backend = DistributedBackend()
+        body = _SharedFillBody(16)
+        try:
+            start = time.monotonic()
+            with pytest.raises(BrokenTeamError) as excinfo:
+                parallel_region(body.run, num_threads=3, backend=backend, name="dist-kill")
+            elapsed = time.monotonic() - start
+            assert elapsed < DETECTION_BOUND, f"detection took {elapsed:.1f}s"
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, WorkerProcessError)
+            assert cause.member == 1
+            assert "SIGKILL" in str(cause)
+        finally:
+            set_fault_plan(None)
+            body.close()
+
+    def test_region_after_a_death_still_works(self):
+        """Coordinators are per-region: a death must not poison the backend."""
+        set_fault_plan(parse_fault_spec("kill:member=1,region=0"))
+        backend = DistributedBackend()
+        body = _SharedFillBody(8)
+        try:
+            with pytest.raises(BrokenTeamError):
+                parallel_region(body.run, num_threads=3, backend=backend, name="dist-kill-1")
+            set_fault_plan(None)
+            body.out.view()[:] = 0.0
+            parallel_region(body.run, num_threads=3, backend=backend, name="dist-after")
+            assert np.array_equal(body.out.view(), np.arange(8) * 2.0)
+        finally:
+            body.close()

@@ -558,7 +558,8 @@ class TestNestedConfiguration:
         monkeypatch.setenv("AOMP_MAX_ACTIVE_LEVELS", "2")
         assert RuntimeConfig().max_active_levels == 2
         monkeypatch.setenv("AOMP_MAX_ACTIVE_LEVELS", "not-a-number")
-        assert RuntimeConfig().max_active_levels == 4  # falls back to default
+        with pytest.raises(ValueError, match="AOMP_MAX_ACTIVE_LEVELS"):
+            RuntimeConfig()  # garbage is rejected loudly, not defaulted
 
     def test_omp_spellings_accepted(self, monkeypatch):
         from repro.runtime.config import RuntimeConfig
