@@ -38,12 +38,15 @@ the mirror is *gathered* fresh after release.  Region bodies are SPMD with
 barrier-separated phases, so everything a member may read after a barrier
 was written — and therefore published — before it.
 
-Wire protocol (see ``send_message``/``recv_message``): every frame is a
-4-byte little-endian length followed by a pickled payload.  Requests are
-``(op, *args)`` tuples, responses ``(ok, payload)`` pairs where a falsy
-``ok`` carries an encoded exception to re-raise client-side.  The first
-frame on a connection must be a ``hello`` carrying the coordinator's
-one-time token; anything else is refused.
+Wire protocol (see ``send_message``/``recv_message``): a connection opens
+with the coordinator's one-time token as a **raw fixed-length preamble**,
+constant-time-compared *before* any pickled frame is read — an
+unauthenticated peer never reaches ``pickle.loads``, so a crafted frame
+cannot execute code in the master.  After authentication, every frame is a
+4-byte little-endian length followed by a pickled payload: first a
+``hello`` carrying the member id and pid, then ``(op, *args)`` request
+tuples answered by ``(ok, payload)`` pairs where a falsy ``ok`` carries an
+encoded exception to re-raise client-side.
 """
 
 from __future__ import annotations
@@ -60,10 +63,11 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.runtime import shm
-from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier
+from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier, _default_barrier_timeout
 
-#: Socket planes bind to loopback only: the token in the hello frame guards
-#: against port-scanning neighbours, not a hostile network.
+#: Socket planes bind to loopback only: the raw token preamble (verified
+#: before anything is unpickled) guards against port-scanning neighbours,
+#: not a hostile network.
 LOOPBACK_HOST = "127.0.0.1"
 
 #: Frame header: little-endian unsigned 32-bit payload length.
@@ -73,6 +77,11 @@ _HEADER = struct.Struct("<I")
 #: receiver try to allocate gigabytes).  Generous: gathers of benchmark-sized
 #: arrays are a few MB.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Bound on how long the coordinator waits for a connecting peer to present
+#: its token preamble — an idle port-scanner must not pin a handler thread
+#: (and its accepted socket) forever.
+HANDSHAKE_TIMEOUT = 10.0
 
 
 # ---------------------------------------------------------------------------
@@ -269,15 +278,21 @@ class Coordinator:
         member = None
         pid = 0
         try:
+            # Authenticate BEFORE deserialising anything: the preamble is the
+            # raw token bytes, fixed length, compared in constant time.  An
+            # unauthenticated peer never reaches pickle.loads, so a crafted
+            # pickle frame cannot execute code in the master.
+            conn.settimeout(HANDSHAKE_TIMEOUT)
+            preamble = _recv_exact(conn, len(self.token))
+            if not secrets.compare_digest(preamble, self.token.encode("ascii")):
+                send_message(conn, (False, _encode_error(PermissionError("data-plane token rejected"))))
+                return  # member is still None: an impostor is never marked lost
+            conn.settimeout(None)
             hello = recv_message(conn)
-            if not (isinstance(hello, tuple) and len(hello) == 4 and hello[0] == "hello"):
+            if not (isinstance(hello, tuple) and len(hello) == 3 and hello[0] == "hello"):
                 send_message(conn, (False, _encode_error(PermissionError("data-plane hello frame expected"))))
                 return
-            _op, token, member, pid = hello
-            if not secrets.compare_digest(str(token), self.token):
-                send_message(conn, (False, _encode_error(PermissionError("data-plane token rejected"))))
-                member = None  # an impostor's disconnect must not mark a member lost
-                return
+            _op, member, pid = hello
             self.heartbeat.register(member, pid=pid)
             send_message(conn, (True, self.descriptor))
             while True:
@@ -294,12 +309,20 @@ class Coordinator:
                     if op == "result":
                         return  # worker is done; a subsequent EOF is a clean goodbye
         except (EOFError, ConnectionError, OSError):
-            if member is not None and member not in self._reported:
+            if member is not None:
                 with self._state_lock:
-                    self._lost[member] = pid
-                # Break the barrier now: surviving members must not sit out
-                # the full barrier timeout waiting for a peer that is gone.
-                self.barrier.abort()
+                    # _dispatch adds to _reported under this lock; a member
+                    # whose result is already queued is not lost — only the
+                    # reply (or goodbye) failed after the payload landed, and
+                    # breaking the barrier would punish the survivors.
+                    reported = member in self._reported
+                    if not reported:
+                        self._lost[member] = pid
+                if not reported:
+                    # Break the barrier now: surviving members must not sit
+                    # out the full barrier timeout waiting for a peer that is
+                    # gone.
+                    self.barrier.abort()
         finally:
             try:
                 conn.close()
@@ -390,9 +413,27 @@ class Coordinator:
 # Socket plane: worker-side session, array mirrors and proxies
 # ---------------------------------------------------------------------------
 
-#: generous slack on top of the barrier timeout: a worker whose RPC reply
-#: never arrives (coordinator process died) must unblock itself eventually.
+#: generous slack on top of the *effective* barrier timeout: a worker whose
+#: RPC reply never arrives (coordinator process died) must unblock itself
+#: eventually, but only after every legitimate barrier wait could have
+#: completed server-side.
 _RPC_GRACE = 30.0
+
+
+def _effective_rpc_timeout() -> "float | None":
+    """Socket timeout for worker RPCs, tracking ``AOMP_BARRIER_TIMEOUT``.
+
+    The longest legitimate RPC is a ``barrier_wait`` held open server-side
+    for the coordinator barrier's bound, so the socket timeout must sit
+    *above* that bound — pinning it to the 120 s default would make a
+    healthy worker spuriously break the barrier whenever the user raises
+    ``AOMP_BARRIER_TIMEOUT`` past it.  When the bound is disabled (``<= 0``:
+    wait forever) there is no meaningful RPC deadline either; liveness then
+    rests on the connection itself (a dead coordinator closes the socket,
+    surfacing as ``EOFError``/``ConnectionError``).
+    """
+    bound = _default_barrier_timeout()
+    return None if bound is None else bound + _RPC_GRACE
 
 #: the active worker session of this process, if any.  Installed by
 #: :class:`WorkerSession` so ``shm._attach_shared_array`` can route unpickled
@@ -428,12 +469,15 @@ class WorkerSession:
     ) -> None:
         self.member = member
         self._sock = socket.create_connection((host, port), timeout=10.0)
-        self._sock.settimeout(rpc_timeout if rpc_timeout is not None else shm.BARRIER_TIMEOUT + _RPC_GRACE)
+        self._sock.settimeout(rpc_timeout if rpc_timeout is not None else _effective_rpc_timeout())
         self._lock = threading.Lock()
         self._arrays: "dict[str, RemoteArray]" = {}
         try:
             with self._lock:
-                send_message(self._sock, ("hello", token, member, os.getpid()))
+                # Raw token preamble first (authenticated before the server
+                # unpickles anything), then the pickled hello frame.
+                self._sock.sendall(token.encode("ascii"))
+                send_message(self._sock, ("hello", member, os.getpid()))
                 ok, payload = recv_message(self._sock)
         except BaseException:
             self._sock.close()
@@ -504,8 +548,10 @@ class RemoteArray:
     attribute delegation to the ndarray).  Coherence is bulk-synchronous and
     pinned to the team barrier: :meth:`flush` publishes exactly the elements
     *this* worker changed since the last gather (diff against a baseline
-    copy), :meth:`refresh` replaces mirror and baseline with the
-    coordinator's current data.  Because members write disjoint chunks
+    copy), :meth:`refresh` overwrites mirror and baseline *in place* with the
+    coordinator's current data — ``self.np`` keeps its buffer identity, so a
+    kernel that caches it across a barrier stays coherent just as it would
+    with a shared mapping.  Because members write disjoint chunks
     between barriers, diffs from different workers never overlap, and a
     concurrently-racing master write can never be clobbered by a stale
     value — an element the worker did not touch is never republished.
@@ -526,8 +572,13 @@ class RemoteArray:
 
     def refresh(self) -> None:
         data = self._session.call("gather", self._name, self._shape, self._dtype.str)
-        self.np = np.frombuffer(bytearray(data), dtype=self._dtype).reshape(self._shape)
-        self._baseline = self.np.copy()
+        fresh = np.frombuffer(data, dtype=self._dtype).reshape(self._shape)
+        # Copy into the existing buffer instead of rebinding self.np: a kernel
+        # that caches ``arr.np`` across a barrier (valid under the shm plane,
+        # whose mapping is stable) must keep seeing — and writing — the live
+        # mirror, not an orphaned buffer whose writes never flush.
+        np.copyto(self.np, fresh)
+        np.copyto(self._baseline, fresh)
 
     def flush(self) -> None:
         current = self.np.reshape(-1)

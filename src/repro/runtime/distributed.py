@@ -37,6 +37,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.runtime import dataplane, faults, shm
+from repro.runtime.barrier import _default_barrier_timeout
 from repro.runtime.backend import (
     Backend,
     ThreadBackend,
@@ -284,15 +285,31 @@ class DistributedBackend(Backend):
         }
 
         workers: "dict[int, subprocess.Popen]" = {}
-        for member in team.members[1:]:
-            workers[member.thread_id] = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-c",
-                    _bootstrap_source(dataplane.LOOPBACK_HOST, coordinator.port, coordinator.token, member.thread_id),
-                ],
-                stdin=subprocess.DEVNULL,
-            )
+        try:
+            for member in team.members[1:]:
+                workers[member.thread_id] = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-c",
+                        _bootstrap_source(
+                            dataplane.LOOPBACK_HOST, coordinator.port, coordinator.token, member.thread_id
+                        ),
+                    ],
+                    stdin=subprocess.DEVNULL,
+                )
+        except BaseException:
+            # A failed spawn (fd exhaustion, fork failure) must not leak the
+            # workers already started: reap them now instead of leaving
+            # orphan interpreters to discover the closed coordinator via RPC
+            # timeouts.  finish_region releases the coordinator on this path.
+            for proc in workers.values():
+                proc.kill()
+            for proc in workers.values():
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - unkillable child
+                    pass
+            raise
 
         def dead_workers() -> list:
             # A spawned worker that finished cleanly exits 0; abnormal exits
@@ -321,12 +338,18 @@ class DistributedBackend(Backend):
             # coordinator barrier so workers fail fast.
             pass
         finally:
+            # Track the *effective* barrier bound (AOMP_BARRIER_TIMEOUT), like
+            # the workers' RPC timeout: a healthy worker legitimately blocked
+            # in a long barrier must not be declared lost by a join deadline
+            # shorter than the barrier's own.  With the bound disabled the
+            # dead-worker and monitor-tripped checks still end the wait.
+            barrier_bound = _default_barrier_timeout()
             payloads = collect_member_payloads(
                 coordinator.results,
                 expected=team.size - 1,
                 alive=lambda: any(proc.poll() is None for proc in workers.values()),
                 abort=team.abort,
-                timeout=shm.BARRIER_TIMEOUT + self.JOIN_GRACE,
+                timeout=float("inf") if barrier_bound is None else barrier_bound + self.JOIN_GRACE,
                 accept=lambda item: (item[0], item[1]),
                 tripped=lambda: monitor.tripped,
             )

@@ -16,6 +16,7 @@ Three layers of proof, cheapest first:
 
 from __future__ import annotations
 
+import pickle
 import socket
 import threading
 import time
@@ -34,6 +35,21 @@ from repro.runtime.team import parallel_region
 
 #: acceptance bound for dead-member detection (against a 120s barrier timeout).
 DETECTION_BOUND = 5.0
+
+#: records calls made *by unpickling* — a module-level function pickles by
+#: reference, so loading the payload anywhere in this process appends here.
+_UNPICKLED: "list[str]" = []
+
+
+def _record_unpickle(tag: str) -> None:
+    _UNPICKLED.append(tag)
+
+
+class _UnpicklePayload:
+    """Stand-in RCE payload: deserialising it calls :func:`_record_unpickle`."""
+
+    def __reduce__(self):
+        return (_record_unpickle, ("pwned",))
 
 #: schedules the conformance acceptance criterion names explicitly.
 CONFORMANCE_SCHEDULES = ("static_block", "static_cyclic", "dynamic,2")
@@ -123,12 +139,44 @@ class TestCoordinatorRPC:
     def test_ping_echo(self, session):
         assert session.call("ping", "marco") == "marco"
 
-    def test_hello_must_come_first(self, coordinator):
+    def test_pickled_frame_without_token_preamble_is_rejected(self, coordinator):
+        """A peer that skips the raw-token preamble and leads with a pickled
+        frame must be refused: its bytes are consumed as a (mismatching)
+        preamble, never as pickle."""
         sock = socket.create_connection((dataplane.LOOPBACK_HOST, coordinator.port), timeout=5.0)
         try:
+            dataplane.send_message(sock, ("ping", "x" * len(coordinator.token)))
+            ok, payload = dataplane.recv_message(sock)
+            assert not ok and isinstance(payload, PermissionError)
+        finally:
+            sock.close()
+
+    def test_authenticated_hello_must_come_first(self, coordinator):
+        sock = socket.create_connection((dataplane.LOOPBACK_HOST, coordinator.port), timeout=5.0)
+        try:
+            sock.sendall(coordinator.token.encode("ascii"))
             dataplane.send_message(sock, ("ping",))
             ok, payload = dataplane.recv_message(sock)
             assert not ok and isinstance(payload, PermissionError)
+        finally:
+            sock.close()
+
+    def test_unauthenticated_bytes_are_never_unpickled(self, coordinator):
+        """The high-severity guarantee: a crafted pickle from a peer without
+        the token must be rejected *without* being deserialised — reaching
+        ``pickle.loads`` would execute arbitrary reduce callables."""
+        _UNPICKLED.clear()
+        evil = pickle.dumps(_UnpicklePayload())
+        frame = dataplane._HEADER.pack(len(evil)) + evil
+        # Pad so the server's fixed-length preamble read completes even for a
+        # small bomb; the padding is garbage, never a valid token.
+        frame += b"\x00" * max(0, len(coordinator.token) - len(frame))
+        sock = socket.create_connection((dataplane.LOOPBACK_HOST, coordinator.port), timeout=5.0)
+        try:
+            sock.sendall(frame)
+            ok, payload = dataplane.recv_message(sock)
+            assert not ok and isinstance(payload, PermissionError)
+            assert _UNPICKLED == []  # the pickle was never loaded
         finally:
             sock.close()
 
@@ -207,6 +255,25 @@ class TestRemoteArrayCoherence:
             coordinator.shutdown()  # release the master-side attachment first
             master.close()
 
+    def test_refresh_keeps_buffer_identity(self, coordinator, session):
+        """A kernel may cache ``arr.np`` across a barrier (valid under the shm
+        plane, whose mapping is stable): refresh must overwrite in place, so
+        the cached reference keeps seeing — and writing — the live mirror."""
+        master = shm.shared_zeros(4)
+        try:
+            mirror = session.attach_array(master.name, (4,), master.np.dtype.str)
+            cached = mirror.np  # what a kernel would hold across a barrier
+            master.np[1] = 3.0
+            session.refresh_arrays()
+            assert mirror.np is cached
+            assert cached[1] == 3.0  # refreshed data visible through the cache
+            cached[2] = 8.0  # writes through the cache must flush
+            session.flush_arrays()
+            assert master.np[2] == 8.0
+        finally:
+            coordinator.shutdown()
+            master.close()
+
     def test_untouched_elements_are_never_republished(self, coordinator, session):
         """The stale-overwrite guard: a concurrent master write to an element
         this worker never touched must survive the worker's flush."""
@@ -248,6 +315,38 @@ class TestSocketBarrier:
         lost = coordinator.lost_members()
         assert lost and lost[0][0] == 1
         assert coordinator.barrier.broken
+
+    def test_rpc_timeout_tracks_the_barrier_bound(self, monkeypatch):
+        """A worker's socket timeout must sit above the *effective* barrier
+        timeout (AOMP_BARRIER_TIMEOUT), not the 120s constant — and vanish
+        entirely when the bound is disabled."""
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "600")
+        assert dataplane._effective_rpc_timeout() == 600.0 + dataplane._RPC_GRACE
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "0")
+        assert dataplane._effective_rpc_timeout() is None
+        monkeypatch.delenv("AOMP_BARRIER_TIMEOUT")
+        assert dataplane._effective_rpc_timeout() == 120.0 + dataplane._RPC_GRACE
+
+    def test_session_socket_honours_a_raised_barrier_bound(self, coordinator, monkeypatch):
+        monkeypatch.setenv("AOMP_BARRIER_TIMEOUT", "300")
+        sess = dataplane.WorkerSession(
+            dataplane.LOOPBACK_HOST, coordinator.port, coordinator.token, 1, install_hook=False
+        )
+        try:
+            assert sess._sock.gettimeout() == 300.0 + dataplane._RPC_GRACE
+        finally:
+            sess.close()
+
+    def test_reply_send_failure_after_result_does_not_break_the_barrier(self, coordinator, session):
+        """A worker whose connection dies *after* its result frame was
+        recorded is not lost: the payload is already queued, so aborting the
+        barrier would only punish the survivors."""
+        session.call("result", 1, b"payload", None)
+        session._sock.close()
+        time.sleep(0.2)  # let the handler observe the EOF
+        assert coordinator.lost_members() == []
+        assert not coordinator.barrier.broken
+        assert coordinator.results.get_nowait() == (1, (b"payload", None))
 
     def test_timeout_message_names_the_socket_transport(self):
         barrier = dataplane.CyclicBarrier(2, timeout=0.05, transport=dataplane.SOCKET_TRANSPORT)
