@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Live terminal view of a running PyAOmpLib program's metrics endpoint.
+
+Point it at the scrape endpoint an instrumented run serves when
+``AOMP_METRICS=1 AOMP_METRICS_PORT=<port>`` are set, and it redraws a
+compact dashboard — counters with per-second rates, barrier-wait quantile
+estimates from the histogram buckets, and per-member liveness gauges —
+once per interval, ``top(1)``-style::
+
+    AOMP_METRICS=1 AOMP_METRICS_PORT=9464 python my_program.py &
+    python scripts/aomp_top.py --url http://127.0.0.1:9464/metrics
+
+``--once`` prints a single snapshot without clearing the screen (useful in
+scripts and CI logs).  Only the stdlib is used; the parser understands the
+subset of Prometheus text format 0.0.4 that ``aomp.render_prometheus()``
+emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Tuple
+
+#: (metric name, labels as a sorted tuple of pairs) -> value
+Samples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
+
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def parse_exposition(text: str) -> Samples:
+    """Parse the text-format 0.0.4 subset ``render_prometheus`` produces."""
+    samples: Samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            continue
+        if "{" in name_part:
+            name, _, label_part = name_part.partition("{")
+            label_part = label_part.rstrip("}")
+            labels = []
+            for item in label_part.split(","):
+                if not item:
+                    continue
+                key, _, raw = item.partition("=")
+                labels.append((key, raw.strip('"')))
+            samples[(name, tuple(sorted(labels)))] = value
+        else:
+            samples[(name_part, ())] = value
+    return samples
+
+
+def scrape(url: str, timeout: float) -> Samples:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return parse_exposition(response.read().decode("utf-8"))
+
+
+def _labels_str(labels: Tuple[Tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def _histogram_quantile(samples: Samples, base: str, quantile: float) -> float | None:
+    """Estimate a quantile from cumulative ``<base>_bucket`` samples."""
+    buckets = []
+    for (name, labels), value in samples.items():
+        if name != f"{base}_bucket":
+            continue
+        bound = dict(labels).get("le")
+        if bound is None:
+            continue
+        buckets.append((float("inf") if bound == "+Inf" else float(bound), value))
+    if not buckets:
+        return None
+    buckets.sort()
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    target = quantile * total
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            return bound
+    return buckets[-1][0]
+
+
+def render(samples: Samples, previous: Samples | None, elapsed: float) -> str:
+    lines = []
+    lines.append(f"aomp_top — {time.strftime('%H:%M:%S')}  (interval {elapsed:.1f}s)")
+    lines.append("")
+    lines.append(f"{'counter':<44} {'total':>12} {'rate/s':>10}")
+    counters = sorted(
+        (key, value)
+        for key, value in samples.items()
+        if key[0].endswith("_total")
+    )
+    for (name, labels), value in counters:
+        label = f"{name}{{{_labels_str(labels)}}}" if labels else name
+        rate = ""
+        if previous is not None and elapsed > 0:
+            delta = value - previous.get((name, labels), 0.0)
+            rate = f"{delta / elapsed:10.1f}"
+        lines.append(f"{label:<44} {value:12g} {rate:>10}")
+    for base in ("aomp_barrier_wait_seconds", "aomp_rpc_rtt_seconds"):
+        count = samples.get((f"{base}_count", ()))
+        if not count:
+            continue
+        total = samples.get((f"{base}_sum", ()), 0.0)
+        p50 = _histogram_quantile(samples, base, 0.50)
+        p99 = _histogram_quantile(samples, base, 0.99)
+        lines.append("")
+        lines.append(
+            f"{base}: count={count:g} mean={total / count * 1e6:.1f}us"
+            f" p50<={p50 * 1e6:.1f}us p99<={p99 * 1e6:.1f}us"
+            if p50 is not None and p99 is not None
+            else f"{base}: count={count:g}"
+        )
+    members = sorted(
+        (dict(labels).get("member", "?"), value)
+        for (name, labels), value in samples.items()
+        if name == "aomp_member_alive"
+    )
+    if members:
+        lines.append("")
+        lines.append(
+            "members: "
+            + " ".join(f"{m}:{'up' if v else 'DOWN'}" for m, v in members)
+        )
+    depths = sorted(
+        (dict(labels).get("member", "?"), value)
+        for (name, labels), value in samples.items()
+        if name == "aomp_task_deque_depth"
+    )
+    if depths:
+        lines.append("deque depth: " + " ".join(f"{m}:{v:g}" for m, v in depths))
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:9464/metrics",
+        help="scrape endpoint (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="redraw period in seconds"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, help="per-scrape HTTP timeout"
+    )
+    args = parser.parse_args(argv)
+
+    previous: Samples | None = None
+    last_time = time.monotonic()
+    while True:
+        try:
+            samples = scrape(args.url, args.timeout)
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"aomp_top: cannot scrape {args.url}: {exc}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        output = render(samples, previous, now - last_time)
+        if args.once:
+            print(output)
+            return 0
+        print(CLEAR + output, flush=True)
+        previous, last_time = samples, now
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

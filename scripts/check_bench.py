@@ -112,6 +112,66 @@ def run_gate(
     return 0
 
 
+def run_metrics_overhead_gate(
+    baseline_path: Path,
+    *,
+    mode: str = "smoke",
+    floor_seconds: float | None = None,
+    runs: int = 3,
+) -> int:
+    """Gate the cost of *enabled* metrics (the observability guard sites).
+
+    Two claims are enforced:
+
+    * metrics **off** (the default every other gate and the committed
+      baseline measure) must cost nothing — that is already covered by
+      :func:`run_gate`, whose fresh runs execute with metrics disabled
+      against the committed reference;
+    * metrics **on** may add at most the bound documented in the reference
+      document's ``metrics_overhead`` section per dispatched chunk (plus the
+      mode's noise floor).  The delta is measured pairwise — each fresh
+      metrics-on run is compared against its own back-to-back metrics-off
+      run — and the per-key minimum over ``runs`` pairs is gated, mirroring
+      the best-of-N discipline of the main gate.
+    """
+    if floor_seconds is None:
+        floor_seconds = DEFAULT_FLOORS[mode]
+    document = json.loads(baseline_path.read_text())
+    section = document.get("metrics_overhead")
+    if not section:
+        print(f"FAIL: {baseline_path} has no metrics_overhead section (bound undocumented)")
+        return 1
+    bound = float(section["bound_seconds_per_chunk"])
+
+    deltas: dict[str, float] = {}
+    for _ in range(max(1, runs)):
+        off = bench_overhead.run_suite(mode=mode)
+        on = bench_overhead.run_suite(mode=mode, metrics=True)
+        for key, value in bench_overhead.metrics_overhead(off, on).items():
+            deltas[key] = min(deltas.get(key, float("inf")), value)
+
+    failures: list[str] = []
+    print(
+        f"metrics-overhead gate: mode={mode}, bound={bound * 1e6:.1f}us/chunk, "
+        f"floor={floor_seconds * 1e6:.0f}us, runs={runs}"
+    )
+    print(f"{'construct':<30} {'added':>12}  verdict")
+    for key in bench_overhead.METRICS_DELTA_KEYS:
+        added = deltas[key]
+        gated = key.startswith("chunk_dispatch.")
+        regressed = gated and added > bound + floor_seconds
+        verdict = "REGRESSED" if regressed else ("ok" if gated else "report-only")
+        print(f"{key:<30} {added * 1e6:>10.3f}us  {verdict}")
+        if regressed:
+            failures.append(key)
+
+    if failures:
+        print(f"\nFAIL: enabled metrics exceed the documented bound on: {', '.join(failures)}")
+        return 1
+    print("\nOK: enabled metrics stay within the documented per-chunk bound")
+    return 0
+
+
 def run_tune_smoke() -> int:
     """Plumbing check of the adaptive-scheduling benchmark (smoke sizes).
 
@@ -309,6 +369,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the socket data-plane smoke check (bench_dataplane.py plumbing)",
     )
+    parser.add_argument(
+        "--skip-metrics",
+        action="store_true",
+        help="skip the metrics-overhead gate (cost of enabled observability guard sites)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -321,6 +386,14 @@ def main(argv: list[str] | None = None) -> int:
         floor_seconds=args.floor_us * 1e-6 if args.floor_us is not None else None,
         runs=args.runs,
     )
+    if not args.skip_metrics:
+        print()
+        status = status or run_metrics_overhead_gate(
+            args.baseline,
+            mode=args.mode,
+            floor_seconds=args.floor_us * 1e-6 if args.floor_us is not None else None,
+            runs=args.runs,
+        )
     if not args.skip_tune:
         print()
         status = status or run_tune_smoke()

@@ -1,0 +1,42 @@
+"""``aomp`` — the user-facing observability facade for PyAOmpLib.
+
+The runtime's metrics live in :mod:`repro.obs`; this module is the short
+import path the README and tooling use::
+
+    import aomp
+    snap = aomp.stats()                  # nested dict snapshot
+    text = aomp.render_prometheus()      # text-format 0.0.4 exposition
+
+Metrics collection is off by default; enable it with ``AOMP_METRICS=1`` (or
+``config_override(metrics=True)``).  Set ``AOMP_METRICS_PORT`` to serve the
+Prometheus rendering over stdlib HTTP — ``scripts/aomp_top.py`` consumes
+that endpoint for a live terminal view.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    ensure_exporter,
+    exporter_port,
+    render_prometheus,
+    stats,
+    stop_exporter,
+)
+from repro.obs.registry import (
+    get_registry,
+    metrics_enabled,
+    reset,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ensure_exporter",
+    "exporter_port",
+    "get_registry",
+    "metrics_enabled",
+    "render_prometheus",
+    "reset",
+    "stats",
+    "stop_exporter",
+]

@@ -339,6 +339,7 @@ class ProcessBackend(Backend):
                     steal=pool.steal,
                     tune=pool.tune,
                     heartbeat=pool.heartbeat,
+                    metrics=pool.metrics,
                 )
                 sync.body_bytes = body_bytes  # type: ignore[attr-defined]
                 return sync

@@ -152,6 +152,76 @@ def _default_max_active_levels() -> int:
     return 4
 
 
+def _default_metrics() -> bool:
+    """Whether the runtime accumulates metrics, from ``AOMP_METRICS``."""
+    env = os.environ.get("AOMP_METRICS")
+    if env is None or not env.strip():
+        return False
+    word = env.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ValueError(
+        f"AOMP_METRICS must be a boolean word ({'/'.join(sorted(_TRUE_WORDS))} or "
+        f"{'/'.join(sorted(_FALSE_WORDS))}); got {env!r}"
+    )
+
+
+def _default_metrics_port() -> "int | None":
+    """TCP port of the opt-in metrics scrape endpoint, from ``AOMP_METRICS_PORT``.
+
+    ``None`` (unset/empty) disables the endpoint; ``0`` asks for an ephemeral
+    port (the bound port is reported by ``repro.obs.exporter_port()``).
+    """
+    env = os.environ.get("AOMP_METRICS_PORT")
+    if env is None or not env.strip():
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(f"AOMP_METRICS_PORT must be an integer port (0..65535); got {env!r}") from None
+    if not 0 <= value <= 65535:
+        raise ValueError(f"AOMP_METRICS_PORT must be an integer port (0..65535); got {env!r}")
+    return value
+
+
+#: default histogram bucket boundaries (seconds): log-scale from 1 us to 10 s,
+#: covering everything from a hot barrier round to a wedged worker.
+DEFAULT_METRICS_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+def _default_metrics_buckets() -> "tuple[float, ...]":
+    """Histogram bucket boundaries from ``AOMP_METRICS_BUCKETS``.
+
+    Comma-separated, strictly increasing, positive seconds.  The boundaries
+    fix the metrics slot layout process-wide, so workers inherit them through
+    the environment rather than per-region plumbing.
+    """
+    env = os.environ.get("AOMP_METRICS_BUCKETS")
+    if env is None or not env.strip():
+        return DEFAULT_METRICS_BUCKETS
+    bounds: "list[float]" = []
+    for piece in env.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            value = float(piece)
+        except ValueError:
+            raise ValueError(
+                f"AOMP_METRICS_BUCKETS must be comma-separated increasing positive "
+                f"seconds; got {env!r}"
+            ) from None
+        bounds.append(value)
+    if not bounds or any(b <= 0 for b in bounds) or any(a >= b for a, b in zip(bounds, bounds[1:])):
+        raise ValueError(
+            f"AOMP_METRICS_BUCKETS must be comma-separated increasing positive "
+            f"seconds; got {env!r}"
+        )
+    return tuple(bounds)
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Process-wide defaults for the PyAOmpLib runtime.
@@ -207,6 +277,18 @@ class RuntimeConfig:
     retry_backoff:
         Base delay in seconds before a retry (doubling each attempt), seeded
         from ``AOMP_RETRY_BACKOFF``.
+    metrics:
+        Whether the runtime accumulates :mod:`repro.obs` metrics (counters,
+        gauges, histograms), seeded from ``AOMP_METRICS``.  Off by default:
+        every instrumentation site is guarded by this single predicate, so
+        the hot path pays one attribute load when disabled.
+    metrics_port:
+        TCP port of the opt-in stdlib-HTTP Prometheus scrape endpoint,
+        seeded from ``AOMP_METRICS_PORT`` (``None`` disables it, ``0`` binds
+        an ephemeral port).
+    metrics_buckets:
+        Histogram bucket boundaries in seconds (strictly increasing), seeded
+        from ``AOMP_METRICS_BUCKETS``.
     """
 
     num_threads: int = field(default_factory=_default_num_threads)
@@ -220,6 +302,9 @@ class RuntimeConfig:
     on_failure: str = field(default_factory=_default_on_failure)
     max_retries: int = field(default_factory=_default_max_retries)
     retry_backoff: float = field(default_factory=_default_retry_backoff)
+    metrics: bool = field(default_factory=_default_metrics)
+    metrics_port: "int | None" = field(default_factory=_default_metrics_port)
+    metrics_buckets: "tuple[float, ...]" = field(default_factory=_default_metrics_buckets)
 
     def with_updates(self, **kwargs) -> "RuntimeConfig":
         """Return a copy of this configuration with the given fields replaced."""

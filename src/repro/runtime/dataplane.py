@@ -58,12 +58,15 @@ import secrets
 import socket
 import struct
 import threading
+import time
 from typing import Any, Optional
 
 import numpy as np
 
+import repro.obs.registry as obsreg
 from repro.runtime import shm
 from repro.runtime.barrier import BrokenBarrierError, CyclicBarrier, _default_barrier_timeout
+from repro.runtime.config import get_config
 
 #: Socket planes bind to loopback only: the raw token preamble (verified
 #: before anything is unpickled) guards against port-scanning neighbours,
@@ -89,19 +92,27 @@ HANDSHAKE_TIMEOUT = 10.0
 # ---------------------------------------------------------------------------
 
 
-def send_message(sock: socket.socket, payload: Any) -> None:
-    """Write one length-prefixed pickled frame."""
+def send_message(sock: socket.socket, payload: Any) -> int:
+    """Write one length-prefixed pickled frame; return the bytes written."""
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    frame = _HEADER.pack(len(data)) + data
+    sock.sendall(frame)
+    return len(frame)
 
 
 def recv_message(sock: socket.socket) -> Any:
     """Read one length-prefixed pickled frame; ``EOFError`` on a closed peer."""
+    payload, _ = recv_message_counted(sock)
+    return payload
+
+
+def recv_message_counted(sock: socket.socket) -> "tuple[Any, int]":
+    """Like :func:`recv_message`, also returning the frame size in bytes."""
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ConnectionError(f"data-plane frame of {length} bytes exceeds the {MAX_FRAME_BYTES} byte bound")
-    return pickle.loads(_recv_exact(sock, length))
+    return pickle.loads(_recv_exact(sock, length)), _HEADER.size + length
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -158,13 +169,24 @@ class ShmDataPlane(DataPlane):
     transport = "fork-inherited shared memory"
 
     def create_sync(self, size: int, *, pooled: bool = False, max_workers: Optional[int] = None) -> shm.ProcessSync:
+        capacity = max_workers if max_workers is not None else max(size, 2)
+        metrics = None
+        if pooled or get_config().metrics:
+            # Pool syncs always carry an arena: pooled workers are forked once
+            # at pool construction and can only ever flush into cells that
+            # existed at fork time, so the arena must exist even if metrics
+            # are enabled later via ``config_override``.
+            from repro.obs.arena import MetricsArena
+
+            metrics = MetricsArena(capacity)
         return shm.ProcessSync(
             shm.SharedBarrier(size),
             shm.SyncArena(),
             pooled=pooled,
-            steal=shm.TaskStealArena(max_workers=max_workers if max_workers is not None else max(size, 2)),
+            steal=shm.TaskStealArena(max_workers=capacity),
             tune=shm.TunePlanArena(),
             heartbeat=shm.HeartbeatArena(),
+            metrics=metrics,
         )
 
 
@@ -333,7 +355,12 @@ class Coordinator:
         if op == "ping":
             return args[0] if args else None
         if op == "barrier_wait":
-            (timeout,) = args
+            timeout = args[0]
+            if len(args) > 1 and args[1]:
+                # Metrics delta piggybacked on the barrier frame: the handler
+                # thread runs in the master process, so fold the worker's
+                # counts straight into the master registry.
+                obsreg.absorb(args[1])
             self.heartbeat.note_arrival(member)
             return self.barrier.wait() if timeout is None else self.barrier.wait(timeout)
         if op == "barrier_abort":
@@ -387,7 +414,9 @@ class Coordinator:
             flat[indices] = np.frombuffer(value_bytes, dtype=segment.np.dtype)
             return None
         if op == "result":
-            member_id, result_bytes, exc_bytes = args
+            member_id, result_bytes, exc_bytes = args[:3]
+            if len(args) > 3 and args[3]:
+                obsreg.absorb(args[3])
             with self._state_lock:
                 self._reported.add(member_id)
             self.results.put((member_id, (result_bytes, exc_bytes)))
@@ -472,6 +501,9 @@ class WorkerSession:
         self._sock.settimeout(rpc_timeout if rpc_timeout is not None else _effective_rpc_timeout())
         self._lock = threading.Lock()
         self._arrays: "dict[str, RemoteArray]" = {}
+        #: one-predicate metrics guard for the RPC hot path; ``_worker_main``
+        #: refreshes it once the master's config override is in effect.
+        self.metrics = get_config().metrics
         try:
             with self._lock:
                 # Raw token preamble first (authenticated before the server
@@ -509,14 +541,21 @@ class WorkerSession:
     # -- RPC -----------------------------------------------------------------
 
     def call(self, op: str, *args: Any) -> Any:
+        metrics = self.metrics
+        start = time.perf_counter() if metrics else 0.0
         try:
             with self._lock:
-                send_message(self._sock, (op, *args))
-                ok, payload = recv_message(self._sock)
+                sent = send_message(self._sock, (op, *args))
+                (ok, payload), received = recv_message_counted(self._sock)
         except (TimeoutError, socket.timeout) as exc:
             raise BrokenBarrierError(
                 f"data-plane RPC {op!r} timed out ({SOCKET_TRANSPORT}); the coordinator may be gone"
             ) from exc
+        if metrics:
+            obsreg.inc(obsreg.RPC_CALLS)
+            obsreg.inc(obsreg.RPC_BYTES_SENT, sent)
+            obsreg.inc(obsreg.RPC_BYTES_RECEIVED, received)
+            obsreg.observe("aomp_rpc_rtt_seconds", time.perf_counter() - start)
         if ok:
             return payload
         raise payload
@@ -646,7 +685,10 @@ class SocketBarrier:
 
     def wait(self, timeout: Optional[float] = None) -> int:
         self._session.flush_arrays()
-        index = self._session.call("barrier_wait", timeout)
+        # Piggyback this worker's metric delta on the barrier frame it is
+        # sending anyway — team-wide aggregation costs zero extra round trips.
+        delta = obsreg.flush_delta() if self._session.metrics else None
+        index = self._session.call("barrier_wait", timeout, delta)
         self._session.refresh_arrays()
         return int(index)
 

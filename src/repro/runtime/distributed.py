@@ -88,11 +88,16 @@ def _worker_main(host: str, port: int, token: str, member: int) -> None:
     master's SPMD configuration, and ship the encoded result or exception
     back as the connection's final ``result`` frame.
     """
+    import repro.obs.registry as obsreg
+    from repro.obs.exposition import suppress_exporter
     from repro.runtime import context as ctx
     from repro.runtime.backend import _encode_exception, _encode_result
     from repro.runtime.config import config_override
     from repro.runtime.team import Team
 
+    # Only the master aggregates team-wide counts; a worker must never race
+    # it for the scrape port.
+    suppress_exporter()
     session = dataplane.WorkerSession(host, port, token, member)
     descriptor = session.descriptor
     _install_fault_plan(descriptor)
@@ -112,6 +117,11 @@ def _worker_main(host: str, port: int, token: str, member: int) -> None:
         if sync.heartbeat is not None:
             sync.heartbeat.register(member)
         with config_override(tracing=False, backend="threads", **descriptor["config"]):
+            from repro.runtime.config import get_config
+
+            # The Team above was built under this worker's inherited config;
+            # the master's live metrics flag arrives with the descriptor.
+            session.metrics = team.metrics = get_config().metrics
             frame = ctx.ExecutionContext(
                 team=team, thread_id=member, nesting_level=int(descriptor["nesting_level"])
             )
@@ -143,7 +153,10 @@ def _worker_main(host: str, port: int, token: str, member: int) -> None:
         payload = (_encode_result(result), None)
     try:
         session.flush_arrays()
-        session.call("result", member, payload[0], payload[1])
+        # Final flush rides the result frame: counts accumulated since the
+        # last barrier piggyback (including the barrier RPCs themselves).
+        delta = obsreg.flush_delta() if session.metrics else None
+        session.call("result", member, payload[0], payload[1], delta)
     finally:
         session.close()
 

@@ -58,6 +58,7 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Optional
 
+import repro.obs.registry as obsreg
 from repro.runtime.exceptions import FaultSpecError, InjectedFault
 from repro.runtime.trace import EventKind
 
@@ -233,6 +234,13 @@ class FaultPlan:
                 break
         if chosen is None:
             return
+        metrics = getattr(team, "metrics", None)
+        if metrics is None:
+            from repro.runtime.config import get_config
+
+            metrics = get_config().metrics
+        if metrics:
+            obsreg.inc(obsreg.FAULT_SLOTS.get(chosen.action, obsreg.FAULT_SLOTS["other"]))
         if team is not None and getattr(team, "tracing", False):
             team.record(
                 EventKind.FAULT_INJECTED,
@@ -451,6 +459,8 @@ class WorkerMonitor:
         self._stall_timeout = stall_timeout if stall_timeout is not None else heartbeat_timeout()
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
+        self._metrics = bool(getattr(team, "metrics", False))
+        self._collector: "Callable[[], list[tuple[str, dict, float]]] | None" = None
         #: ``(member_id_or_None, pid, exitcode)`` per dead worker; filled once.
         self.deaths: list[tuple[Optional[int], Optional[int], Optional[int]]] = []
         #: member ids whose heartbeat went stale past the configured cutoff.
@@ -462,6 +472,9 @@ class WorkerMonitor:
         return bool(self.deaths or self.stalled)
 
     def start(self) -> None:
+        if self._metrics:
+            self._collector = self._liveness_samples
+            obsreg.register_collector(self._collector)
         thread = threading.Thread(
             target=self._watch, name=f"aomp-monitor-{self._team.name}", daemon=True
         )
@@ -473,6 +486,28 @@ class WorkerMonitor:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self._collector is not None:
+            obsreg.unregister_collector(self._collector)
+            self._collector = None
+
+    def _liveness_samples(self) -> "list[tuple[str, dict, float]]":
+        """Live gauge samples: per-member liveness and last-beat age.
+
+        Registered as a registry collector while the monitor runs, so an
+        ``aomp.stats()`` snapshot or a scrape taken mid-region sees the
+        current heartbeat picture without any polling of its own.
+        """
+        lost = {member for member, _pid, _code in self.deaths if member is not None}
+        lost.update(self.stalled)
+        samples: "list[tuple[str, dict, float]]" = []
+        for member in self._team.members:
+            labels = {"member": member.thread_id}
+            samples.append(("aomp_member_alive", labels, 0.0 if member.thread_id in lost else 1.0))
+            if self._heartbeat is not None:
+                age = self._heartbeat.age(member.thread_id)
+                if age is not None:
+                    samples.append(("aomp_member_last_beat_age_seconds", labels, age))
+        return samples
 
     def _watch(self) -> None:
         team = self._team
@@ -483,6 +518,7 @@ class WorkerMonitor:
                 return
             if dead:
                 self.deaths = [self._identify(member, pid, code) for member, pid, code in dead]
+                self._note_losses()
                 self._record_deaths()
                 team.abort()
                 return
@@ -495,9 +531,25 @@ class WorkerMonitor:
                 ]
                 if stalled:
                     self.stalled = stalled
+                    self._note_losses()
                     self._record_deaths()
                     team.abort()
                     return
+
+    def _note_losses(self) -> None:
+        """Count the diagnosed losses and pin their liveness gauges to 0.
+
+        The explicit ``set_gauge`` outlives the monitor's collector, so a
+        snapshot taken after the failed region still shows the dead member.
+        """
+        if not self._metrics:
+            return
+        obsreg.inc(obsreg.WORKER_DEATHS, len(self.deaths) + len(self.stalled))
+        for member, _pid, _code in self.deaths:
+            if member is not None:
+                obsreg.set_gauge("aomp_member_alive", {"member": member}, 0.0)
+        for member in self.stalled:
+            obsreg.set_gauge("aomp_member_alive", {"member": member}, 0.0)
 
     def _identify(
         self, member: "int | None", pid: "int | None", exitcode: "int | None"

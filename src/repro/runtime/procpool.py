@@ -19,8 +19,10 @@ import itertools
 import pickle
 from typing import Any, Callable, Dict, Tuple
 
+import repro.obs.registry as obsreg
 from repro.runtime import faults, shm
 from repro.runtime.backend import _encode_exception, _encode_result
+from repro.runtime.config import get_config
 from repro.runtime.dataplane import ShmDataPlane
 
 #: sentinel telling workers to exit
@@ -33,11 +35,16 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
     Runs in a forked child; imports are deferred so the module can be
     imported by :mod:`repro.runtime.backend` without a circular import.
     """
+    import repro.obs.registry as obsreg
+    from repro.obs.exposition import suppress_exporter
     from repro.runtime import context as ctx
     from repro.runtime.team import Team
 
-    from repro.runtime.config import config_override
+    from repro.runtime.config import config_override, get_config
 
+    # Pool workers never serve scrapes: only the master holds the team-wide
+    # aggregated counts (and the inherited exporter state must stay dormant).
+    suppress_exporter()
     while True:
         task = task_queue.get()
         if task is _STOP:
@@ -71,9 +78,17 @@ def _pool_worker(task_queue, result_queue, sync: "shm.ProcessSync") -> None:
                 # partition loops identically (a stale default_schedule here
                 # silently corrupts work-shared results).
                 with config_override(**cfg):
+                    # The Team above was built under the worker's inherited
+                    # config; the region's live metrics flag travels in cfg.
+                    team.metrics = get_config().metrics
                     result = body()
             finally:
                 ctx.pop_context()
+                # Pool members execute the body directly (not run_member), so
+                # the team-wide aggregation flush must happen here, before
+                # the result frame signals completion to the master.
+                if team.metrics and sync.metrics is not None:
+                    sync.metrics.flush_member(thread_id, obsreg.flush_delta())
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
             # Release siblings blocked in the team barrier, then report.
             sync.barrier.abort()
@@ -106,6 +121,7 @@ class PersistentProcessPool:
         self.steal = self._sync.steal
         self.tune = self._sync.tune
         self.heartbeat = self._sync.heartbeat
+        self.metrics = self._sync.metrics
         self._tasks = ctx.SimpleQueue()
         self._results = ctx.SimpleQueue()
         self._tickets = itertools.count(1)
@@ -140,6 +156,10 @@ class PersistentProcessPool:
         self.steal.reset()
         self.tune.reset()
         self.heartbeat.reset()
+        if self._sync.metrics is not None:
+            # Orphaned counts from an aborted region's dead workers must not
+            # leak into the next region's drain.
+            self._sync.metrics.reset()
 
     def submit_region(self, team, body_bytes: bytes) -> int:
         """Dispatch one task per non-master member; returns the region ticket."""
@@ -231,6 +251,8 @@ class PersistentProcessPool:
         for proc in self._procs:
             proc.start()
         self._broken = False
+        if get_config().metrics:
+            obsreg.inc(obsreg.POOL_HEALS)
         return self.healthy
 
     def _probe_locks(self, timeout: float = 0.5) -> bool:

@@ -1136,3 +1136,8 @@ class ProcessSync:
     #: the worker monitor and the barrier-failure diagnostics; ``None`` only
     #: for legacy constructions — the backends always provide one.
     heartbeat: "HeartbeatArena | None" = None
+    #: per-member metric cells (:class:`repro.obs.arena.MetricsArena`) the
+    #: workers flush their counter deltas into; ``None`` when metrics are off
+    #: (the arena only exists when ``RuntimeConfig.metrics`` is enabled) or on
+    #: planes that aggregate another way (socket workers piggyback on frames).
+    metrics: "object | None" = None

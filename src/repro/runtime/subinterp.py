@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from repro.runtime import faults, shm
+from repro.runtime.config import get_config
 from repro.runtime.backend import (
     Backend,
     ThreadBackend,
@@ -252,7 +253,21 @@ def _attach_sync(descriptor: dict) -> "shm.ProcessSync":
         cells=shm._attach_shared_array(hb_name, (shm.HeartbeatArena.CELLS_PER_MEMBER * hb_members,), "<i8"),
         fresh=False,
     )
-    return shm.ProcessSync(barrier, arena, pooled=False, steal=steal, tune=tune, heartbeat=heartbeat)
+    metrics = None
+    shared_metrics = descriptor.get("metrics")
+    if shared_metrics:
+        from repro.obs.arena import MetricsArena
+
+        m_name, m_capacity, m_slots = shared_metrics
+        metrics = MetricsArena(
+            m_capacity,
+            slots=m_slots,
+            cells=shm._attach_shared_array(m_name, (m_capacity * m_slots,), "<i8"),
+            fresh=False,
+        )
+    return shm.ProcessSync(
+        barrier, arena, pooled=False, steal=steal, tune=tune, heartbeat=heartbeat, metrics=metrics
+    )
 
 
 def _member_main(descriptor: dict) -> None:
@@ -264,11 +279,16 @@ def _member_main(descriptor: dict) -> None:
     """
     import struct
 
+    import repro.obs.registry as obsreg
+    from repro.obs.exposition import suppress_exporter
     from repro.runtime import context as ctx
     from repro.runtime.backend import _encode_exception, _encode_result
-    from repro.runtime.config import config_override
+    from repro.runtime.config import config_override, get_config
     from repro.runtime.team import Team
 
+    # This interpreter shares the master's process but not its module state;
+    # a nested region in here must never race the master for the scrape port.
+    suppress_exporter()
     thread_id = int(descriptor["thread_id"])
     result_fd = int(descriptor["result_fd"])
     sync = None
@@ -291,6 +311,9 @@ def _member_main(descriptor: dict) -> None:
         if sync.heartbeat is not None:
             sync.heartbeat.register(thread_id)
         with config_override(tracing=False, backend="threads", **descriptor["config"]):
+            # The Team above was built under this interpreter's inherited
+            # config; the master's live metrics flag arrives in the descriptor.
+            team.metrics = get_config().metrics
             frame = ctx.ExecutionContext(
                 team=team, thread_id=thread_id, nesting_level=int(descriptor["nesting_level"])
             )
@@ -310,6 +333,10 @@ def _member_main(descriptor: dict) -> None:
                 result = body()
             finally:
                 ctx.pop_context()
+                # Workers run the body directly (no ``run_member``), so the
+                # team-wide aggregation flush must happen here.
+                if sync.metrics is not None and get_config().metrics:
+                    sync.metrics.flush_member(thread_id, obsreg.flush_delta())
     except BaseException as exc:  # noqa: BLE001 - shipped to the master
         if sync is not None:
             sync.barrier.abort()
@@ -410,6 +437,13 @@ class SubinterpreterBackend(Backend):
         locks = [shm.PipeLock() for _ in range(4)]
         barrier = shm.InterpBarrier(cells=barrier_cells, lock=locks[0])
         barrier.reset(size)
+        metrics_arena = None
+        metrics_cells = None
+        if get_config().metrics:
+            from repro.obs.arena import MetricsArena
+
+            metrics_cells = shm.SharedArray.zeros(MetricsArena.cells_needed(max_workers), np.int64)
+            metrics_arena = MetricsArena(max_workers, cells=metrics_cells, fresh=False)
         sync = shm.ProcessSync(
             barrier,
             shm.SyncArena(ARENA_CAPACITY, cells=arena_cells, lock=locks[1]),
@@ -417,6 +451,7 @@ class SubinterpreterBackend(Backend):
             steal=shm.TaskStealArena(max_workers, STEAL_CAPACITY, cells=steal_cells, lock=locks[2]),
             tune=shm.TunePlanArena(TUNE_CAPACITY, cells=tune_cells, lock=locks[3]),
             heartbeat=shm.HeartbeatArena(max_workers, cells=heartbeat_cells),
+            metrics=metrics_arena,
         )
         sync.body_bytes = body_bytes  # type: ignore[attr-defined]
         sync.resources = [barrier_cells, arena_cells, steal_cells, tune_cells, heartbeat_cells, *locks]  # type: ignore[attr-defined]
@@ -427,6 +462,9 @@ class SubinterpreterBackend(Backend):
             "tune": (tune_cells.name, locks[3].fds),
             "heartbeat": (heartbeat_cells.name, max_workers),
         }
+        if metrics_arena is not None:
+            sync.resources.append(metrics_cells)  # type: ignore[attr-defined]
+            sync.shareable["metrics"] = (metrics_cells.name, max_workers, metrics_arena.slots)  # type: ignore[attr-defined]
         return sync
 
     def finish_region(self, team: "Team") -> None:
@@ -586,6 +624,10 @@ def _spmd_config_fields() -> dict:
         "default_chunk": config.default_chunk,
         "nested": config.nested,
         "max_active_levels": config.max_active_levels,
+        # Workers must instrument iff the master does, and bucket layout must
+        # match the master's so flushed slot deltas mean the same thing.
+        "metrics": config.metrics,
+        "metrics_buckets": config.metrics_buckets,
     }
 
 

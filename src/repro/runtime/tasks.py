@@ -60,6 +60,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Generic, Iterable, TypeVar
 
+import repro.obs.registry as obsreg
 from repro.runtime import context as ctx
 from repro.runtime.barrier import BrokenBarrierError
 from repro.runtime.config import get_config
@@ -395,8 +396,11 @@ class TaskPool:
                         self._blocked_tasks.add(task)
 
         team = self._team
-        if team is not None and team.tracing:
-            team.record(EventKind.TASK_SPAWN, task=handle.name, deferred=deferred)
+        if team is not None:
+            if team.metrics:
+                obsreg.inc(obsreg.TASKS_SPAWNED)
+            if team.tracing:
+                team.record(EventKind.TASK_SPAWN, task=handle.name, deferred=deferred)
         if not deferred:
             self._enqueue(task, self._spawn_worker())
         return handle
@@ -407,6 +411,9 @@ class TaskPool:
 
     def _enqueue(self, task: _SpawnedTask, worker: int) -> None:
         self._deques[worker].push(task)
+        team = self._team
+        if team is not None and team.metrics:
+            obsreg.set_gauge("aomp_task_deque_depth", {"member": worker}, len(self._deques[worker]))
         if self._executor:
             self._ensure_threads()
             with self._work_available:
@@ -481,13 +488,16 @@ class TaskPool:
             self._pending -= 1
             self._work_available.notify_all()
         team = self._team
-        if team is not None and team.tracing:
-            team.record(
-                EventKind.TASK_COMPLETE,
-                task=task.handle.name,
-                elapsed=time.perf_counter() - began,
-                failed=task.handle._exception is not None,
-            )
+        if team is not None:
+            if team.metrics:
+                obsreg.inc(obsreg.TASKS_COMPLETED)
+            if team.tracing:
+                team.record(
+                    EventKind.TASK_COMPLETE,
+                    task=task.handle.name,
+                    elapsed=time.perf_counter() - began,
+                    failed=task.handle._exception is not None,
+                )
 
     def _take(self, worker: int) -> "_SpawnedTask | None":
         """Next task for ``worker``: own deque first (LIFO), then steal (FIFO)."""
@@ -499,8 +509,11 @@ class TaskPool:
             task = self._deques[victim].steal()
             if task is not None:
                 team = self._team
-                if team is not None and team.tracing:
-                    team.record(EventKind.TASK_STEAL, task=task.handle.name, victim=victim)
+                if team is not None:
+                    if team.metrics:
+                        obsreg.inc(obsreg.TASKS_STOLEN)
+                    if team.tracing:
+                        team.record(EventKind.TASK_STEAL, task=task.handle.name, victim=victim)
                 return task
         return None
 
@@ -838,6 +851,11 @@ def run_taskloop(
         )
 
     tracing = team.tracing
+    metrics = team.metrics
+    if metrics:
+        # One spawn per member, mirroring the TASK_SPAWN event below (the
+        # member's seeded tile block is its one logical spawn).
+        obsreg.inc(obsreg.TASKS_SPAWNED)
     if tracing:
         team.record(
             EventKind.TASK_SPAWN,
@@ -847,45 +865,55 @@ def run_taskloop(
         )
 
     result: Any = None
-    while True:
-        tile = state.claim_local(worker)
-        if tile is None:
-            claim = state.claim_steal(worker)
-            if claim is None:
-                if state.finished():
-                    break
-                if team.broken:
-                    # A sibling failed (its exception aborted the team) or a
-                    # worker process died: its claimed tiles will never be
-                    # marked done, so waiting on the deck would spin forever.
-                    raise BrokenBarrierError(f"taskloop {name!r} aborted: a team member failed")
-                # Tiles remain but are all claimed-and-running on other
-                # members; nothing to do except wait for the deck to settle.
-                time.sleep(_IDLE_WAIT)
-                continue
-            victim, tile = claim
-            if tracing:
-                team.record(EventKind.TASK_STEAL, loop=name, victim=victim, tile=tile)
-        begin = tile * grain
-        span = total - begin
-        if span > grain:
-            span = grain
-        tile_start = start + begin * step
-        try:
-            if tracing:
-                piece = LoopChunk(tile_start, tile_start + span * step, step)
-                result = worksharing._run_traced_chunk(body, piece, args, kwargs, team, name, weight)
-            else:
-                result = body(tile_start, tile_start + span * step, step, *args, **kwargs)
-        except BaseException:
-            # Siblings must not wait for this tile (mark it done) nor for
-            # this member's unclaimed tiles (abort the team so their idle
-            # loops escape); the exception then surfaces as BrokenTeamError
-            # through the region driver, exactly like a failing run_for body.
+    executed = 0
+    try:
+        while True:
+            tile = state.claim_local(worker)
+            if tile is None:
+                claim = state.claim_steal(worker)
+                if claim is None:
+                    if state.finished():
+                        break
+                    if team.broken:
+                        # A sibling failed (its exception aborted the team) or a
+                        # worker process died: its claimed tiles will never be
+                        # marked done, so waiting on the deck would spin forever.
+                        raise BrokenBarrierError(f"taskloop {name!r} aborted: a team member failed")
+                    # Tiles remain but are all claimed-and-running on other
+                    # members; nothing to do except wait for the deck to settle.
+                    time.sleep(_IDLE_WAIT)
+                    continue
+                victim, tile = claim
+                if metrics:
+                    obsreg.inc(obsreg.TASKS_STOLEN)
+                if tracing:
+                    team.record(EventKind.TASK_STEAL, loop=name, victim=victim, tile=tile)
+            begin = tile * grain
+            span = total - begin
+            if span > grain:
+                span = grain
+            tile_start = start + begin * step
+            try:
+                if tracing:
+                    piece = LoopChunk(tile_start, tile_start + span * step, step)
+                    result = worksharing._run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+                else:
+                    executed += 1
+                    result = body(tile_start, tile_start + span * step, step, *args, **kwargs)
+            except BaseException:
+                # Siblings must not wait for this tile (mark it done) nor for
+                # this member's unclaimed tiles (abort the team so their idle
+                # loops escape); the exception then surfaces as BrokenTeamError
+                # through the region driver, exactly like a failing run_for body.
+                state.mark_done()
+                team.abort()
+                raise
             state.mark_done()
-            team.abort()
-            raise
-        state.mark_done()
+    finally:
+        # Untraced tiles are batch-counted (the traced path counts per tile
+        # inside _run_traced_chunk, so the totals line up either way).
+        if executed and metrics:
+            obsreg.inc(obsreg.CHUNKS_OTHER, executed)
 
     if not nowait:
         team.barrier(label=f"taskloop:{name}")

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
+import repro.obs.registry as obsreg
 from repro.runtime import context as ctx
 from repro.runtime import faults
 from repro.runtime import shm
@@ -70,6 +71,10 @@ class Team:
         #: cheap hot-path predicate: constructs check this single attribute
         #: before building any trace payload (see Team.record / run_for).
         self.tracing = recorder is not None
+        #: same discipline for metrics: one predicate, cached at team
+        #: construction so every instrumentation site costs one attribute
+        #: load when ``AOMP_METRICS`` is off.
+        self.metrics = get_config().metrics
         self.nesting_level = nesting_level
         self.parent = parent
         self.members = [TeamMember(thread_id=i) for i in range(size)]
@@ -151,6 +156,9 @@ class Team:
                 member,
                 label=label,
             )
+        metrics = self.metrics
+        if metrics:
+            obsreg.inc(obsreg.BARRIERS)
         sync = self.process_sync
         if sync is not None and sync.heartbeat is not None:
             sync.heartbeat.note_arrival(member)
@@ -165,15 +173,21 @@ class Team:
                 team=self,
             )
         if self.size > 1:
+            wait_start = time.perf_counter() if metrics else 0.0
             try:
                 self._barrier.wait()
             except BrokenBarrierError as exc:
+                if metrics:
+                    obsreg.inc(obsreg.BARRIER_BREAKS)
                 detail = f"label {label!r}, " if label else ""
                 raise BrokenBarrierError(
                     f"{exc} [{detail}team {self.name!r}, level {self.nesting_level}, "
                     f"member {member} of {self.size}; barrier arrivals by member: "
                     f"{self.arrival_counts()}]"
                 ) from exc
+            else:
+                if metrics:
+                    obsreg.observe("aomp_barrier_wait_seconds", time.perf_counter() - wait_start)
 
     def arrival_counts(self) -> list[int]:
         """Barrier arrivals per member so far (diagnostic for barrier failures)."""
@@ -403,6 +417,8 @@ def parallel_region(
             if attempt < retries:
                 delay = backoff * (2**attempt)
                 attempt += 1
+                if config.metrics:
+                    obsreg.inc(obsreg.REGIONS_RETRIED)
                 if rec is not None:
                     rec.record(
                         EventKind.REGION_RETRY,
@@ -420,6 +436,8 @@ def parallel_region(
             degraded = _degraded_backend(current) if policy == "degrade" else None
             if degraded is None:
                 raise
+            if config.metrics:
+                obsreg.inc(obsreg.REGIONS_DEGRADED)
             if rec is not None:
                 rec.record(
                     EventKind.REGION_RETRY,
@@ -477,6 +495,13 @@ def _execute_region(
     # adaptive tuner keys its per-site cache and spinup costs on.
     team.backend_name = backend.name
     team.backend_spinup_scale = backend.spinup_cost_scale
+    if team.metrics:
+        obsreg.inc(obsreg.REGIONS_ENTERED)
+        # Lazy import: the HTTP exposition stack only loads when metrics are
+        # actually on.  Idempotent, and a no-op unless AOMP_METRICS_PORT is set.
+        from repro.obs.exposition import ensure_exporter
+
+        ensure_exporter()
     if faults.active():
         team.fault_region = faults.next_region()
     # From here on the backend may hold per-region resources (the process
@@ -550,6 +575,16 @@ def _execute_region(
                         elapsed=elapsed,
                         label="region_body",
                     )
+                if team.metrics:
+                    # Process-team members (fork children run this very
+                    # function in their own process) move their accumulated
+                    # counts into their arena range before reporting back;
+                    # the master drains the arena at region end.  In-process
+                    # members have no arena and keep counting in place.
+                    sync = team.process_sync
+                    arena = getattr(sync, "metrics", None) if sync is not None else None
+                    if arena is not None:
+                        arena.flush_member(thread_id, obsreg.flush_delta())
                 ctx.pop_context()
 
         try:
@@ -557,10 +592,19 @@ def _execute_region(
         finally:
             if recorder is not None:
                 recorder.record(EventKind.REGION_END, region_id, ctx.get_thread_id(), name=team.name)
+            if team.metrics:
+                # Fold every worker's flushed counts back into the master's
+                # registry *before* the backend releases the sync bundle.
+                sync = team.process_sync
+                arena = getattr(sync, "metrics", None) if sync is not None else None
+                if arena is not None:
+                    obsreg.absorb(arena.drain())
     finally:
         backend.finish_region(team)
 
     failures = [(m.thread_id, m.exception) for m in team.members if m.exception is not None]
+    if team.metrics:
+        obsreg.inc(obsreg.REGIONS_FAILED if failures else obsreg.REGIONS_COMPLETED)
     if failures:
         # Primary-cause selection: when a worker dies, every survivor reports
         # a knock-on BrokenBarrierError — the diagnosis is the

@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Any, Callable, Hashable
 
+import repro.obs.registry as obsreg
 from repro.runtime import context as ctx
 from repro.runtime import faults
 from repro.runtime.config import get_config
@@ -50,6 +51,16 @@ from repro.runtime.scheduler import (
     partition_chunk_count,
 )
 from repro.runtime.trace import EventKind, NO_REGION, TraceRecorder, get_global_recorder, global_tracing_active
+
+#: metric slot per concrete schedule — resolved once at import so the hot
+#: paths pay a dict-free constant lookup.
+_CHUNK_SLOTS = {
+    Schedule.STATIC_BLOCK: obsreg.CHUNK_SLOTS["static_block"],
+    Schedule.STATIC_CYCLIC: obsreg.CHUNK_SLOTS["static_cyclic"],
+    Schedule.DYNAMIC: obsreg.CHUNK_SLOTS["dynamic"],
+    Schedule.GUIDED: obsreg.CHUNK_SLOTS["guided"],
+}
+_SERIAL_SLOT = obsreg.CHUNK_SLOTS["serial"]
 
 
 def _loop_encounter_key(loop_name: str) -> Hashable:
@@ -339,6 +350,7 @@ def _dispatch_schedule(
         team,
         name,
         weight,
+        slot=_CHUNK_SLOTS.get(parsed, obsreg.CHUNKS_OTHER),
     )
 
 
@@ -415,7 +427,7 @@ def _run_auto(
         # through to the barrier.
         if thread_id == 0:
             result = _run_chunk_list(
-                body, (LoopChunk(start, end, step),), args, kwargs, team, name, weight
+                body, (LoopChunk(start, end, step),), args, kwargs, team, name, weight, slot=_SERIAL_SLOT
             )
     else:
         result = _dispatch_schedule(
@@ -439,6 +451,8 @@ def _run_auto(
 
     if ticket is not None and thread_id == 0:
         payload = get_tuner().observe(ticket, elapsed)
+        if team.metrics:
+            obsreg.inc(obsreg.TUNE_DECISIONS)
         if team.tracing:
             team.record(EventKind.TUNE_DECISION, **payload)
         if ticket_key is not None and not nowait:
@@ -475,12 +489,19 @@ def _run_sequential(
     thread_id = 0
     if context is not None:
         team = context.team
+        metrics = team.metrics
         if team.tracing:
             recorder = team.recorder
             region_id = team.region_id
             thread_id = context.thread_id
-    elif global_tracing_active() and get_config().tracing:
-        recorder = get_global_recorder()
+    else:
+        metrics = get_config().metrics
+        if global_tracing_active() and get_config().tracing:
+            recorder = get_global_recorder()
+    if metrics:
+        # The whole range runs as one chunk; account it under "serial" so
+        # sequential-semantics executions are visible next to team schedules.
+        obsreg.inc(_SERIAL_SLOT)
 
     if recorder is None:
         return body(start, end, step, *args, **kwargs)
@@ -516,15 +537,22 @@ def _run_chunk_list(
     team,
     name: str,
     weight: Callable[[int], float] | None,
+    slot: int = obsreg.CHUNKS_OTHER,
 ) -> Any:
     """Execute this member's chunks (materialised plan or streamed generator)."""
     result: Any = None
     if not team.tracing:
+        executed = 0
         for piece in pieces:
             result = body(piece.start, piece.end, piece.step, *args, **kwargs)
+            executed += 1
+        # One batched increment per loop, not one per chunk: the untraced
+        # path's per-chunk cost stays a local integer add.
+        if executed and team.metrics:
+            obsreg.inc(slot, executed)
         return result
     for piece in pieces:
-        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight, slot)
     return result
 
 
@@ -551,11 +579,15 @@ def _run_dynamic(
     batch = scheduler.batch
     result: Any = None
     if not team.tracing:
+        executed = 0
         while True:
             claim = state.next_chunks(batch)
             if claim is None:
+                if executed and team.metrics:
+                    obsreg.inc(_CHUNK_SLOTS[Schedule.DYNAMIC], executed)
                 return result
             first, count = claim
+            executed += count
             for index in range(first, first + count):
                 begin = index * size
                 span = total - begin
@@ -564,7 +596,7 @@ def _run_dynamic(
                 chunk_start = start + begin * step
                 result = body(chunk_start, chunk_start + span * step, step, *args, **kwargs)
     for piece in scheduler.chunks_from(state, start, end, step):
-        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight, _CHUNK_SLOTS[Schedule.DYNAMIC])
     return result
 
 
@@ -585,15 +617,19 @@ def _run_guided(
     batch = scheduler.batch
     result: Any = None
     if not team.tracing:
+        executed = 0
         while True:
             blocks = state.next_ranges(batch)
             if not blocks:
+                if executed and team.metrics:
+                    obsreg.inc(_CHUNK_SLOTS[Schedule.GUIDED], executed)
                 return result
+            executed += len(blocks)
             for begin, count in blocks:
                 chunk_start = start + begin * step
                 result = body(chunk_start, chunk_start + count * step, step, *args, **kwargs)
     for piece in scheduler.chunks_from_guided(state, start, end, step):
-        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight)
+        result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight, _CHUNK_SLOTS[Schedule.GUIDED])
     return result
 
 
@@ -605,12 +641,15 @@ def _run_traced_chunk(
     team,
     name: str,
     weight: Callable[[int], float] | None,
+    slot: int = obsreg.CHUNKS_OTHER,
 ) -> Any:
     """Timed body invocation recording one ``CHUNK`` event."""
     began = time.perf_counter()
     try:
         return body(piece.start, piece.end, piece.step, *args, **kwargs)
     finally:
+        if team.metrics:
+            obsreg.inc(slot)
         _record_chunk(
             team.recorder,
             team.region_id,
@@ -732,12 +771,19 @@ def run_sections(
         region_id = NO_REGION
         thread_id = 0
         if context is not None:
+            metrics = context.team.metrics
             if context.team.tracing:
                 recorder = context.team.recorder
                 region_id = context.team.region_id
                 thread_id = context.thread_id
-        elif global_tracing_active() and get_config().tracing:
-            recorder = get_global_recorder()
+        else:
+            metrics = get_config().metrics
+            if global_tracing_active() and get_config().tracing:
+                recorder = get_global_recorder()
+        if metrics and sections:
+            # Mirrors the CHUNK cost carrier below: one serial chunk for the
+            # whole construct.
+            obsreg.inc(_SERIAL_SLOT)
         total_began = time.perf_counter()
         for index, section in enumerate(sections):
             began = time.perf_counter()

@@ -66,6 +66,41 @@ def test_benchmark_runs_and_emits_schema_valid_json(tmp_path):
     assert {f"chunk_dispatch.{s}" for s in ("static_block", "static_cyclic", "dynamic", "guided")} <= set(ratios)
 
 
+def test_metrics_mode_measures_the_guard_site_cost():
+    """``--metrics`` emits paired metrics-off/metrics-on suites plus deltas."""
+    result = subprocess.run(
+        [sys.executable, "benchmarks/bench_overhead.py", "--smoke", "--json", "--metrics"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, f"benchmark failed:\n{result.stderr}"
+    payload = json.loads(result.stdout)
+    assert set(payload) == {"metrics_off", "metrics_on", "metrics_added_seconds"}
+    _validate_run_payload(payload["metrics_off"])
+    _validate_run_payload(payload["metrics_on"])
+    assert payload["metrics_off"]["metrics_enabled"] is False
+    assert payload["metrics_on"]["metrics_enabled"] is True
+    added = payload["metrics_added_seconds"]
+    expected_keys = {f"chunk_dispatch.{s}" for s in ("static_block", "static_cyclic", "dynamic", "guided")}
+    expected_keys |= {"barrier", "region_spawn"}
+    assert set(added) == expected_keys
+    assert all(isinstance(v, float) and v >= 0.0 for v in added.values())
+
+
+def test_committed_document_carries_the_metrics_overhead_bound():
+    """check_bench.py gates metrics-on cost against this documented bound."""
+    document = json.loads((REPO_ROOT / "BENCH_overhead.json").read_text())
+    section = document["metrics_overhead"]
+    bound = section["bound_seconds_per_chunk"]
+    assert isinstance(bound, float) and 0.0 < bound <= 1e-5
+    measured = section["measured_seconds_added"]
+    for key in ("static_block", "static_cyclic", "dynamic", "guided"):
+        assert measured[f"chunk_dispatch.{key}"] <= bound
+
+
 def test_committed_baseline_document_is_schema_valid():
     """The committed BENCH_overhead.json must stay loadable and well-formed.
 

@@ -9,6 +9,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import pytest
 
+import repro.obs.registry as obs_registry
 from repro.runtime.backend import ThreadBackend, set_backend
 from repro.runtime.config import RuntimeConfig, set_config
 from repro.runtime.locks import global_locks
@@ -29,6 +30,7 @@ def _clean_runtime_state():
     set_config(RuntimeConfig(num_threads=4, tracing=True, default_schedule="static_block", tune_cache=None))
     global_locks.clear()
     reset_tuner()
+    obs_registry.reset()
     yield
     set_backend(previous_backend)
     set_global_recorder(previous_recorder)

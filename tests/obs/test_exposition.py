@@ -1,0 +1,183 @@
+"""Exposition surfaces: ``aomp.stats()``, Prometheus rendering, HTTP scrape.
+
+The rendering tests pin the text-format 0.0.4 contract a real Prometheus
+scraper relies on (cumulative ``le`` buckets, ``+Inf``, ``_sum``/``_count``,
+HELP/TYPE pairs); the endpoint tests exercise the stdlib HTTP server on an
+ephemeral port.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+import aomp
+import repro.obs.exposition as expo
+import repro.obs.registry as obsreg
+
+
+@pytest.fixture(autouse=True)
+def _stop_exporter_after():
+    yield
+    expo.stop_exporter()
+
+
+class TestStats:
+    def test_structure_and_gauge_label_strings(self):
+        obsreg.inc(obsreg.BARRIERS, 2)
+        obsreg.set_gauge("aomp_member_alive", {"member": 1}, 0.0)
+        snap = aomp.stats()
+        assert snap["counters"]["aomp_barriers_total"] == 2
+        assert snap["gauges"]["aomp_member_alive"] == {'{member="1"}': 0.0}
+        assert set(snap) == {"counters", "histograms", "gauges"}
+
+    def test_stats_is_json_serialisable(self):
+        import json
+
+        obsreg.observe("aomp_barrier_wait_seconds", 0.01)
+        obsreg.set_gauge("aomp_task_deque_depth", {"member": 0}, 4)
+        json.dumps(aomp.stats())  # must not raise
+
+    def test_aomp_facade_reexports_the_obs_surface(self):
+        assert aomp.stats is expo.stats
+        assert aomp.render_prometheus is expo.render_prometheus
+        assert aomp.get_registry is obsreg.get_registry
+
+
+class TestRenderPrometheus:
+    def test_counters_have_help_type_and_labels(self):
+        obsreg.inc(obsreg.CHUNK_SLOTS["guided"], 3)
+        text = aomp.render_prometheus()
+        assert "# HELP aomp_chunks_total " in text
+        assert "# TYPE aomp_chunks_total counter" in text
+        assert 'aomp_chunks_total{schedule="guided"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf_sum_count(self):
+        obsreg.reset(buckets=(0.001, 0.1))
+        obsreg.observe("aomp_barrier_wait_seconds", 0.0005)
+        obsreg.observe("aomp_barrier_wait_seconds", 0.05)
+        obsreg.observe("aomp_barrier_wait_seconds", 5.0)
+        text = aomp.render_prometheus()
+        assert 'aomp_barrier_wait_seconds_bucket{le="0.001"} 1' in text
+        assert 'aomp_barrier_wait_seconds_bucket{le="0.1"} 2' in text
+        assert 'aomp_barrier_wait_seconds_bucket{le="+Inf"} 3' in text
+        assert "aomp_barrier_wait_seconds_count 3" in text
+        sum_line = next(
+            line for line in text.splitlines() if line.startswith("aomp_barrier_wait_seconds_sum ")
+        )
+        assert float(sum_line.split()[1]) == pytest.approx(5.0505, rel=1e-4)
+
+    def test_gauges_render_with_type_and_labels(self):
+        obsreg.set_gauge("aomp_member_alive", {"member": 2}, 1.0)
+        text = aomp.render_prometheus()
+        assert "# TYPE aomp_member_alive gauge" in text
+        assert 'aomp_member_alive{member="2"} 1' in text
+
+    def test_every_catalogued_metric_appears_even_at_zero(self):
+        text = aomp.render_prometheus()
+        for name, _help, _label, _values in obsreg.COUNTER_SPECS:
+            assert f"# HELP {name} " in text
+        for name, _help in obsreg.HISTOGRAM_SPECS:
+            assert f"{name}_count 0" in text
+
+
+class TestScrapeEndpoint:
+    def test_ephemeral_port_serves_metrics(self):
+        port = expo.ensure_exporter(port=0)
+        assert port and port > 0
+        assert expo.exporter_port() == port
+        obsreg.inc(obsreg.BARRIERS, 5)
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=5) as response:
+            assert response.headers["Content-Type"] == expo.CONTENT_TYPE
+            body = response.read().decode("utf-8")
+        assert "aomp_barriers_total 5" in body
+
+    def test_ensure_is_idempotent(self):
+        first = expo.ensure_exporter(port=0)
+        assert expo.ensure_exporter(port=0) == first
+
+    def test_only_metrics_path_is_served(self):
+        port = expo.ensure_exporter(port=0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/other", timeout=5)
+        assert excinfo.value.code == 404
+        excinfo.value.close()  # the error response wraps a socket
+
+    def test_no_port_configured_means_no_endpoint(self):
+        assert expo.ensure_exporter() is None  # config default: metrics_port=None
+        assert expo.exporter_port() is None
+
+    def test_bind_failure_warns_once_and_disables(self):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind((expo.EXPORTER_HOST, 0))
+        blocker.listen(1)
+        taken = blocker.getsockname()[1]
+        try:
+            with pytest.warns(RuntimeWarning, match="could not bind"):
+                assert expo.ensure_exporter(port=taken) is None
+            # Disabled after the failure: no retry storm, no second warning.
+            assert expo.ensure_exporter(port=taken) is None
+        finally:
+            blocker.close()
+
+    def test_stop_allows_a_fresh_start(self):
+        first = expo.ensure_exporter(port=0)
+        expo.stop_exporter()
+        assert expo.exporter_port() is None
+        second = expo.ensure_exporter(port=0)
+        assert second and second != 0
+        assert first is not None
+
+
+class TestAompTopParser:
+    """The live-view script's parser must understand our own rendering."""
+
+    def _load(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "scripts" / "aomp_top.py"
+        spec = importlib.util.spec_from_file_location("aomp_top", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_parse_round_trips_our_exposition(self):
+        obsreg.reset(buckets=(0.001, 0.1))
+        obsreg.inc(obsreg.CHUNK_SLOTS["dynamic"], 4)
+        obsreg.observe("aomp_barrier_wait_seconds", 0.0005)
+        obsreg.set_gauge("aomp_member_alive", {"member": 1}, 1.0)
+        top = self._load()
+        samples = top.parse_exposition(aomp.render_prometheus())
+        assert samples[("aomp_chunks_total", (("schedule", "dynamic"),))] == 4
+        assert samples[("aomp_barrier_wait_seconds_count", ())] == 1
+        assert samples[("aomp_member_alive", (("member", "1"),))] == 1.0
+
+    def test_quantile_estimate_from_cumulative_buckets(self):
+        top = self._load()
+        obsreg.reset(buckets=(0.001, 0.1))
+        for _ in range(9):
+            obsreg.observe("aomp_barrier_wait_seconds", 0.0005)
+        obsreg.observe("aomp_barrier_wait_seconds", 5.0)
+        samples = top.parse_exposition(aomp.render_prometheus())
+        assert top._histogram_quantile(samples, "aomp_barrier_wait_seconds", 0.5) == 0.001
+        assert top._histogram_quantile(samples, "aomp_barrier_wait_seconds", 0.99) == float("inf")
+
+    def test_render_once_produces_a_readable_report(self):
+        top = self._load()
+        obsreg.inc(obsreg.BARRIERS, 2)
+        samples = top.parse_exposition(aomp.render_prometheus())
+        output = top.render(samples, None, 0.0)
+        assert "aomp_barriers_total" in output
+
+    def test_scrape_against_a_live_endpoint(self):
+        top = self._load()
+        obsreg.inc(obsreg.TUNE_DECISIONS, 3)
+        port = expo.ensure_exporter(port=0)
+        samples = top.scrape(f"http://127.0.0.1:{port}/metrics", timeout=5)
+        assert samples[("aomp_tune_decisions_total", ())] == 3

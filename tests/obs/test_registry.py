@@ -1,0 +1,186 @@
+"""Unit coverage of :mod:`repro.obs.registry`.
+
+The registry is the PR's hot-path substrate: counters and histogram cells in
+one flat int slot vector, per-thread buffers merged on read, flush-and-clear
+move semantics for cross-process aggregation.  These tests pin down the slot
+layout contract (a pure function of the bucket boundaries), exactly-once
+flushing, and the gauge/collector surface.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.obs.registry as obsreg
+from repro.obs.registry import (
+    COUNTER_SPECS,
+    HISTOGRAM_SPECS,
+    NUM_COUNTER_SLOTS,
+    MetricsRegistry,
+    counter_slot,
+)
+
+
+class TestSlotLayout:
+    def test_counter_slots_are_dense_and_stable(self):
+        slots = []
+        for name, _help, label, values in COUNTER_SPECS:
+            if label is None:
+                slots.append(counter_slot(name))
+            else:
+                slots.extend(counter_slot(name, value) for value in values)
+        assert sorted(slots) == list(range(NUM_COUNTER_SLOTS))
+
+    def test_named_constants_match_the_catalogue(self):
+        assert obsreg.BARRIERS == counter_slot("aomp_barriers_total")
+        assert obsreg.CHUNK_SLOTS["dynamic"] == counter_slot("aomp_chunks_total", "dynamic")
+        assert obsreg.RPC_BYTES_SENT == counter_slot("aomp_rpc_bytes_total", "sent")
+
+    def test_layout_is_a_pure_function_of_the_buckets(self):
+        """Two registries with the same boundaries agree on every slot index —
+        the invariant that lets raw deltas cross process boundaries."""
+        a = MetricsRegistry(buckets=(0.001, 0.1))
+        b = MetricsRegistry(buckets=(0.001, 0.1))
+        assert a.num_slots == b.num_slots
+        for name, _help in HISTOGRAM_SPECS:
+            assert a.hist_base(name) == b.hist_base(name)
+        wider = MetricsRegistry(buckets=(0.001, 0.01, 0.1))
+        assert wider.num_slots == a.num_slots + len(HISTOGRAM_SPECS)
+
+    def test_histogram_blocks_follow_the_counters(self):
+        reg = MetricsRegistry(buckets=(0.001, 0.1))
+        first = HISTOGRAM_SPECS[0][0]
+        assert reg.hist_base(first) == NUM_COUNTER_SLOTS
+
+
+class TestAccumulation:
+    def test_add_and_snapshot(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.add(obsreg.BARRIERS)
+        reg.add(obsreg.BARRIERS, 2)
+        reg.add(obsreg.CHUNK_SLOTS["guided"], 5)
+        snap = reg.snapshot()
+        assert snap["counters"]["aomp_barriers_total"] == 3
+        assert snap["counters"]["aomp_chunks_total"]["guided"] == 5
+
+    def test_observe_picks_the_right_bucket(self):
+        reg = MetricsRegistry(buckets=(0.001, 0.1))
+        base = reg.hist_base("aomp_barrier_wait_seconds")
+        reg.observe(base, 0.0005)   # <= 1ms bucket
+        reg.observe(base, 0.05)     # <= 100ms bucket
+        reg.observe(base, 7.0)      # overflow (+Inf)
+        hist = reg.snapshot()["histograms"]["aomp_barrier_wait_seconds"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.0005 + 0.05 + 7.0, rel=1e-6)
+
+    def test_boundary_observation_lands_in_the_bounded_bucket(self):
+        """Prometheus buckets are ``le`` (inclusive upper bounds)."""
+        reg = MetricsRegistry(buckets=(0.001, 0.1))
+        base = reg.hist_base("aomp_rpc_rtt_seconds")
+        reg.observe(base, 0.001)
+        assert reg.snapshot()["histograms"]["aomp_rpc_rtt_seconds"]["counts"] == [1, 0, 0]
+
+    def test_threads_merge_without_loss(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        per_thread = 5000
+
+        def hammer():
+            for _ in range(per_thread):
+                reg.add(obsreg.BARRIERS)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["aomp_barriers_total"] == 6 * per_thread
+
+
+class TestFlushAbsorb:
+    def test_flush_moves_counts_exactly_once(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.add(obsreg.BARRIERS, 4)
+        delta = reg.flush_delta()
+        assert (obsreg.BARRIERS, 4) in delta
+        assert reg.snapshot()["counters"]["aomp_barriers_total"] == 0
+        assert reg.flush_delta() == []
+
+    def test_absorb_round_trips_a_delta(self):
+        worker = MetricsRegistry(buckets=(0.001,))
+        master = MetricsRegistry(buckets=(0.001,))
+        worker.add(obsreg.CHUNK_SLOTS["dynamic"], 7)
+        base = worker.hist_base("aomp_barrier_wait_seconds")
+        worker.observe(base, 0.0001)
+        master.absorb(worker.flush_delta())
+        snap = master.snapshot()
+        assert snap["counters"]["aomp_chunks_total"]["dynamic"] == 7
+        assert snap["histograms"]["aomp_barrier_wait_seconds"]["count"] == 1
+
+    def test_absorb_ignores_out_of_range_slots(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.absorb([(reg.num_slots + 100, 5), (-1, 5), (obsreg.BARRIERS, 1)])
+        assert reg.snapshot()["counters"]["aomp_barriers_total"] == 1
+
+    def test_flush_includes_absorbed_external_counts(self):
+        """A relay (master of an inner level) forwards absorbed counts on."""
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.absorb([(obsreg.BARRIERS, 3)])
+        reg.add(obsreg.BARRIERS, 1)
+        assert dict(reg.flush_delta())[obsreg.BARRIERS] == 4
+
+
+class TestGaugesAndCollectors:
+    def test_set_clear_gauge(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.set_gauge("aomp_member_alive", {"member": 1}, 1.0)
+        reg.set_gauge("aomp_member_alive", {"member": 1}, 0.0)  # overwrite
+        assert list(reg.snapshot()["gauges"]["aomp_member_alive"].values()) == [0.0]
+        reg.clear_gauge("aomp_member_alive", {"member": 1})
+        assert "aomp_member_alive" not in reg.snapshot()["gauges"]
+
+    def test_collector_runs_at_snapshot_time_only(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        calls = []
+
+        def collector():
+            calls.append(1)
+            return [("aomp_task_deque_depth", {"member": 0}, 3.0)]
+
+        reg.register_collector(collector)
+        assert calls == []
+        snap = reg.snapshot()
+        assert calls == [1]
+        assert list(snap["gauges"]["aomp_task_deque_depth"].values()) == [3.0]
+        reg.unregister_collector(collector)
+        assert "aomp_task_deque_depth" not in reg.snapshot()["gauges"]
+
+    def test_failing_collector_does_not_poison_the_snapshot(self):
+        reg = MetricsRegistry(buckets=(0.001,))
+        reg.register_collector(lambda: (_ for _ in ()).throw(RuntimeError("dying monitor")))
+        reg.set_gauge("aomp_member_alive", None, 1.0)
+        assert reg.snapshot()["gauges"]["aomp_member_alive"] == {(): 1.0}
+
+
+class TestModuleLevelRegistry:
+    def test_reset_replaces_the_process_registry(self):
+        obsreg.inc(obsreg.BARRIERS)
+        obsreg.reset()
+        assert obsreg.get_registry().snapshot()["counters"]["aomp_barriers_total"] == 0
+
+    def test_module_inc_observe_land_in_the_process_registry(self):
+        obsreg.reset()
+        obsreg.inc(obsreg.TUNE_DECISIONS, 2)
+        obsreg.observe("aomp_rpc_rtt_seconds", 0.002)
+        snap = obsreg.get_registry().snapshot()
+        assert snap["counters"]["aomp_tune_decisions_total"] == 2
+        assert snap["histograms"]["aomp_rpc_rtt_seconds"]["count"] == 1
+
+    def test_metrics_enabled_mirrors_the_config(self):
+        from repro.runtime.config import config_override
+
+        assert obsreg.metrics_enabled() is False
+        with config_override(metrics=True):
+            assert obsreg.metrics_enabled() is True

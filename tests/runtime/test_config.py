@@ -27,11 +27,15 @@ import pytest
 
 from repro.runtime.barrier import _default_barrier_timeout
 from repro.runtime.config import (
+    DEFAULT_METRICS_BUCKETS,
     ON_FAILURE_POLICIES,
     RuntimeConfig,
     _default_backend,
     _default_max_active_levels,
     _default_max_retries,
+    _default_metrics,
+    _default_metrics_buckets,
+    _default_metrics_port,
     _default_nested,
     _default_num_threads,
     _default_on_failure,
@@ -59,6 +63,9 @@ ALL_VARS = (
     "AOMP_BARRIER_TIMEOUT",
     "AOMP_HEARTBEAT_INTERVAL",
     "AOMP_HEARTBEAT_TIMEOUT",
+    "AOMP_METRICS",
+    "AOMP_METRICS_PORT",
+    "AOMP_METRICS_BUCKETS",
 )
 
 
@@ -157,6 +164,35 @@ CASES = (
         default=None,
         valid=(("2.5", 2.5), ("0", None), ("-3", None)),  # <= 0 disables explicitly
         garbage=("stale", "1 minute"),
+    ),
+    EnvVarCase(
+        var="AOMP_METRICS",
+        read=_default_metrics,
+        default=False,
+        valid=(
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("false", False), ("No", False), ("off", False),
+        ),
+        garbage=("maybe", "2", "metrics"),
+    ),
+    EnvVarCase(
+        var="AOMP_METRICS_PORT",
+        read=_default_metrics_port,
+        default=None,  # unset means "no scrape endpoint"
+        valid=(("0", 0), ("9464", 9464), ("65535", 65535)),
+        garbage=("default", "-1", "65536", "8080http"),
+    ),
+    EnvVarCase(
+        var="AOMP_METRICS_BUCKETS",
+        read=_default_metrics_buckets,
+        default=DEFAULT_METRICS_BUCKETS,
+        valid=(
+            ("0.001,0.01,0.1", (0.001, 0.01, 0.1)),
+            ("1e-6,1e-3,1", (1e-6, 1e-3, 1.0)),
+            ("0.5", (0.5,)),
+        ),
+        # must be increasing, positive, numeric
+        garbage=("fast,slow", "0.1,0.1", "1,0.5", "0,1", "-1,1"),
     ),
 )
 
