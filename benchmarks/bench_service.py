@@ -1,0 +1,225 @@
+"""Compute-service benchmark: concurrent clients against a live service.
+
+Starts an in-process :class:`repro.service.server.ServiceThread` (the exact
+stack ``scripts/aomp_serve.py`` serves, minus the OS process boundary) and
+drives it with N concurrent socket clients submitting JGF kernels, measuring
+what the always-on deployment model actually buys:
+
+* **throughput** — completed requests per second across all clients;
+* **latency** — per-request p50/p99 wall time as a client sees it (queueing
+  + dispatch + region execution);
+* **warm vs cold** — the same request mix replayed against the now-warm
+  service (pools pre-spawned and hot, per-tenant tuner populated), the
+  pay-once-per-service costs amortised out versus the first pass, which pays
+  them per deployment the way a script pays them per run.
+
+Every result is validated against the kernel's serial reference — a
+benchmark that returns wrong answers fast measures nothing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                # table
+    PYTHONPATH=src python benchmarks/bench_service.py --mode smoke   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --json         # JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from typing import Any
+
+from repro.service.client import ServiceClient
+from repro.service.kernels import KERNELS
+from repro.service.server import ServiceThread
+
+SCHEMA_VERSION = 1
+
+#: (clients, requests per client per pass, kernels, size) per mode.
+MODES = {
+    "smoke": (4, 3, ("series",), "tiny"),
+    "quick": (4, 8, ("series", "crypt"), "small"),
+    "full": (8, 12, ("series", "crypt", "sor", "sparse"), "small"),
+}
+
+#: team size per request — fixed so results compare across hosts.
+TEAM_SIZE = 2
+
+
+def _percentile(sorted_values: "list[float]", fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _drive_pass(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests: int,
+    kernels: "tuple[str, ...]",
+    size: str,
+) -> "dict[str, Any]":
+    """One full pass: every client thread submits its request mix, blocking
+    per request; returns per-kernel latencies plus validation failures."""
+    latencies: "dict[str, list[float]]" = {kernel: [] for kernel in kernels}
+    failures: "list[str]" = []
+    lock = threading.Lock()
+
+    def one_client(client_index: int) -> None:
+        try:
+            with ServiceClient(host, port, timeout=300.0) as client:
+                for request_index in range(requests):
+                    kernel = kernels[(client_index + request_index) % len(kernels)]
+                    began = time.perf_counter()
+                    response = client.submit(
+                        kernel,
+                        size=size,
+                        tenant=f"client-{client_index}",
+                        num_threads=TEAM_SIZE,
+                        coalesce=False,
+                        wait=True,
+                        timeout=300,
+                    )
+                    elapsed = time.perf_counter() - began
+                    with lock:
+                        if response.get("status") != "done":
+                            failures.append(f"{kernel}: {response}")
+                        elif not _close(response.get("value"), KERNELS[kernel].reference(size)):
+                            failures.append(
+                                f"{kernel}: value {response.get('value')!r} != reference"
+                            )
+                        else:
+                            latencies[kernel].append(elapsed)
+        except Exception as exc:
+            with lock:
+                failures.append(f"client-{client_index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=one_client, args=(index,)) for index in range(clients)]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - began
+
+    total = sum(len(values) for values in latencies.values())
+    per_kernel: "dict[str, Any]" = {}
+    for kernel, values in latencies.items():
+        values.sort()
+        per_kernel[kernel] = {
+            "count": len(values),
+            "p50_seconds": _percentile(values, 0.50),
+            "p99_seconds": _percentile(values, 0.99),
+        }
+    return {
+        "wall_seconds": wall,
+        "completed": total,
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "kernels": per_kernel,
+        "failures": failures,
+    }
+
+
+def _close(value: Any, reference: Any, rel: float = 1e-6) -> bool:
+    if isinstance(reference, list):
+        return (
+            isinstance(value, list)
+            and len(value) == len(reference)
+            and all(_close(v, r, rel) for v, r in zip(value, reference))
+        )
+    try:
+        return abs(float(value) - float(reference)) <= rel * max(1.0, abs(float(reference)))
+    except (TypeError, ValueError):
+        return value == reference
+
+
+def run_suite(mode: str = "quick", *, backend: str = "threads") -> "dict[str, Any]":
+    clients, requests, kernels, size = MODES[mode]
+    with tempfile.TemporaryDirectory(prefix="aomp-bench-tune-") as tune_dir:
+        service = ServiceThread(
+            backend=backend,
+            workers=2,
+            port=0,
+            queue_limit=max(64, clients * requests),
+            tenant_cap=2,
+            tune_dir=tune_dir,
+            num_threads=TEAM_SIZE,
+        )
+        host, port = service.start()
+        try:
+            cold = _drive_pass(
+                host, port, clients=clients, requests=requests, kernels=kernels, size=size
+            )
+            warm = _drive_pass(
+                host, port, clients=clients, requests=requests, kernels=kernels, size=size
+            )
+        finally:
+            drained = service.drain()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "bench_service",
+        "mode": mode,
+        "backend": backend,
+        "python": platform.python_version(),
+        "clients": clients,
+        "requests_per_client": requests,
+        "size": size,
+        "team_size": TEAM_SIZE,
+        "metrics": {"cold": cold, "warm": warm},
+        "drained": drained,
+    }
+
+
+def _print_table(payload: "dict[str, Any]") -> None:
+    metrics = payload["metrics"]
+    print(
+        f"compute service (mode={payload['mode']}, backend={payload['backend']}, "
+        f"{payload['clients']} clients x {payload['requests_per_client']} requests, "
+        f"size={payload['size']})"
+    )
+    print(f"{'pass':<6} {'kernel':<8} {'count':>6} {'p50':>10} {'p99':>10} {'rps':>8}")
+    for label in ("cold", "warm"):
+        section = metrics[label]
+        for kernel, row in sorted(section["kernels"].items()):
+            print(
+                f"{label:<6} {kernel:<8} {row['count']:>6} "
+                f"{row['p50_seconds'] * 1e3:>8.1f}ms {row['p99_seconds'] * 1e3:>8.1f}ms "
+                f"{section['throughput_rps']:>8.1f}"
+            )
+    for section in metrics.values():
+        for failure in section["failures"]:
+            print(f"FAILURE: {failure}")
+    cold_wall, warm_wall = metrics["cold"]["wall_seconds"], metrics["warm"]["wall_seconds"]
+    if warm_wall > 0:
+        print(
+            f"\nwarm pass took {warm_wall / cold_wall:.2f}x the cold pass wall time "
+            "(pools pre-spawned + tuner populated on the warm pass)"
+        )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--mode", choices=sorted(MODES), default="quick")
+    parser.add_argument("--backend", default="threads", help="service execution backend")
+    parser.add_argument("--json", action="store_true", help="emit the JSON payload instead of a table")
+    args = parser.parse_args(argv)
+    payload = run_suite(args.mode, backend=args.backend)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        _print_table(payload)
+    failed = any(payload["metrics"][label]["failures"] for label in ("cold", "warm"))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -162,12 +162,35 @@ def main(argv: "list[str] | None" = None) -> int:
 
     previous: Samples | None = None
     last_time = time.monotonic()
+    down_since: float | None = None
     while True:
         try:
             samples = scrape(args.url, args.timeout)
         except (urllib.error.URLError, OSError) as exc:
-            print(f"aomp_top: cannot scrape {args.url}: {exc}", file=sys.stderr)
-            return 1
+            # The endpoint dropping mid-session (master exited, service
+            # draining/restarting) is a normal condition for a live dashboard:
+            # show a status line and keep polling.  Only --once, whose whole
+            # job is one snapshot, treats an unreachable endpoint as an error.
+            if args.once:
+                print(f"aomp_top: cannot scrape {args.url}: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            if down_since is None:
+                down_since = now
+            print(
+                CLEAR
+                + f"aomp_top — {time.strftime('%H:%M:%S')}\n\n"
+                + f"endpoint down, retrying ({args.url}: {exc}; "
+                + f"unreachable for {now - down_since:.0f}s)",
+                flush=True,
+            )
+            previous = None  # rates across an outage are meaningless
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+            continue
+        down_since = None
         now = time.monotonic()
         output = render(samples, previous, now - last_time)
         if args.once:

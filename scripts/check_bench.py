@@ -45,6 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import bench_backends  # noqa: E402  (path set up above)
 import bench_dataplane  # noqa: E402
 import bench_overhead  # noqa: E402
+import bench_service  # noqa: E402
 import bench_tune  # noqa: E402
 
 #: default absolute-increase floor (seconds) per measurement mode: what one
@@ -331,6 +332,47 @@ def run_dataplane_smoke() -> int:
     return 0
 
 
+def run_service_smoke() -> int:
+    """Plumbing check of the compute-service benchmark (smoke sizes).
+
+    Drives a real in-process service with concurrent socket clients and
+    validates the payload shape plus the structural invariants: every
+    submitted request completed with its reference value (the bench records
+    mismatches as failures), latencies are real timings, and the drain left
+    no workers behind.  Absolute throughput/latency *targets* are not gated
+    — they depend on cores granted to the runner — the honest numbers live
+    in the benchmark output.
+    """
+    payload = bench_service.run_suite(mode="smoke")
+    problems: list[str] = []
+    if payload.get("schema_version") != bench_service.SCHEMA_VERSION:
+        problems.append("schema_version mismatch")
+    expected = payload["clients"] * payload["requests_per_client"]
+    for label in ("cold", "warm"):
+        section = payload["metrics"][label]
+        problems.extend(f"{label}: {failure}" for failure in section["failures"])
+        if section["completed"] != expected:
+            problems.append(f"{label}: {section['completed']}/{expected} requests completed")
+        if not section["throughput_rps"] > 0:
+            problems.append(f"{label}: bogus throughput")
+        for kernel, row in section["kernels"].items():
+            if not 0 < row["p50_seconds"] <= row["p99_seconds"]:
+                problems.append(f"{label}/{kernel}: bogus latency quantiles")
+    if not payload.get("drained", {}).get("drained"):
+        problems.append("service did not drain cleanly")
+
+    if problems:
+        print(f"FAIL: service smoke: {'; '.join(problems)}")
+        return 1
+    warm = payload["metrics"]["warm"]
+    print(
+        f"OK: service smoke (schema v{bench_service.SCHEMA_VERSION}, "
+        f"{payload['clients']} clients, warm {warm['throughput_rps']:.1f} req/s, "
+        f"warm p99 {max(row['p99_seconds'] for row in warm['kernels'].values()) * 1e3:.0f}ms)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -374,6 +416,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the metrics-overhead gate (cost of enabled observability guard sites)",
     )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the compute-service smoke check (bench_service.py plumbing)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -403,6 +450,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_dataplane:
         print()
         status = status or run_dataplane_smoke()
+    if not args.skip_service:
+        print()
+        status = status or run_service_smoke()
     return status
 
 

@@ -15,6 +15,7 @@ Three surfaces over the same registry snapshot:
 
 from __future__ import annotations
 
+import os
 import threading
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,12 +35,17 @@ def stats() -> "dict[str, Any]":
 
     Gauge label sets are rendered as ``{label="value", ...}`` strings (empty
     string for the unlabelled sample), so the result is JSON-serialisable.
+    The ``meta`` section carries the scrape endpoint's *actually bound* port
+    (``None`` when no endpoint is running) — with ``AOMP_METRICS_PORT=0`` the
+    kernel picks an ephemeral port, and this is the race-free way for the
+    embedding program to discover it.
     """
     snapshot = _registry_mod.get_registry().snapshot()
     gauges: "dict[str, dict[str, float]]" = {}
     for name, samples in snapshot["gauges"].items():
         gauges[name] = {_label_string(key): value for key, value in samples.items()}
     snapshot["gauges"] = gauges
+    snapshot["meta"] = {"exporter_port": exporter_port(), "pid": os.getpid()}
     return snapshot
 
 
@@ -104,6 +110,7 @@ def render_prometheus() -> str:
 
 _exporter_lock = threading.Lock()
 _server: "ThreadingHTTPServer | None" = None
+_serve_thread: "threading.Thread | None" = None
 _suppressed = False
 _failed = False
 
@@ -134,7 +141,7 @@ def ensure_exporter(port: "int | None" = None) -> "int | None":
     no endpoint.  Idempotent and cheap after the first call, so region entry
     can call it unconditionally when metrics are enabled.
     """
-    global _server, _failed
+    global _server, _serve_thread, _failed
     with _exporter_lock:
         if _suppressed or _failed:
             return None
@@ -161,6 +168,7 @@ def ensure_exporter(port: "int | None" = None) -> "int | None":
         thread = threading.Thread(target=server.serve_forever, name="aomp-metrics-http", daemon=True)
         thread.start()
         _server = server
+        _serve_thread = thread
         return server.server_address[1]
 
 
@@ -171,14 +179,23 @@ def exporter_port() -> "int | None":
 
 
 def stop_exporter() -> None:
-    """Shut the endpoint down and allow a later ``ensure_exporter`` (tests)."""
-    global _server, _failed
+    """Shut the endpoint down and allow a later ``ensure_exporter``.
+
+    Idempotent (a second call is a no-op) and leak-free under repeated
+    start/stop cycles: the accept-loop thread is joined, not abandoned, so a
+    service that cycles the exporter per drain/restart does not accumulate
+    one ``aomp-metrics-http`` thread per cycle.
+    """
+    global _server, _serve_thread, _failed
     with _exporter_lock:
         server, _server = _server, None
+        thread, _serve_thread = _serve_thread, None
         _failed = False
     if server is not None:
         server.shutdown()
         server.server_close()
+    if thread is not None:
+        thread.join(timeout=5.0)
 
 
 def suppress_exporter() -> None:

@@ -58,6 +58,11 @@ COUNTER_SPECS: "tuple[tuple[str, str, str | None, tuple[str, ...]], ...]" = (
     ("aomp_rpc_calls_total", "Data-plane RPC round-trips (socket-plane workers).", None, ()),
     ("aomp_rpc_bytes_total", "Data-plane RPC frame bytes, by direction.", "direction",
      ("sent", "received")),
+    # Compute-service request lifecycle (src/repro/service).  Appended last:
+    # slot order is load-bearing and every process derives it from this
+    # catalogue, so extension is append-only.
+    ("aomp_service_requests_total", "Compute-service requests by lifecycle event.", "event",
+     ("accepted", "rejected", "coalesced", "completed", "failed", "cancelled")),
 )
 
 #: ``(name, help text)`` — histograms over seconds.  Bucket boundaries come
@@ -66,6 +71,7 @@ COUNTER_SPECS: "tuple[tuple[str, str, str | None, tuple[str, ...]], ...]" = (
 HISTOGRAM_SPECS: "tuple[tuple[str, str], ...]" = (
     ("aomp_barrier_wait_seconds", "Time blocked in team barriers (load-imbalance signal)."),
     ("aomp_rpc_rtt_seconds", "Data-plane RPC round-trip time (socket-plane workers)."),
+    ("aomp_service_request_seconds", "Compute-service end-to-end request latency (accept to finish)."),
 )
 
 #: gauge help texts (gauges are set ad hoc; this drives exposition only).
@@ -73,6 +79,9 @@ GAUGE_HELP: "dict[str, str]" = {
     "aomp_member_alive": "Per-member liveness (1 = beating, 0 = seen dead).",
     "aomp_member_last_beat_age_seconds": "Seconds since a member's last heartbeat.",
     "aomp_task_deque_depth": "Depth of a member's work-stealing task deque.",
+    "aomp_service_queue_depth": "Compute-service requests admitted and waiting for a dispatch worker.",
+    "aomp_service_running": "Compute-service requests currently executing on a dispatch worker.",
+    "aomp_service_workers": "Dispatch workers serving the compute service.",
 }
 
 
@@ -125,6 +134,10 @@ POOL_HEALS = counter_slot("aomp_pool_heals_total")
 RPC_CALLS = counter_slot("aomp_rpc_calls_total")
 RPC_BYTES_SENT = counter_slot("aomp_rpc_bytes_total", "sent")
 RPC_BYTES_RECEIVED = counter_slot("aomp_rpc_bytes_total", "received")
+SERVICE_REQUEST_SLOTS = {
+    value: counter_slot("aomp_service_requests_total", value)
+    for value in ("accepted", "rejected", "coalesced", "completed", "failed", "cancelled")
+}
 
 
 # ---------------------------------------------------------------------------

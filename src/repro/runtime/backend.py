@@ -505,6 +505,37 @@ class ProcessBackend(Backend):
     ) -> None:
         apply_member_payloads(team, payloads, deaths=deaths, stalled=stalled)
 
+    def prewarm(self, workers: int) -> bool:
+        """Spawn the persistent pool now so the first region finds it hot.
+
+        The compute service calls this at startup for each dispatch worker's
+        private backend instance: pool construction *is* the warm-up (workers
+        fork eagerly), so a prewarmed backend serves its first request
+        without paying the spawn cost.  Returns whether a healthy pool is up
+        (``False`` when pooling is disabled or construction failed — regions
+        then fall back to fork-per-region exactly as before).
+        """
+        if not self._use_pool or workers < 1:
+            return False
+        with self._pool_lock:
+            pool = self._ensure_pool(workers)
+            return pool is not None and pool.healthy
+
+    def condemn_pool(self) -> bool:
+        """Condemn the live pool so an in-flight pooled region fails fast.
+
+        External cancellation hook (PR-7 machinery): marking the pool
+        condemned makes ``collect()`` stop waiting on its workers, the region
+        surfaces a :class:`BrokenTeamError`, and the *next* region rebuilds a
+        fresh pool via ``_ensure_pool`` — the wedged team is torn down, not
+        leaked.  Returns whether there was a pool to condemn.
+        """
+        pool = self._pool  # snapshot, not lock: the region in flight holds _pool_lock
+        if pool is None:
+            return False
+        pool.condemn()
+        return True
+
     def shutdown(self) -> None:
         """Stop the persistent worker pool (used by tests and at interpreter exit)."""
         with self._pool_lock:

@@ -472,6 +472,9 @@ class WorkerMonitor:
         return bool(self.deaths or self.stalled)
 
     def start(self) -> None:
+        if self._thread is not None:
+            return  # idempotent: a second start must not orphan the first thread
+        self._stop.clear()  # a stopped monitor may be started again
         if self._metrics:
             self._collector = self._liveness_samples
             obsreg.register_collector(self._collector)
@@ -482,6 +485,12 @@ class WorkerMonitor:
         thread.start()
 
     def stop(self) -> None:
+        """Stop polling and unregister the liveness collector.
+
+        Idempotent: services cycle monitors per drain/restart, so a second
+        ``stop()`` (or a stop with no prior start) is a safe no-op and the
+        registry never accumulates dead collectors.
+        """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

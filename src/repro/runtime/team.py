@@ -86,6 +86,11 @@ class Team:
         #: ``backend_spinup_scale`` feeds the tuner's serial-fallback cutoff.
         self.backend_name = ""
         self.backend_spinup_scale = 1.0
+        #: tuner serving this team's ``schedule="auto"`` loops, stamped by
+        #: ``_execute_region`` when the region starts under a
+        #: :class:`repro.tune.tuner_scope` (per-tenant caches in the compute
+        #: service).  ``None`` means the process-wide tuner.
+        self.tuner: Any = None
         #: occurrence index matched by ``AOMP_FAULTS`` ``region=`` selectors,
         #: stamped by the region driver while a fault plan is active (and
         #: shipped to worker processes/interpreters with the region
@@ -239,6 +244,34 @@ class Team:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Team(name={self.name!r}, size={self.size}, region={self.region_id})"
+
+
+#: thread-local region watcher: a callback invoked with each Team created by
+#: a region entered on the watching thread (outermost and nested alike).
+_region_watch = threading.local()
+
+
+class watch_teams:
+    """Observe every team created by regions entered on the calling thread.
+
+    The compute service's dispatch workers run request bodies under this
+    watcher to learn the live :class:`Team` handles, which is what makes
+    *external* cancellation possible: ``team.abort()`` breaks the barrier so
+    members fail fast instead of draining the whole loop.  Watchers nest (the
+    previous callback is restored on exit) and are thread-local, so
+    concurrent workers never observe each other's teams.
+    """
+
+    def __init__(self, callback: "Callable[[Team], None] | None") -> None:
+        self._callback = callback
+        self._previous: "Callable[[Team], None] | None" = None
+
+    def __enter__(self) -> None:
+        self._previous = getattr(_region_watch, "callback", None)
+        _region_watch.callback = self._callback
+
+    def __exit__(self, *exc_info) -> None:
+        _region_watch.callback = self._previous
 
 
 def _resolve_num_threads(num_threads: int | None, parent: "ctx.ExecutionContext | None") -> int:
@@ -495,6 +528,20 @@ def _execute_region(
     # adaptive tuner keys its per-site cache and spinup costs on.
     team.backend_name = backend.name
     team.backend_spinup_scale = backend.spinup_cost_scale
+    # A thread-scoped tuner (per-tenant caches in the compute service) is
+    # stamped onto the team so every member agrees on it — the in-process
+    # auto path lets the first arriver open the invocation, and that can be
+    # a worker thread with no scope of its own.  Nested regions, entered on
+    # member threads, inherit the parent team's stamp.  Lazy import: the
+    # tune package imports runtime modules.
+    from repro.tune.tuner import scoped_tuner
+
+    team.tuner = scoped_tuner()
+    if team.tuner is None and parent is not None:
+        team.tuner = parent.team.tuner
+    watcher = getattr(_region_watch, "callback", None)
+    if watcher is not None:
+        watcher(team)
     if team.metrics:
         obsreg.inc(obsreg.REGIONS_ENTERED)
         # Lazy import: the HTTP exposition stack only loads when metrics are

@@ -35,6 +35,7 @@ import repro.obs.registry as obsreg
 from repro.runtime import context as ctx
 from repro.runtime import faults
 from repro.runtime.config import get_config
+from repro.runtime.barrier import BrokenBarrierError
 from repro.runtime.exceptions import BackendCapabilityError, SchedulingError
 from repro.runtime.ordered import OrderedRegion, install_ordered_region
 from repro.runtime.shm import ProcessDynamicState, ProcessGuidedState
@@ -384,7 +385,7 @@ def _run_auto(
     # Imported here, not at module level: repro.tune imports runtime modules
     # (config, scheduler), so a module-level import would make
     # ``import repro.tune`` as the first repro import a circular-import crash.
-    from repro.tune.tuner import Candidate, get_tuner
+    from repro.tune.tuner import Candidate, tuner_for_team
 
     total = LoopChunk(start, end, step).count
     thread_id = context.thread_id
@@ -392,7 +393,7 @@ def _run_auto(
     ticket_key = None
     if (slot := team.proc_tune_slot(ordinal)) is not None:
         if thread_id == 0:
-            ticket = get_tuner().begin_invocation(
+            ticket = tuner_for_team(team).begin_invocation(
                 name,
                 total,
                 team.size,
@@ -409,7 +410,7 @@ def _run_auto(
         ticket_key = _loop_encounter_key(f"{name}#auto")
         ticket = team.shared_slot(
             ticket_key,
-            lambda: get_tuner().begin_invocation(
+            lambda: tuner_for_team(team).begin_invocation(
                 name,
                 total,
                 team.size,
@@ -450,7 +451,7 @@ def _run_auto(
     elapsed = time.perf_counter() - began
 
     if ticket is not None and thread_id == 0:
-        payload = get_tuner().observe(ticket, elapsed)
+        payload = tuner_for_team(team).observe(ticket, elapsed)
         if team.metrics:
             obsreg.inc(obsreg.TUNE_DECISIONS)
         if team.tracing:
@@ -556,6 +557,22 @@ def _run_chunk_list(
     return result
 
 
+def _check_abort(team, name: str) -> None:
+    """Fail fast between chunk claims when the team barrier was aborted.
+
+    External cancellation (``Team.abort`` — the compute service's cancel
+    path, the worker monitor's death diagnosis) breaks the barrier, but a
+    member deep in a dynamic/guided claim loop would otherwise keep claiming
+    until the range runs dry and only notice at the closing barrier.  One
+    ``team.broken`` read per claim round-trip bounds cancellation latency to
+    a single batch instead of the loop remainder.
+    """
+    if team.broken:
+        raise BrokenBarrierError(
+            f"loop {name!r} aborted: team {team.name!r} barrier is broken"
+        )
+
+
 def _run_dynamic(
     body: Callable[..., Any],
     scheduler: DynamicScheduler,
@@ -581,6 +598,7 @@ def _run_dynamic(
     if not team.tracing:
         executed = 0
         while True:
+            _check_abort(team, name)
             claim = state.next_chunks(batch)
             if claim is None:
                 if executed and team.metrics:
@@ -596,6 +614,7 @@ def _run_dynamic(
                 chunk_start = start + begin * step
                 result = body(chunk_start, chunk_start + span * step, step, *args, **kwargs)
     for piece in scheduler.chunks_from(state, start, end, step):
+        _check_abort(team, name)
         result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight, _CHUNK_SLOTS[Schedule.DYNAMIC])
     return result
 
@@ -619,6 +638,7 @@ def _run_guided(
     if not team.tracing:
         executed = 0
         while True:
+            _check_abort(team, name)
             blocks = state.next_ranges(batch)
             if not blocks:
                 if executed and team.metrics:
@@ -629,6 +649,7 @@ def _run_guided(
                 chunk_start = start + begin * step
                 result = body(chunk_start, chunk_start + count * step, step, *args, **kwargs)
     for piece in scheduler.chunks_from_guided(state, start, end, step):
+        _check_abort(team, name)
         result = _run_traced_chunk(body, piece, args, kwargs, team, name, weight, _CHUNK_SLOTS[Schedule.GUIDED])
     return result
 

@@ -1,0 +1,45 @@
+"""The always-on compute service: an asyncio front-end over warm teams.
+
+ROADMAP item 3: wrap the runtime in a long-lived server so the SPMD kernels
+the paper ran once per script are served per-request to concurrent clients.
+
+Layers (one module each, front to back):
+
+* :mod:`repro.service.server` — asyncio TCP front-end speaking
+  newline-delimited JSON (submit / poll / wait / cancel / stats), graceful
+  drain on SIGTERM;
+* :mod:`repro.service.admission` — bounded queue with backpressure
+  (``queue_full`` rejections), per-tenant concurrency caps and duplicate
+  coalescing;
+* :mod:`repro.service.dispatch` — worker threads owning *warm* backends
+  (pre-spawned persistent process pools) and per-tenant tuners, with
+  external cancellation via ``team.abort()`` + pool condemnation;
+* :mod:`repro.service.kernels` — the servable kernel catalogue (JGF drivers
+  plus a cancellation-friendly sleep kernel);
+* :mod:`repro.service.config` — the ``AOMP_SERVICE_*`` environment contract;
+* :mod:`repro.service.client` — a small blocking client for tests, benches
+  and CI drivers.
+
+Request metrics land in the existing :mod:`repro.obs` registry, so the
+``AOMP_METRICS_PORT`` endpoint exposes them with zero new exposition code.
+"""
+
+from repro.service.admission import AdmissionQueue, Draining, QueueFull, Request
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.dispatch import DispatchPool
+from repro.service.kernels import KERNELS
+from repro.service.server import ComputeService, ServiceThread
+
+__all__ = [
+    "AdmissionQueue",
+    "ComputeService",
+    "DispatchPool",
+    "Draining",
+    "KERNELS",
+    "QueueFull",
+    "Request",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+]

@@ -1,0 +1,164 @@
+"""The servable kernel catalogue: what a compute-service request can run.
+
+Each entry wraps one of the JGF ``run_backend`` drivers (the paper's SPMD
+kernels, now invoked per-request instead of once per script) behind a
+uniform call shape, plus a ``sleep`` kernel whose work-shared body is pure
+waiting — the cancellation/drain tests need an in-flight region that is slow
+on purpose but cheap to abort.
+
+``deterministic`` marks kernels whose result is a pure function of
+``(size,)`` — those are safe to coalesce: concurrent identical submissions
+can share one execution and every follower receives the leader's result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.jgf.crypt import parallel as crypt
+from repro.jgf.series import parallel as series
+from repro.jgf.sor import parallel as sor
+from repro.jgf.sparse import parallel as sparse
+from repro.runtime.team import parallel_region
+from repro.runtime.worksharing import run_for
+
+#: one work-shared sleep slice (seconds).  Small enough that an aborted
+#: region unwinds promptly — members notice the broken barrier at the next
+#: chunk boundary.
+SLEEP_SLICE = 0.02
+
+SLEEP_SIZES = {"tiny": 4, "small": 25, "a": 250}
+
+
+def _sleep_chunk(start: int, end: int, step: int) -> None:
+    for _ in range(start, end, step):
+        time.sleep(SLEEP_SLICE)
+
+
+def _run_sleep(size: "str | int", num_threads: int, backend: str, on_failure: "str | None") -> "tuple[Any, float]":
+    slices = SLEEP_SIZES[size] if isinstance(size, str) else int(size)
+
+    def body() -> None:
+        run_for(_sleep_chunk, 0, slices, 1, loop_name="service.sleep", schedule="dynamic", chunk=1)
+
+    began = time.perf_counter()
+    parallel_region(
+        body,
+        num_threads=num_threads,
+        backend=backend,
+        name="service.sleep",
+        on_failure=on_failure,
+    )
+    return float(slices), time.perf_counter() - began
+
+
+def _json_value(value: Any) -> Any:
+    """A JSON-serialisable copy of a kernel's validation value."""
+    if isinstance(value, (list, tuple)):
+        return [_json_value(item) for item in value]
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ServiceKernel:
+    """One servable kernel: its metadata and the callable that runs it."""
+
+    name: str
+    description: str
+    sizes: "tuple[str, ...]"
+    #: result is a pure function of ``size`` — identical submissions may
+    #: share one execution (request coalescing).
+    deterministic: bool
+    #: whether replaying the region is safe (forwarded recovery policies).
+    retry_safe: bool
+    _run: "Callable[[str | int, int, str, str | None], tuple[Any, float]]"
+    _reference: "Callable[[str | int], Any]"
+
+    def run(
+        self,
+        *,
+        size: "str | int",
+        num_threads: int,
+        backend: str,
+        on_failure: "str | None" = None,
+    ) -> "dict[str, Any]":
+        """Execute once; returns ``{"value": ..., "elapsed": seconds}``."""
+        value, elapsed = self._run(size, num_threads, backend, on_failure)
+        return {"value": _json_value(value), "elapsed": elapsed}
+
+    def reference(self, size: "str | int") -> Any:
+        """The serial result for ``size`` (validation oracle for tests)."""
+        return _json_value(self._reference(size))
+
+    def describe(self) -> "dict[str, Any]":
+        return {
+            "name": self.name,
+            "description": self.description,
+            "sizes": list(self.sizes),
+            "deterministic": self.deterministic,
+            "retry_safe": self.retry_safe,
+        }
+
+
+def _jgf(module, **kwargs) -> "Callable[[str | int, int, str, str | None], tuple[Any, float]]":
+    def run(size: "str | int", num_threads: int, backend: str, on_failure: "str | None") -> "tuple[Any, float]":
+        result = module.run_backend(size, num_threads=num_threads, backend=backend, on_failure=on_failure, **kwargs)
+        return result.value, result.elapsed
+
+    return run
+
+
+KERNELS: "dict[str, ServiceKernel]" = {
+    kernel.name: kernel
+    for kernel in (
+        ServiceKernel(
+            name="series",
+            description="JGF Fourier series coefficients (embarrassingly parallel rows).",
+            sizes=tuple(series.SIZES),
+            deterministic=True,
+            retry_safe=True,
+            _run=_jgf(series),
+            _reference=lambda size: series.run_sequential(size).value,
+        ),
+        ServiceKernel(
+            name="crypt",
+            description="JGF IDEA encrypt/decrypt (process-safe body, exercises warm pools).",
+            sizes=tuple(crypt.SIZES),
+            deterministic=True,
+            retry_safe=True,
+            _run=_jgf(crypt),
+            _reference=lambda size: crypt.run_sequential(size).value,
+        ),
+        ServiceKernel(
+            name="sor",
+            description="JGF successive over-relaxation (in-place sweeps; not replay-safe).",
+            sizes=tuple(sor.SIZES),
+            deterministic=True,
+            retry_safe=False,
+            _run=_jgf(sor),
+            _reference=lambda size: sor.run_sequential(size).value,
+        ),
+        ServiceKernel(
+            name="sparse",
+            description="JGF sparse matmult (accumulating output; not replay-safe).",
+            sizes=tuple(sparse.SIZES),
+            deterministic=True,
+            retry_safe=False,
+            _run=_jgf(sparse),
+            _reference=lambda size: sparse.run_sequential(size).value,
+        ),
+        ServiceKernel(
+            name="sleep",
+            description="Work-shared sleep (cancellation/drain testing; result = slice count).",
+            sizes=tuple(SLEEP_SIZES),
+            deterministic=False,
+            retry_safe=True,
+            _run=_run_sleep,
+            _reference=lambda size: float(SLEEP_SIZES[size] if isinstance(size, str) else int(size)),
+        ),
+    )
+}

@@ -16,9 +16,12 @@ from repro.tune.tuner import (
     candidates_for,
     get_tuner,
     reset_tuner,
+    scoped_tuner,
     set_tuner,
     trip_bucket,
+    tuner_for_team,
     tuner_override,
+    tuner_scope,
 )
 
 __all__ = [
@@ -34,7 +37,10 @@ __all__ = [
     "candidates_for",
     "get_tuner",
     "reset_tuner",
+    "scoped_tuner",
     "set_tuner",
     "trip_bucket",
+    "tuner_for_team",
     "tuner_override",
+    "tuner_scope",
 ]

@@ -553,6 +553,11 @@ class LoopTuner:
                 self._persist_locked()
         return payload
 
+    def save(self) -> None:
+        """Persist converged sites to the cache now (the service drain path)."""
+        with self._lock:
+            self._persist_locked()
+
 
 # ---------------------------------------------------------------------------
 # process-wide tuner
@@ -600,3 +605,53 @@ class tuner_override:
 
     def __exit__(self, *exc_info) -> None:
         set_tuner(self._previous)
+
+
+# ---------------------------------------------------------------------------
+# thread-scoped tuners (per-tenant caches under concurrent callers)
+# ---------------------------------------------------------------------------
+
+_scope_local = threading.local()
+
+
+def scoped_tuner() -> "LoopTuner | None":
+    """The calling thread's scoped tuner, if inside a :class:`tuner_scope`."""
+    return getattr(_scope_local, "tuner", None)
+
+
+def tuner_for_team(team: Any) -> LoopTuner:
+    """The tuner serving ``team``'s ``schedule="auto"`` loops.
+
+    Regions started under a :class:`tuner_scope` stamp the scoped tuner onto
+    the team at creation (see ``_execute_region``), so *every* member — not
+    just the thread that entered the scope — agrees on it; the in-process
+    auto path lets the first arriver open the invocation, and that can be a
+    worker thread.  Teams without a stamp use the process-wide tuner.
+    """
+    tuner = getattr(team, "tuner", None)
+    return tuner if tuner is not None else get_tuner()
+
+
+class tuner_scope:
+    """Run a block under a tuner visible only to the *calling thread*.
+
+    Unlike :class:`tuner_override`, which swaps the process-wide tuner and is
+    therefore racy when several threads serve different tenants concurrently,
+    this override is thread-local: the compute service's dispatch workers
+    each enter the scope of their current tenant's tuner, and regions started
+    on that thread (plus their teams, via the team stamp) tune against that
+    tenant's cache without disturbing anyone else.  Nests: the innermost
+    scope wins; ``None`` re-exposes the process-wide tuner.
+    """
+
+    def __init__(self, tuner: "LoopTuner | None") -> None:
+        self._tuner = tuner
+        self._previous: "LoopTuner | None" = None
+
+    def __enter__(self) -> "LoopTuner | None":
+        self._previous = getattr(_scope_local, "tuner", None)
+        _scope_local.tuner = self._tuner
+        return self._tuner
+
+    def __exit__(self, *exc_info) -> None:
+        _scope_local.tuner = self._previous

@@ -31,7 +31,7 @@ class TestStats:
         snap = aomp.stats()
         assert snap["counters"]["aomp_barriers_total"] == 2
         assert snap["gauges"]["aomp_member_alive"] == {'{member="1"}': 0.0}
-        assert set(snap) == {"counters", "histograms", "gauges"}
+        assert set(snap) == {"counters", "histograms", "gauges", "meta"}
 
     def test_stats_is_json_serialisable(self):
         import json
@@ -132,6 +132,38 @@ class TestScrapeEndpoint:
         second = expo.ensure_exporter(port=0)
         assert second and second != 0
         assert first is not None
+
+    def test_stats_meta_discovers_the_ephemeral_port(self):
+        # AOMP_METRICS_PORT=0 binds an ephemeral port; stats() metadata is
+        # the race-free way for the embedding program to find it.
+        assert aomp.stats()["meta"]["exporter_port"] is None
+        port = expo.ensure_exporter(port=0)
+        meta = aomp.stats()["meta"]
+        assert meta["exporter_port"] == port
+        import os
+
+        assert meta["pid"] == os.getpid()
+
+    def test_stop_is_idempotent(self):
+        expo.stop_exporter()  # stop with nothing running is a no-op
+        expo.ensure_exporter(port=0)
+        expo.stop_exporter()
+        expo.stop_exporter()  # double stop must not raise
+        assert expo.exporter_port() is None
+
+    def test_repeated_cycles_leak_no_threads(self):
+        import threading
+
+        def serve_threads() -> int:
+            return sum(
+                1 for t in threading.enumerate() if t.name == "aomp-metrics-http" and t.is_alive()
+            )
+
+        baseline = serve_threads()
+        for _ in range(5):
+            assert expo.ensure_exporter(port=0)
+            expo.stop_exporter()
+        assert serve_threads() == baseline
 
 
 class TestAompTopParser:

@@ -45,6 +45,15 @@ from repro.runtime.config import (
 )
 from repro.runtime.exceptions import FaultSpecError
 from repro.runtime.faults import heartbeat_interval, heartbeat_timeout, parse_fault_spec
+from repro.service.config import (
+    _default_service_backend,
+    _default_service_host,
+    _default_service_port,
+    _default_service_queue,
+    _default_service_tenant_cap,
+    _default_service_tune_dir,
+    _default_service_workers,
+)
 
 ALL_VARS = (
     "AOMP_NUM_THREADS",
@@ -66,6 +75,13 @@ ALL_VARS = (
     "AOMP_METRICS",
     "AOMP_METRICS_PORT",
     "AOMP_METRICS_BUCKETS",
+    "AOMP_SERVICE_HOST",
+    "AOMP_SERVICE_PORT",
+    "AOMP_SERVICE_WORKERS",
+    "AOMP_SERVICE_QUEUE",
+    "AOMP_SERVICE_TENANT_CAP",
+    "AOMP_SERVICE_BACKEND",
+    "AOMP_SERVICE_TUNE_DIR",
 )
 
 
@@ -193,6 +209,55 @@ CASES = (
         ),
         # must be increasing, positive, numeric
         garbage=("fast,slow", "0.1,0.1", "1,0.5", "0,1", "-1,1"),
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_HOST",
+        read=_default_service_host,
+        default="127.0.0.1",
+        valid=(("0.0.0.0", "0.0.0.0"), ("service.internal", "service.internal")),
+        garbage=(),  # free-form bind address; bind errors surface at listen
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_PORT",
+        read=_default_service_port,
+        default=0,  # 0 = ephemeral, the safe always-works default
+        valid=(("0", 0), ("9465", 9465), ("65535", 65535)),
+        garbage=("default", "-1", "65536", "9465tcp"),
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_WORKERS",
+        read=_default_service_workers,
+        default=max(1, min(4, (os.cpu_count() or 2) // 2)),
+        valid=(("1", 1), ("8", 8)),
+        garbage=("many", "0", "-1", "2.5"),
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_QUEUE",
+        read=_default_service_queue,
+        default=64,
+        valid=(("1", 1), ("256", 256)),
+        garbage=("unbounded", "0", "-1", "1.5"),
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_TENANT_CAP",
+        read=_default_service_tenant_cap,
+        default=2,
+        valid=(("1", 1), ("16", 16)),
+        garbage=("fair", "0", "-1"),
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_BACKEND",
+        read=_default_service_backend,
+        default="",  # empty = inherit AOMP_BACKEND; resolved loudly at use
+        valid=(("threads", "threads"), ("PROCESSES", "processes")),
+        garbage=(),  # deferred-but-loud, like AOMP_BACKEND itself
+    ),
+    EnvVarCase(
+        var="AOMP_SERVICE_TUNE_DIR",
+        read=_default_service_tune_dir,
+        default=None,  # unset disables persistent per-tenant caches
+        valid=(("/tmp/aomp-tune", "/tmp/aomp-tune"),),
+        garbage=(),  # free-form path; IO errors surface at persist time
     ),
 )
 

@@ -28,7 +28,7 @@ import pytest
 
 from repro.runtime import context as ctx
 from repro.runtime import faults, shm
-from repro.runtime.backend import ProcessBackend, SerialBackend, ThreadBackend
+from repro.runtime.backend import ProcessBackend, SerialBackend
 from repro.runtime.barrier import BrokenBarrierError
 from repro.runtime.exceptions import (
     BrokenTeamError,
@@ -607,3 +607,51 @@ class TestChaosScenarios:
         with pytest.raises(BrokenTeamError):
             parallel_region(body, num_threads=3, backend=process_backend, name="chaos-stall")
         assert time.monotonic() - start < DETECTION_BOUND
+
+
+class TestMonitorTeardown:
+    """Services cycle WorkerMonitors per drain/restart — teardown must be
+    idempotent and must never leave dead collectors in the registry."""
+
+    def _monitor(self, metrics: bool = True):
+        import repro.obs.registry as obsreg
+        from repro.runtime.faults import WorkerMonitor
+        from repro.runtime.team import Team
+
+        team = Team(2, region_id=0, name="monitor-teardown")
+        team.metrics = metrics
+        return WorkerMonitor(team, lambda: [], interval=0.05), obsreg
+
+    def test_stop_without_start_is_a_no_op(self):
+        monitor, _ = self._monitor()
+        monitor.stop()  # must not raise, nothing was registered
+
+    def test_double_stop_is_idempotent(self):
+        monitor, obsreg = self._monitor()
+        monitor.start()
+        monitor.stop()
+        monitor.stop()  # second stop: no raise, no double-unregister
+        assert monitor._thread is None
+
+    def test_double_start_does_not_orphan_a_thread(self):
+        import threading
+
+        monitor, _ = self._monitor(metrics=False)
+        monitor.start()
+        first = monitor._thread
+        monitor.start()  # idempotent: keeps the running thread
+        assert monitor._thread is first
+        monitor.stop()
+        assert not any(
+            t.name == "aomp-monitor-monitor-teardown" and t.is_alive()
+            for t in threading.enumerate()
+        )
+
+    def test_repeated_cycles_keep_the_collector_count_stable(self):
+        monitor, obsreg = self._monitor()
+        baseline = len(obsreg.get_registry()._collectors)
+        for _ in range(5):
+            monitor.start()
+            assert len(obsreg.get_registry()._collectors) == baseline + 1
+            monitor.stop()
+            assert len(obsreg.get_registry()._collectors) == baseline
